@@ -1,0 +1,113 @@
+// E11 (Section 2.3.2): the comparative visualization service.
+//
+// "VDCE makes it possible for an end user to experiment and evaluate
+//  his/her application for different combinations of hardware and
+//  software medium."  Runs the Linear Equation Solver under several
+//  hardware constraints and problem sizes and prints the comparative
+//  visualization the service produces.
+#include <iostream>
+#include <memory>
+#include <optional>
+
+#include "bench/harness.hpp"
+#include "scheduler/site_scheduler.hpp"
+#include "sim/static_sim.hpp"
+#include "sim/workloads.hpp"
+#include "viz/comparative.hpp"
+
+namespace {
+
+using namespace vdce;
+
+constexpr std::uint64_t kSeed = 515;
+constexpr double kStart = 12.0;
+
+}  // namespace
+
+int main() {
+  bench::banner("E11", "comparative visualization (hardware combinations)");
+
+  const auto config = netsim::make_campus_testbed(kSeed);
+  auto v = bench::bring_up(config);
+
+  viz::ComparativeViz by_hardware;
+  const std::pair<const char*, std::optional<repo::ArchType>> combos[] = {
+      {"any-machine", std::nullopt},
+      {"sparc-only", repo::ArchType::kSparc},
+      {"intel-only", repo::ArchType::kIntel},
+      {"alpha-only", repo::ArchType::kAlpha},
+  };
+  for (const auto& [label, arch] : combos) {
+    auto graph = sim::make_linear_solver_graph();
+    if (arch) {
+      for (const auto& node : graph.tasks()) {
+        auto props = node.props;
+        props.preferred_arch = arch;
+        graph.task(node.id).props = props;
+      }
+    }
+    sched::SiteScheduler scheduler(common::SiteId(0), v.directory);
+    try {
+      const auto allocation = scheduler.schedule(graph);
+      netsim::VirtualTestbed universe(config);
+      sim::StaticSimulator sim(universe, v.repositories[0]->tasks());
+      by_hardware.add_run(label, sim.run(graph, allocation, kStart));
+    } catch (const sched::SchedulingError& e) {
+      std::cout << label << ": infeasible (" << e.what() << ")\n";
+    }
+  }
+  std::cout << "\nby hardware combination:\n" << by_hardware.render();
+  std::cout << "csv:\n" << by_hardware.to_csv();
+
+  viz::ComparativeViz by_size;
+  for (const double scale : {0.5, 1.0, 2.0, 4.0}) {
+    const auto graph = sim::make_linear_solver_graph(scale);
+    sched::SiteScheduler scheduler(common::SiteId(0), v.directory);
+    const auto allocation = scheduler.schedule(graph);
+    netsim::VirtualTestbed universe(config);
+    sim::StaticSimulator sim(universe, v.repositories[0]->tasks());
+    by_size.add_run("N=" + std::to_string(static_cast<int>(32 * scale)),
+                    sim.run(graph, allocation, kStart));
+  }
+  std::cout << "\nby problem size:\n" << by_size.render();
+
+  // "a site can be a local site for some of the applications and it can
+  // be a remote site for some of the others running in the VDCE
+  // system": concurrent applications sharing the machines.
+  viz::ComparativeViz by_concurrency;
+  const auto graph = sim::make_linear_solver_graph();
+  for (const std::size_t napps : {1u, 2u, 4u}) {
+    std::vector<std::unique_ptr<sched::AllocationTable>> allocations;
+    std::vector<sim::SimJob> jobs;
+    for (std::size_t i = 0; i < napps; ++i) {
+      // Each app is scheduled from a different local site (wrapping).
+      const auto local = common::SiteId(
+          static_cast<std::uint32_t>(i % v.testbed->sites().size()));
+      sched::SiteScheduler scheduler(local, v.directory);
+      allocations.push_back(std::make_unique<sched::AllocationTable>(
+          scheduler.schedule(graph)));
+      jobs.push_back(sim::SimJob{&graph, allocations.back().get(), kStart});
+    }
+    netsim::VirtualTestbed universe(config);
+    sim::StaticSimulator sim(universe, v.repositories[0]->tasks());
+    const auto results = sim.run_many(jobs);
+    double worst = 0.0;
+    for (const auto& r : results) worst = std::max(worst, r.makespan_s);
+    // Report the slowest app of the batch.
+    auto slowest = results.front();
+    for (const auto& r : results) {
+      if (r.makespan_s == worst) slowest = r;
+    }
+    by_concurrency.add_run(std::to_string(napps) + "_concurrent_apps",
+                           slowest);
+  }
+  std::cout << "\nconcurrent applications (worst per batch):\n"
+            << by_concurrency.render();
+
+  std::cout << "\nshape check: unconstrained placement is the best "
+               "combination (it subsumes the others); makespan grows "
+               "superlinearly with N (O(N^3) kernels); concurrent "
+               "applications degrade gracefully under shared-host "
+               "contention.\n";
+  return 0;
+}

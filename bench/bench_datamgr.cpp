@@ -1,0 +1,148 @@
+// F7 (paper Figure 7): the Data Manager and the execution-environment
+// setup protocol.
+//
+// Micro-benchmarks over real code paths:
+//   * channel setup/ack rendezvous latency (in-process vs TCP);
+//   * point-to-point throughput vs message size, per transport;
+//   * message-passing library facade overhead (P4/PVM/MPI/NCS);
+//   * heterogeneous data conversion (payload encode/decode) cost.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "datamgr/broker.hpp"
+#include "datamgr/mplib.hpp"
+#include "tasklib/payload.hpp"
+
+namespace {
+
+using namespace vdce;
+using dm::ChannelBroker;
+using dm::LinkKey;
+using dm::MessageEndpoint;
+using dm::MpLibrary;
+using dm::TransportKind;
+
+std::vector<std::byte> make_blob(std::size_t n) {
+  common::Rng rng(1);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng() & 0xFF);
+  return out;
+}
+
+void BM_ChannelSetup(benchmark::State& state) {
+  const auto kind = static_cast<TransportKind>(state.range(0));
+  std::uint32_t link = 0;
+  for (auto _ : state) {
+    ChannelBroker broker(kind);
+    const LinkKey key{common::AppId(1), common::TaskId(link),
+                      common::TaskId(link + 1)};
+    link += 2;
+    std::shared_ptr<dm::Channel> rx;
+    std::jthread consumer([&] { rx = broker.open_receive(key); });
+    auto tx = broker.open_send(key);
+    consumer.join();
+    // Complete the Figure 7 handshake with one ack round trip.
+    tx->send(make_blob(8));
+    benchmark::DoNotOptimize(rx->receive());
+  }
+  state.SetLabel(kind == TransportKind::kInProcess ? "in-process" : "tcp");
+}
+BENCHMARK(BM_ChannelSetup)
+    ->Arg(static_cast<int>(TransportKind::kInProcess))
+    ->Arg(static_cast<int>(TransportKind::kTcp));
+
+void BM_Throughput(benchmark::State& state) {
+  const auto kind = static_cast<TransportKind>(state.range(0));
+  const auto size = static_cast<std::size_t>(state.range(1));
+  ChannelBroker broker(kind);
+  const LinkKey key{common::AppId(1), common::TaskId(0), common::TaskId(1)};
+  std::shared_ptr<dm::Channel> rx;
+  std::jthread consumer([&] { rx = broker.open_receive(key); });
+  auto tx = broker.open_send(key);
+  consumer.join();
+
+  const auto blob = make_blob(size);
+  // Echo server: receive and discard.
+  std::atomic<bool> done{false};
+  std::jthread drain([&] {
+    try {
+      while (rx->receive()) {
+        if (done.load(std::memory_order_relaxed)) break;
+      }
+    } catch (const common::TransportError&) {
+      // benchmark teardown may shut the socket mid-message
+    }
+  });
+  for (auto _ : state) {
+    tx->send(blob);
+  }
+  done = true;
+  tx->close();
+  rx->close();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+  state.SetLabel(kind == TransportKind::kInProcess ? "in-process" : "tcp");
+}
+BENCHMARK(BM_Throughput)
+    ->Args({static_cast<int>(TransportKind::kInProcess), 1 << 10})
+    ->Args({static_cast<int>(TransportKind::kInProcess), 1 << 16})
+    ->Args({static_cast<int>(TransportKind::kInProcess), 1 << 20})
+    ->Args({static_cast<int>(TransportKind::kTcp), 1 << 10})
+    ->Args({static_cast<int>(TransportKind::kTcp), 1 << 16})
+    ->Args({static_cast<int>(TransportKind::kTcp), 1 << 20});
+
+void BM_MpLibraryEnvelope(benchmark::State& state) {
+  const auto lib = static_cast<MpLibrary>(state.range(0));
+  const auto size = static_cast<std::size_t>(state.range(1));
+  auto pair = dm::make_inproc_pair();
+  MessageEndpoint tx(lib, pair.sender);
+  MessageEndpoint rx(lib, pair.receiver);
+  const auto blob = make_blob(size);
+  for (auto _ : state) {
+    tx.send(7, blob);
+    benchmark::DoNotOptimize(rx.receive());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+  state.SetLabel(dm::to_string(lib));
+}
+BENCHMARK(BM_MpLibraryEnvelope)
+    ->Args({static_cast<int>(MpLibrary::kP4), 1 << 16})
+    ->Args({static_cast<int>(MpLibrary::kPvm), 1 << 16})
+    ->Args({static_cast<int>(MpLibrary::kMpi), 1 << 16})
+    ->Args({static_cast<int>(MpLibrary::kNcs), 1 << 16});
+
+void BM_DataConversionMatrix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(5);
+  const auto m = tasklib::Matrix::random(n, n, rng);
+  for (auto _ : state) {
+    const auto payload = tasklib::Payload::of_matrix(m);
+    benchmark::DoNotOptimize(payload.as_matrix());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * 8));
+}
+BENCHMARK(BM_DataConversionMatrix)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_DataConversionTracks(benchmark::State& state) {
+  std::vector<tasklib::Track> tracks(
+      static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    tracks[i].id = static_cast<std::uint32_t>(i);
+    tracks[i].x = static_cast<double>(i);
+  }
+  for (auto _ : state) {
+    const auto payload = tasklib::Payload::of_tracks(tracks);
+    benchmark::DoNotOptimize(payload.as_tracks());
+  }
+}
+BENCHMARK(BM_DataConversionTracks)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

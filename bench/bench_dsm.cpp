@@ -1,0 +1,100 @@
+// E12 (Section 3 future work): the distributed shared memory model.
+//
+// Characterises the DSM substrate: read latency cached vs uncached,
+// write+invalidation cost vs sharer count, and lock service throughput
+// under contention.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "dsm/dsm.hpp"
+
+namespace {
+
+using namespace vdce;
+using dsm::DsmNode;
+using dsm::DsmServer;
+using tasklib::Payload;
+
+void BM_DsmCachedRead(benchmark::State& state) {
+  DsmServer server;
+  auto node = server.attach();
+  node->write("x", Payload::of_scalar(1.0));
+  (void)node->read("x");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node->read("x"));
+  }
+}
+BENCHMARK(BM_DsmCachedRead);
+
+void BM_DsmUncachedRead(benchmark::State& state) {
+  DsmServer server;
+  auto writer = server.attach();
+  auto reader = server.attach();
+  writer->write("x", Payload::of_scalar(1.0));
+  for (auto _ : state) {
+    // Invalidate the reader's copy each round so the read goes home.
+    state.PauseTiming();
+    writer->write("x", Payload::of_scalar(2.0));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(reader->read("x"));
+  }
+}
+BENCHMARK(BM_DsmUncachedRead);
+
+void BM_DsmWriteVsSharers(benchmark::State& state) {
+  DsmServer server;
+  auto writer = server.attach();
+  const auto sharers = static_cast<std::size_t>(state.range(0));
+  std::vector<std::unique_ptr<DsmNode>> nodes;
+  for (std::size_t i = 0; i < sharers; ++i) nodes.push_back(server.attach());
+
+  writer->write("x", Payload::of_scalar(0.0));
+  double v = 0.0;
+  for (auto _ : state) {
+    // Every sharer re-caches, then the write invalidates them all.
+    state.PauseTiming();
+    for (auto& node : nodes) (void)node->read("x");
+    state.ResumeTiming();
+    writer->write("x", Payload::of_scalar(++v));
+  }
+  state.SetLabel(std::to_string(sharers) + " sharers");
+}
+BENCHMARK(BM_DsmWriteVsSharers)->Arg(0)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_DsmLockContention(benchmark::State& state) {
+  const auto contenders = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    DsmServer server;
+    std::vector<std::unique_ptr<DsmNode>> nodes;
+    for (std::size_t i = 0; i < contenders; ++i) {
+      nodes.push_back(server.attach());
+    }
+    auto main_node = server.attach();
+    main_node->write("counter", Payload::of_scalar(0.0));
+    state.ResumeTiming();
+
+    {
+      std::vector<std::jthread> threads;
+      for (std::size_t i = 0; i < contenders; ++i) {
+        threads.emplace_back([&, i] {
+          for (int round = 0; round < 20; ++round) {
+            nodes[i]->acquire("L");
+            const double c = nodes[i]->read("counter").as_scalar();
+            nodes[i]->write("counter", Payload::of_scalar(c + 1.0));
+            nodes[i]->release("L");
+          }
+        });
+      }
+    }
+    benchmark::DoNotOptimize(main_node->read("counter").as_scalar());
+  }
+  state.SetLabel(std::to_string(contenders) + " contenders x20 incs");
+}
+BENCHMARK(BM_DsmLockContention)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

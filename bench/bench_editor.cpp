@@ -1,0 +1,95 @@
+// F3 (paper Figure 3): the Application Editor building the Linear
+// Equation Solver.
+//
+// Measures editor-operation costs at growing application sizes
+// (add/link/submit/save/load) and checks the Figure 3 application round
+// trips the .afg store format.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "editor/editor.hpp"
+#include "sim/workloads.hpp"
+#include "tasklib/registry.hpp"
+
+namespace {
+
+using namespace vdce;
+
+void BM_BuildLinearSolver(benchmark::State& state) {
+  const auto& registry = tasklib::builtin_registry();
+  for (auto _ : state) {
+    editor::ApplicationEditor ed(registry, "lin");
+    const auto a = ed.add_task("matrix_generate", "A");
+    const auto b = ed.add_task("vector_generate", "b");
+    const auto lu = ed.add_task("lu_decomposition", "LU");
+    const auto low = ed.add_task("lu_lower", "L");
+    const auto up = ed.add_task("lu_upper", "U");
+    const auto li = ed.add_task("matrix_inversion", "L_inv");
+    const auto ui = ed.add_task("matrix_inversion", "U_inv");
+    const auto pb = ed.add_task("permute_vector", "Pb");
+    const auto y = ed.add_task("matrix_vector_multiply", "y");
+    const auto x = ed.add_task("matrix_vector_multiply", "x");
+    const auto res = ed.add_task("residual_check", "res");
+    ed.set_mode(editor::EditorMode::kLink);
+    ed.connect(a, lu);
+    ed.connect(lu, low);
+    ed.connect(lu, up);
+    ed.connect(low, li);
+    ed.connect(up, ui);
+    ed.connect(lu, pb);
+    ed.connect(b, pb);
+    ed.connect(li, y);
+    ed.connect(pb, y);
+    ed.connect(ui, x);
+    ed.connect(y, x);
+    ed.connect(a, res);
+    ed.connect(x, res);
+    ed.connect(b, res);
+    ed.set_mode(editor::EditorMode::kRun);
+    benchmark::DoNotOptimize(ed.submit());
+  }
+}
+BENCHMARK(BM_BuildLinearSolver);
+
+void BM_SubmitValidation(benchmark::State& state) {
+  // Validation cost as the AFG grows (layered graphs).
+  common::Rng rng(1);
+  sim::SyntheticGraphParams params;
+  params.family = sim::GraphFamily::kLayered;
+  params.size = static_cast<std::size_t>(state.range(0));
+  params.width = 6;
+  const auto graph = sim::make_synthetic_graph(params, rng);
+  state.SetLabel(std::to_string(graph.task_count()) + " tasks");
+  for (auto _ : state) {
+    graph.validate();
+    benchmark::DoNotOptimize(graph.topological_order());
+  }
+}
+BENCHMARK(BM_SubmitValidation)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_AfgSaveLoad(benchmark::State& state) {
+  common::Rng rng(2);
+  sim::SyntheticGraphParams params;
+  params.family = sim::GraphFamily::kLayered;
+  params.size = static_cast<std::size_t>(state.range(0));
+  params.width = 6;
+  const auto graph = sim::make_synthetic_graph(params, rng);
+  for (auto _ : state) {
+    const auto text = afg::to_text(graph);
+    benchmark::DoNotOptimize(afg::from_text(text));
+  }
+}
+BENCHMARK(BM_AfgSaveLoad)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_DotExport(benchmark::State& state) {
+  const auto graph = sim::make_linear_solver_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(afg::to_dot(graph));
+  }
+}
+BENCHMARK(BM_DotExport);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// E10: scheduler scalability.
+//
+// Wall-clock cost of the Site Scheduler Algorithm (including the host
+// selection rounds at every consulted site) as the application and the
+// testbed grow.
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.hpp"
+#include "scheduler/site_scheduler.hpp"
+#include "sim/workloads.hpp"
+
+namespace {
+
+using namespace vdce;
+
+void BM_ScheduleVsGraphSize(benchmark::State& state) {
+  netsim::RandomTestbedParams params;
+  params.num_sites = 4;
+  params.groups_per_site = 2;
+  params.hosts_per_group = 4;
+  auto v = bench::bring_up(netsim::make_random_testbed(params, 11));
+
+  common::Rng rng(1);
+  sim::SyntheticGraphParams gp;
+  gp.family = sim::GraphFamily::kLayered;
+  gp.size = static_cast<std::size_t>(state.range(0));
+  gp.width = 6;
+  const auto graph = sim::make_synthetic_graph(gp, rng);
+  state.SetLabel(std::to_string(graph.task_count()) + " tasks");
+
+  sched::SiteScheduler scheduler(common::SiteId(0), v.directory,
+                                 {.k_nearest = 3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(graph));
+  }
+}
+BENCHMARK(BM_ScheduleVsGraphSize)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ScheduleVsHostCount(benchmark::State& state) {
+  netsim::RandomTestbedParams params;
+  params.num_sites = 2;
+  params.groups_per_site = 2;
+  params.hosts_per_group = static_cast<std::size_t>(state.range(0));
+  auto v = bench::bring_up(netsim::make_random_testbed(params, 12));
+  state.SetLabel(std::to_string(v.testbed->host_count()) + " hosts");
+
+  common::Rng rng(2);
+  sim::SyntheticGraphParams gp;
+  gp.family = sim::GraphFamily::kLayered;
+  gp.size = 6;
+  gp.width = 5;
+  const auto graph = sim::make_synthetic_graph(gp, rng);
+
+  sched::SiteScheduler scheduler(common::SiteId(0), v.directory,
+                                 {.k_nearest = 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(graph));
+  }
+}
+BENCHMARK(BM_ScheduleVsHostCount)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ScheduleVsSitesConsulted(benchmark::State& state) {
+  netsim::RandomTestbedParams params;
+  params.num_sites = 8;
+  params.groups_per_site = 2;
+  params.hosts_per_group = 3;
+  auto v = bench::bring_up(netsim::make_random_testbed(params, 13));
+
+  common::Rng rng(3);
+  sim::SyntheticGraphParams gp;
+  gp.family = sim::GraphFamily::kLayered;
+  gp.size = 6;
+  gp.width = 5;
+  const auto graph = sim::make_synthetic_graph(gp, rng);
+
+  sched::SiteScheduler scheduler(
+      common::SiteId(0), v.directory,
+      {.k_nearest = static_cast<std::size_t>(state.range(0))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(graph));
+  }
+  state.SetLabel("k=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ScheduleVsSitesConsulted)->Arg(0)->Arg(1)->Arg(3)->Arg(7);
+
+void BM_HostSelectionOnly(benchmark::State& state) {
+  netsim::RandomTestbedParams params;
+  params.num_sites = 1;
+  params.groups_per_site = 2;
+  params.hosts_per_group = static_cast<std::size_t>(state.range(0));
+  auto v = bench::bring_up(netsim::make_random_testbed(params, 14));
+
+  common::Rng rng(4);
+  sim::SyntheticGraphParams gp;
+  gp.family = sim::GraphFamily::kLayered;
+  gp.size = 4;
+  gp.width = 4;
+  const auto graph = sim::make_synthetic_graph(gp, rng);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        v.directory.host_selection(common::SiteId(0), graph));
+  }
+  state.SetLabel(std::to_string(v.testbed->host_count()) + " hosts");
+}
+BENCHMARK(BM_HostSelectionOnly)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

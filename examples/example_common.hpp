@@ -1,0 +1,66 @@
+// Shared bring-up helper for the examples: builds a virtual testbed,
+// one site repository + Site Manager + Control Manager per site, seeds
+// the task libraries, and warms the monitoring fabric so the
+// repositories hold real measurements before anything is scheduled.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "netsim/testbed.hpp"
+#include "predict/forecaster.hpp"
+#include "runtime/control_manager.hpp"
+#include "runtime/site_manager.hpp"
+#include "runtime/sm_directory.hpp"
+#include "tasklib/registry.hpp"
+
+namespace vdce::examples {
+
+/// A fully wired single-process VDCE over a virtual testbed.
+struct Vdce {
+  std::unique_ptr<netsim::VirtualTestbed> testbed;
+  std::vector<std::unique_ptr<repo::SiteRepository>> repositories;
+  std::vector<std::unique_ptr<predict::LoadForecaster>> forecasters;
+  std::vector<std::unique_ptr<rt::SiteManager>> site_managers;
+  std::vector<std::unique_ptr<rt::ControlManager>> control_managers;
+  rt::SiteManagerDirectory directory;
+
+  /// Advances every site's control plane to `until` in `step` ticks.
+  void warm_up(double until, double step = 1.0) {
+    for (double t = step; t <= until + 1e-9; t += step) {
+      for (auto& cm : control_managers) cm->tick(t);
+    }
+  }
+};
+
+/// Brings up a VDCE over `config`.  `warm_up_s` control ticks run before
+/// returning so dynamic attributes and forecasts are populated.
+inline Vdce bring_up(const netsim::TestbedConfig& config,
+                     double warm_up_s = 10.0) {
+  Vdce v;
+  v.testbed = std::make_unique<netsim::VirtualTestbed>(config);
+
+  for (const common::SiteId site : v.testbed->sites()) {
+    auto repository = std::make_unique<repo::SiteRepository>(site);
+    tasklib::builtin_registry().install_defaults(repository->tasks());
+    v.testbed->populate_repository(*repository, site);
+    repository->users().add_user("hpdc", "nynet", 1, "wan");
+
+    auto forecaster = std::make_unique<predict::LoadForecaster>();
+    auto manager = std::make_unique<rt::SiteManager>(site, *repository,
+                                                     *forecaster);
+    auto control = std::make_unique<rt::ControlManager>(*v.testbed, site,
+                                                        *manager);
+    v.directory.add_site(*manager);
+
+    v.repositories.push_back(std::move(repository));
+    v.forecasters.push_back(std::move(forecaster));
+    v.site_managers.push_back(std::move(manager));
+    v.control_managers.push_back(std::move(control));
+  }
+
+  if (warm_up_s > 0.0) v.warm_up(warm_up_s);
+  return v;
+}
+
+}  // namespace vdce::examples

@@ -1,0 +1,51 @@
+#include "afg/levels.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vdce::afg {
+
+std::unordered_map<TaskId, double> compute_levels(const FlowGraph& graph,
+                                                  const CostFn& cost) {
+  const auto order = graph.topological_order();  // throws on cycle
+  std::unordered_map<TaskId, double> levels;
+  levels.reserve(order.size());
+  // Walk in reverse topological order so every child is finished first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskNode& node = graph.task(*it);
+    double best_child = 0.0;
+    for (const TaskId child : graph.children(*it)) {
+      best_child = std::max(best_child, levels.at(child));
+    }
+    levels[*it] = cost(node) + best_child;
+  }
+  return levels;
+}
+
+std::vector<TaskId> priority_order(
+    const FlowGraph& graph,
+    const std::unordered_map<TaskId, double>& levels) {
+  std::vector<TaskId> ids;
+  ids.reserve(graph.task_count());
+  for (const TaskNode& t : graph.tasks()) ids.push_back(t.id);
+  std::sort(ids.begin(), ids.end(), [&](TaskId a, TaskId b) {
+    const double la = levels.at(a);
+    const double lb = levels.at(b);
+    if (la != lb) return la > lb;
+    return a < b;
+  });
+  return ids;
+}
+
+double critical_path_length(
+    const FlowGraph& graph,
+    const std::unordered_map<TaskId, double>& levels) {
+  double best = 0.0;
+  for (const TaskId id : graph.entry_tasks()) {
+    best = std::max(best, levels.at(id));
+  }
+  return best;
+}
+
+}  // namespace vdce::afg

@@ -1,0 +1,40 @@
+// Level computation for list-scheduling priorities.
+//
+// "The VDCE scheduling heuristic uses the level of each node to
+//  determine its priority.  The node (task) with a higher level value
+//  will have a higher priority for scheduling.  The level of a node in
+//  the graph is computed as the largest sum of computation costs along a
+//  path from the node to an exit node.  ...  For the computation cost,
+//  the task (node) execution time on the base processor ... is used."
+//  (Section 2.2)
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "afg/graph.hpp"
+
+namespace vdce::afg {
+
+/// Computation cost of one task on the base processor, seconds.
+using CostFn = std::function<double(const TaskNode&)>;
+
+/// Levels for every node: level(n) = cost(n) + max over children c of
+/// level(c); exit nodes have level(n) = cost(n).  Throws StateError on a
+/// cyclic graph.
+[[nodiscard]] std::unordered_map<TaskId, double> compute_levels(
+    const FlowGraph& graph, const CostFn& cost);
+
+/// Task ids sorted by descending level (the paper's scheduling priority
+/// order); ties broken by ascending id for determinism.
+[[nodiscard]] std::vector<TaskId> priority_order(
+    const FlowGraph& graph, const std::unordered_map<TaskId, double>& levels);
+
+/// The critical-path length: the maximum level over entry nodes (equals
+/// the makespan lower bound on a dedicated base processor with zero
+/// communication).
+[[nodiscard]] double critical_path_length(
+    const FlowGraph& graph, const std::unordered_map<TaskId, double>& levels);
+
+}  // namespace vdce::afg

@@ -1,0 +1,40 @@
+// AFG persistence and export.
+//
+// "the user may either submit the application for execution in the VDCE
+//  or he/she may store the application flow graph for future use."
+//  (Section 2.1)
+//
+// The stored form is a small line-oriented text format:
+//
+//   # comment
+//   app linear_solver
+//   task lu1 lu_decomposition mode=parallel procs=2 arch=sparc size=4
+//   task inv1 matrix_inversion
+//   link lu1 inv1 2.0
+//
+// `to_dot` renders the graph in Graphviz DOT for visual inspection (our
+// stand-in for the Editor's drawing surface).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "afg/graph.hpp"
+
+namespace vdce::afg {
+
+/// Serialises `graph` to the .afg text format.
+[[nodiscard]] std::string to_text(const FlowGraph& graph);
+
+/// Parses the .afg text format; throws ParseError with a line number on
+/// malformed input.
+[[nodiscard]] FlowGraph from_text(const std::string& text);
+
+/// Writes/reads the .afg format to a file.
+void save_file(const FlowGraph& graph, const std::string& path);
+[[nodiscard]] FlowGraph load_file(const std::string& path);
+
+/// Graphviz DOT rendering of the graph (labels + link sizes).
+[[nodiscard]] std::string to_dot(const FlowGraph& graph);
+
+}  // namespace vdce::afg

@@ -1,0 +1,26 @@
+#include "common/clock.hpp"
+
+#include "common/error.hpp"
+
+namespace vdce::common {
+
+SteadyClock::SteadyClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+TimePoint SteadyClock::now() const {
+  const auto dt = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double>(dt).count();
+}
+
+void VirtualClock::advance(Duration dt) {
+  expects(dt >= 0.0, "VirtualClock::advance requires dt >= 0");
+  std::lock_guard lk(mu_);
+  now_ += dt;
+}
+
+void VirtualClock::advance_to(TimePoint t) {
+  std::lock_guard lk(mu_);
+  expects(t >= now_, "VirtualClock::advance_to cannot move backwards");
+  now_ = t;
+}
+
+}  // namespace vdce::common

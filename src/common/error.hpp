@@ -1,0 +1,54 @@
+// Error types shared across VDCE modules.
+//
+// Construction/validation failures and protocol violations throw; steady
+// state "expected" conditions (a host being down, a schedule not found)
+// are reported through return values instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vdce::common {
+
+/// Base class of all VDCE exceptions.
+class VdceError : public std::runtime_error {
+ public:
+  explicit VdceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A malformed input: bad AFG file, cyclic graph, unknown task name, ...
+class ParseError : public VdceError {
+ public:
+  using VdceError::VdceError;
+};
+
+/// A request referencing an entity that does not exist.
+class NotFoundError : public VdceError {
+ public:
+  using VdceError::VdceError;
+};
+
+/// An operation violating a protocol or object state invariant.
+class StateError : public VdceError {
+ public:
+  using VdceError::VdceError;
+};
+
+/// Authentication failure against the user-accounts database.
+class AuthError : public VdceError {
+ public:
+  using VdceError::VdceError;
+};
+
+/// A transport-level failure (socket error, closed channel, ...).
+class TransportError : public VdceError {
+ public:
+  using VdceError::VdceError;
+};
+
+/// Precondition check used at public API boundaries.  Throws StateError.
+inline void expects(bool cond, const char* msg) {
+  if (!cond) throw StateError(std::string("precondition violated: ") + msg);
+}
+
+}  // namespace vdce::common

@@ -1,0 +1,72 @@
+// Strongly-typed identifiers used across VDCE.
+//
+// Every entity in the environment (site, host group, host, task library
+// entry, AFG node, application instance, user) is referred to by a small
+// integer id.  Using distinct wrapper types prevents the classic bug of
+// passing a host id where a site id is expected; comparisons and hashing
+// are provided so ids can key standard containers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+
+namespace vdce::common {
+
+/// CRTP base for strongly-typed integer ids.
+///
+/// `Tag` makes each instantiation a distinct type.  Ids are totally
+/// ordered and hashable; `invalid()` is the sentinel (max value).
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const {
+    return value_ != kInvalidValue;
+  }
+
+  /// Sentinel id distinct from any real entity.
+  [[nodiscard]] static constexpr Id invalid() { return Id(kInvalidValue); }
+
+  friend constexpr bool operator==(Id a, Id b) = default;
+  friend constexpr auto operator<=>(Id a, Id b) = default;
+
+ private:
+  static constexpr underlying_type kInvalidValue = 0xFFFFFFFFu;
+  underlying_type value_ = kInvalidValue;
+};
+
+struct SiteTag {};
+struct GroupTag {};
+struct HostTag {};
+struct TaskTag {};      // a node of an application flow graph
+struct LibraryTag {};   // an entry of a task library (the "menu" item)
+struct AppTag {};       // an application instance submitted for execution
+struct UserTag {};
+struct ChannelTag {};   // a point-to-point Data Manager channel
+
+using SiteId = Id<SiteTag>;
+using GroupId = Id<GroupTag>;
+using HostId = Id<HostTag>;
+using TaskId = Id<TaskTag>;
+using LibraryTaskId = Id<LibraryTag>;
+using AppId = Id<AppTag>;
+using UserId = Id<UserTag>;
+using ChannelId = Id<ChannelTag>;
+
+}  // namespace vdce::common
+
+namespace std {
+template <typename Tag>
+struct hash<vdce::common::Id<Tag>> {
+  size_t operator()(vdce::common::Id<Tag> id) const noexcept {
+    return std::hash<typename vdce::common::Id<Tag>::underlying_type>{}(
+        id.value());
+  }
+};
+}  // namespace std

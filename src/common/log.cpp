@@ -1,0 +1,45 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace vdce::common {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mu;
+std::ostringstream* g_capture = nullptr;  // guarded by g_sink_mu
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void set_log_capture(std::ostringstream* capture) {
+  std::lock_guard lk(g_sink_mu);
+  g_capture = capture;
+}
+
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message) {
+  std::lock_guard lk(g_sink_mu);
+  auto& os = g_capture ? static_cast<std::ostream&>(*g_capture) : std::cerr;
+  os << "[" << level_name(level) << "] " << component << ": " << message
+     << '\n';
+}
+
+}  // namespace vdce::common

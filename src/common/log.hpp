@@ -1,0 +1,68 @@
+// Minimal leveled, thread-safe logger.
+//
+// Components log through free functions; the sink and minimum level are
+// process-global.  Benches and tests set the level to `kWarn` to keep
+// output quiet; examples run at `kInfo` so the module interactions the
+// paper diagrams (Figures 2, 6, 7) are visible as a trace.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vdce::common {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to the sink (stderr by default).  Thread-safe.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+/// Redirects log output into a string buffer (tests); pass nullptr to
+/// restore stderr.
+void set_log_capture(std::ostringstream* capture);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_trace(const std::string& component, Args&&... args) {
+  if (log_level() <= LogLevel::kTrace)
+    log_line(LogLevel::kTrace, component,
+             detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_debug(const std::string& component, Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_line(LogLevel::kDebug, component,
+             detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(const std::string& component, Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_line(LogLevel::kInfo, component,
+             detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(const std::string& component, Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_line(LogLevel::kWarn, component,
+             detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(const std::string& component, Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_line(LogLevel::kError, component,
+             detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace vdce::common

@@ -1,0 +1,117 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in VDCE (background load traces, failure
+// injection, workload generators, the random-placement baseline) draws
+// from an explicitly seeded Rng so every experiment is reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+
+namespace vdce::common {
+
+/// Small, fast, seedable PRNG (xoshiro256**).
+///
+/// Satisfies UniformRandomBitGenerator so it can also feed <random>
+/// distributions, but the common draws (uniform/exponential/normal) are
+/// provided directly to keep results bit-identical across platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initialises the state from `seed` via splitmix64.
+  void reseed(std::uint64_t seed) {
+    for (auto& s : state_) {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+    have_spare_ = false;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n), unbiased (Lemire multiply-shift).
+  std::uint64_t uniform_int(std::uint64_t n) {
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Exponentially distributed double with the given rate (mean 1/rate).
+  double exponential(double rate) {
+    return -std::log(1.0 - uniform()) / rate;
+  }
+
+  /// Standard-normal draw (Box-Muller, caches the second value).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    const double u1 = 1.0 - uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    spare_ = r * std::sin(theta);
+    have_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace vdce::common

@@ -1,0 +1,97 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vdce::common {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+SlidingWindowStats::SlidingWindowStats(std::size_t capacity)
+    : capacity_(capacity) {
+  expects(capacity > 0, "SlidingWindowStats capacity must be positive");
+}
+
+void SlidingWindowStats::add(double x) {
+  window_.push_back(x);
+  if (window_.size() > capacity_) window_.pop_front();
+}
+
+double SlidingWindowStats::mean() const {
+  if (window_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : window_) sum += v;
+  return sum / static_cast<double>(window_.size());
+}
+
+double SlidingWindowStats::variance() const {
+  if (window_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : window_) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(window_.size() - 1);
+}
+
+double SlidingWindowStats::stddev() const { return std::sqrt(variance()); }
+
+double SlidingWindowStats::last() const {
+  expects(!window_.empty(), "SlidingWindowStats::last on empty window");
+  return window_.back();
+}
+
+double SlidingWindowStats::confidence_halfwidth(double z) const {
+  if (window_.size() < 2) return 0.0;
+  return z * stddev() / std::sqrt(static_cast<double>(window_.size()));
+}
+
+double forecast(const SlidingWindowStats& window, ForecastMethod method,
+                double alpha) {
+  if (window.empty()) return 0.0;
+  switch (method) {
+    case ForecastMethod::kLastSample:
+      return window.last();
+    case ForecastMethod::kWindowMean:
+      return window.mean();
+    case ForecastMethod::kExponentialSmoothing: {
+      double s = window.samples().front();
+      for (auto it = std::next(window.samples().begin());
+           it != window.samples().end(); ++it) {
+        s = alpha * *it + (1.0 - alpha) * s;
+      }
+      return s;
+    }
+  }
+  return window.last();
+}
+
+double percentile(std::vector<double> samples, double pct) {
+  expects(!samples.empty(), "percentile of empty sample set");
+  expects(pct >= 0.0 && pct <= 100.0, "percentile must be in [0,100]");
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(samples.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+}  // namespace vdce::common

@@ -1,0 +1,79 @@
+// Statistics utilities used by monitoring and prediction.
+//
+// The paper's Group Manager forwards a workload measurement only when it
+// falls outside the previous measurement's confidence interval, and the
+// scheduler forecasts current load "using forecasting techniques based on
+// a window of most recent workload measurements".  SlidingWindowStats and
+// the forecasters below implement both.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace vdce::common {
+
+/// Incremental mean/variance over an unbounded stream (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean/variance/confidence interval over the most recent `capacity`
+/// samples.
+class SlidingWindowStats {
+ public:
+  explicit SlidingWindowStats(std::size_t capacity);
+
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return window_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return window_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double last() const;
+
+  /// Half-width of the confidence interval around the window mean,
+  /// `z * s / sqrt(n)`; `z` defaults to 1.96 (95%).  Returns 0 for
+  /// windows with fewer than 2 samples.
+  [[nodiscard]] double confidence_halfwidth(double z = 1.96) const;
+
+  [[nodiscard]] const std::deque<double>& samples() const { return window_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+};
+
+/// Forecasting strategies for the "current workload parameter" the
+/// scheduler feeds into Predict().  (Design decision D5 in DESIGN.md.)
+enum class ForecastMethod {
+  kLastSample,            // use the newest measurement verbatim
+  kWindowMean,            // mean of the measurement window
+  kExponentialSmoothing,  // EWMA over the window
+};
+
+/// Produces a load forecast from a measurement window.
+/// `alpha` is the EWMA weight of the newest sample.
+[[nodiscard]] double forecast(const SlidingWindowStats& window,
+                              ForecastMethod method, double alpha = 0.5);
+
+/// Simple percentile over a copied, sorted sample set (nearest-rank).
+[[nodiscard]] double percentile(std::vector<double> samples, double pct);
+
+}  // namespace vdce::common

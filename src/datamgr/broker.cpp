@@ -1,0 +1,113 @@
+#include "datamgr/broker.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "datamgr/tcp.hpp"
+
+namespace vdce::dm {
+
+namespace {
+
+/// Receiving channel that performs the TCP accept lazily on the first
+/// receive() call (the accept happens on the receive thread, matching
+/// the proxy handshake of Figure 7).
+class LazyAcceptChannel final : public Channel {
+ public:
+  explicit LazyAcceptChannel(std::unique_ptr<TcpListener> listener)
+      : listener_(std::move(listener)) {}
+
+  void send(std::span<const std::byte>) override {
+    throw common::TransportError("send on a receive-only channel");
+  }
+
+  std::optional<std::vector<std::byte>> receive() override {
+    ensure_accepted();
+    return inner_ ? inner_->receive() : std::nullopt;
+  }
+
+  void close() override {
+    std::lock_guard lk(mu_);
+    if (listener_) listener_->close();
+    if (inner_) inner_->close();
+  }
+
+  std::size_t bytes_sent() const override { return 0; }
+
+ private:
+  void ensure_accepted() {
+    std::lock_guard lk(mu_);
+    if (inner_ || !listener_) return;
+    try {
+      inner_ = listener_->accept();
+    } catch (const common::TransportError&) {
+      // Listener was closed before a producer connected: orderly EOF.
+      inner_.reset();
+    }
+    listener_.reset();
+  }
+
+  std::mutex mu_;
+  std::unique_ptr<TcpListener> listener_;
+  std::unique_ptr<TcpChannel> inner_;
+};
+
+}  // namespace
+
+std::shared_ptr<Channel> ChannelBroker::open_receive(const LinkKey& key) {
+  std::lock_guard lk(mu_);
+  if (registrations_.contains(key)) {
+    throw common::StateError("link already registered with the broker");
+  }
+  std::shared_ptr<Channel> receiver;
+  Registration reg;
+  if (kind_ == TransportKind::kInProcess) {
+    InProcPair pair = make_inproc_pair();
+    reg.inproc_sender = std::move(pair.sender);
+    receiver = std::move(pair.receiver);
+  } else {
+    auto listener = std::make_unique<TcpListener>();
+    reg.port = listener->port();
+    receiver = std::make_shared<LazyAcceptChannel>(std::move(listener));
+  }
+  registrations_.emplace(key, std::move(reg));
+  cv_.notify_all();
+  return receiver;
+}
+
+std::shared_ptr<Channel> ChannelBroker::open_send(const LinkKey& key,
+                                                  common::Duration timeout_s) {
+  std::unique_lock lk(mu_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  if (!cv_.wait_until(lk, deadline,
+                      [&] { return registrations_.contains(key); })) {
+    throw common::TransportError(
+        "channel setup timed out waiting for the consumer");
+  }
+  Registration& reg = registrations_.at(key);
+  if (kind_ == TransportKind::kInProcess) {
+    if (!reg.inproc_sender) {
+      throw common::StateError("link sender already claimed");
+    }
+    return std::move(reg.inproc_sender);
+  }
+  const std::uint16_t port = reg.port;
+  lk.unlock();  // connect outside the lock; tcp_connect may retry/sleep
+  return tcp_connect(port);
+}
+
+void ChannelBroker::clear_app(AppId app) {
+  std::lock_guard lk(mu_);
+  for (auto it = registrations_.begin(); it != registrations_.end();) {
+    if (it->first.app == app) {
+      it = registrations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace vdce::dm

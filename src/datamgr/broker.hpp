@@ -1,0 +1,79 @@
+// Channel rendezvous broker.
+//
+// Figure 7 of the paper: the Application Controller activates the Data
+// Manager, which "activates the communication proxy and sends the
+// resource allocation information, including the socket number, IP
+// address for target machine, etc., that will be used for communication
+// channel setup."  The broker is that allocation-information exchange:
+// the consuming side of every AFG link registers its endpoint (a queue,
+// or a listening TCP socket whose kernel-assigned port is the paper's
+// "socket number"), and the producing side looks the endpoint up and
+// connects.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "datamgr/channel.hpp"
+
+namespace vdce::dm {
+
+using common::AppId;
+using common::TaskId;
+
+/// Which transport carries inter-task messages.
+enum class TransportKind : std::uint8_t {
+  kInProcess,  // deterministic queue pairs
+  kTcp,        // real loopback sockets
+};
+
+/// Identity of one AFG link instance within one application run.
+struct LinkKey {
+  AppId app;
+  TaskId from;
+  TaskId to;
+
+  friend auto operator<=>(const LinkKey&, const LinkKey&) = default;
+};
+
+/// Thread-safe channel rendezvous.  The consumer calls open_receive
+/// (non-blocking); the producer calls open_send, which waits until the
+/// consumer has registered, then connects.
+class ChannelBroker {
+ public:
+  explicit ChannelBroker(TransportKind kind) : kind_(kind) {}
+
+  [[nodiscard]] TransportKind kind() const { return kind_; }
+
+  /// Registers the consuming end of a link and returns its receive
+  /// channel.  Throws StateError if the link is already registered.
+  [[nodiscard]] std::shared_ptr<Channel> open_receive(const LinkKey& key);
+
+  /// Connects the producing end; blocks up to `timeout_s` for the
+  /// consumer to register.  Throws TransportError on timeout.
+  [[nodiscard]] std::shared_ptr<Channel> open_send(const LinkKey& key,
+                                                   common::Duration timeout_s =
+                                                       10.0);
+
+  /// Drops all registrations of one application (run finished).
+  void clear_app(AppId app);
+
+ private:
+  struct Registration {
+    // In-process: the pre-made sending end.
+    std::shared_ptr<Channel> inproc_sender;
+    // TCP: the advertised port.
+    std::uint16_t port = 0;
+  };
+
+  TransportKind kind_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<LinkKey, Registration> registrations_;
+};
+
+}  // namespace vdce::dm

@@ -1,0 +1,75 @@
+#include "datamgr/channel.hpp"
+
+#include <atomic>
+
+#include "common/error.hpp"
+#include "common/queue.hpp"
+
+namespace vdce::dm {
+
+namespace {
+
+using Message = std::vector<std::byte>;
+
+/// Shared queue state of an in-process channel pair.
+struct InProcCore {
+  common::MessageQueue<Message> queue;
+  std::atomic<std::size_t> bytes_sent{0};
+};
+
+class InProcSender final : public Channel {
+ public:
+  explicit InProcSender(std::shared_ptr<InProcCore> core)
+      : core_(std::move(core)) {}
+
+  void send(std::span<const std::byte> message) override {
+    Message copy(message.begin(), message.end());
+    const std::size_t n = copy.size();
+    if (!core_->queue.push(std::move(copy))) {
+      throw common::TransportError("send on closed in-process channel");
+    }
+    core_->bytes_sent += n;
+  }
+
+  std::optional<Message> receive() override {
+    throw common::TransportError(
+        "receive on the sending end of an in-process channel");
+  }
+
+  void close() override { core_->queue.close(); }
+
+  std::size_t bytes_sent() const override { return core_->bytes_sent; }
+
+ private:
+  std::shared_ptr<InProcCore> core_;
+};
+
+class InProcReceiver final : public Channel {
+ public:
+  explicit InProcReceiver(std::shared_ptr<InProcCore> core)
+      : core_(std::move(core)) {}
+
+  void send(std::span<const std::byte>) override {
+    throw common::TransportError(
+        "send on the receiving end of an in-process channel");
+  }
+
+  std::optional<Message> receive() override { return core_->queue.pop(); }
+
+  void close() override { core_->queue.close(); }
+
+  std::size_t bytes_sent() const override { return core_->bytes_sent; }
+
+ private:
+  std::shared_ptr<InProcCore> core_;
+};
+
+}  // namespace
+
+InProcPair make_inproc_pair() {
+  auto core = std::make_shared<InProcCore>();
+  return InProcPair{std::make_shared<InProcSender>(core),
+                    std::make_shared<InProcReceiver>(core)};
+}
+
+}  // namespace vdce::dm

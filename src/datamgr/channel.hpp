@@ -1,0 +1,53 @@
+// Point-to-point communication channels.
+//
+// "The VDCE Data Manager is a socket-based, point-to-point communication
+//  system for inter-task communications."  (Section 2.3.2)
+//
+// Channel is the abstraction both transports implement: the in-process
+// transport (deterministic, used by tests and the simulator) and the TCP
+// loopback transport (real sockets, the paper's "any machine that
+// supports socket programming can be part of VDCE").  Messages are
+// framed: send() delivers a whole message or throws.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace vdce::dm {
+
+/// One directed message channel.  Thread-safe for one sender thread and
+/// one receiver thread operating concurrently.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Sends one framed message; throws TransportError if the channel is
+  /// closed.
+  virtual void send(std::span<const std::byte> message) = 0;
+
+  /// Blocks for the next message; nullopt once the channel is closed
+  /// and drained.
+  [[nodiscard]] virtual std::optional<std::vector<std::byte>> receive() = 0;
+
+  /// Closes the channel; pending receives drain, then return nullopt.
+  virtual void close() = 0;
+
+  /// Total bytes sent so far (for the visualization services).
+  [[nodiscard]] virtual std::size_t bytes_sent() const = 0;
+};
+
+/// A connected pair of unidirectional in-process channels: writing to
+/// `sender` makes messages appear at `receiver`.
+struct InProcPair {
+  std::shared_ptr<Channel> sender;
+  std::shared_ptr<Channel> receiver;
+};
+
+/// Creates a connected in-process channel pair backed by a message
+/// queue.
+[[nodiscard]] InProcPair make_inproc_pair();
+
+}  // namespace vdce::dm

@@ -1,0 +1,147 @@
+#include "datamgr/mplib.hpp"
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace vdce::dm {
+
+using common::ParseError;
+using common::TransportError;
+using common::WireReader;
+using common::WireWriter;
+
+std::string to_string(MpLibrary lib) {
+  switch (lib) {
+    case MpLibrary::kP4:  return "p4";
+    case MpLibrary::kPvm: return "pvm";
+    case MpLibrary::kMpi: return "mpi";
+    case MpLibrary::kNcs: return "ncs";
+  }
+  return "?";
+}
+
+MpLibrary mp_library_from_string(const std::string& s) {
+  if (s == "p4") return MpLibrary::kP4;
+  if (s == "pvm") return MpLibrary::kPvm;
+  if (s == "mpi") return MpLibrary::kMpi;
+  if (s == "ncs") return MpLibrary::kNcs;
+  throw ParseError("unknown message-passing library: " + s);
+}
+
+MessageEndpoint::MessageEndpoint(MpLibrary library,
+                                 std::shared_ptr<Channel> channel,
+                                 std::uint32_t communicator)
+    : library_(library),
+      channel_(std::move(channel)),
+      communicator_(communicator) {
+  common::expects(channel_ != nullptr, "MessageEndpoint needs a channel");
+}
+
+void MessageEndpoint::send(int tag, std::span<const std::byte> data) {
+  switch (library_) {
+    case MpLibrary::kP4: {
+      WireWriter w;
+      w.write_u8(static_cast<std::uint8_t>(MpLibrary::kP4));
+      w.write_u32(static_cast<std::uint32_t>(tag));
+      w.write_bytes(data);
+      channel_->send(w.bytes());
+      return;
+    }
+    case MpLibrary::kPvm: {
+      // pvm_pkbyte-style: the message travels as fragments, each its own
+      // frame, preceded by a header frame carrying tag and count.
+      const std::size_t nfrag =
+          data.empty() ? 0 : (data.size() + kPvmFragment - 1) / kPvmFragment;
+      WireWriter header;
+      header.write_u8(static_cast<std::uint8_t>(MpLibrary::kPvm));
+      header.write_u32(static_cast<std::uint32_t>(tag));
+      header.write_u32(static_cast<std::uint32_t>(nfrag));
+      header.write_u64(data.size());
+      channel_->send(header.bytes());
+      for (std::size_t i = 0; i < nfrag; ++i) {
+        const std::size_t off = i * kPvmFragment;
+        const std::size_t len = std::min(kPvmFragment, data.size() - off);
+        channel_->send(data.subspan(off, len));
+      }
+      return;
+    }
+    case MpLibrary::kMpi: {
+      WireWriter w;
+      w.write_u8(static_cast<std::uint8_t>(MpLibrary::kMpi));
+      w.write_u32(communicator_);
+      w.write_u32(static_cast<std::uint32_t>(tag));
+      w.write_bytes(data);
+      channel_->send(w.bytes());
+      return;
+    }
+    case MpLibrary::kNcs: {
+      WireWriter w;
+      w.write_u8(static_cast<std::uint8_t>(MpLibrary::kNcs));
+      w.write_u32(send_seq_++);
+      w.write_u32(static_cast<std::uint32_t>(tag));
+      w.write_bytes(data);
+      channel_->send(w.bytes());
+      return;
+    }
+  }
+}
+
+std::optional<TaggedMessage> MessageEndpoint::receive() {
+  auto frame = channel_->receive();
+  if (!frame) return std::nullopt;
+  WireReader r(*frame);
+  const auto magic = static_cast<MpLibrary>(r.read_u8());
+  if (magic != library_) {
+    throw TransportError("message-passing library mismatch: got " +
+                         to_string(magic) + ", expected " +
+                         to_string(library_));
+  }
+
+  TaggedMessage msg;
+  switch (library_) {
+    case MpLibrary::kP4: {
+      msg.tag = static_cast<int>(r.read_u32());
+      msg.data = r.read_bytes();
+      return msg;
+    }
+    case MpLibrary::kPvm: {
+      msg.tag = static_cast<int>(r.read_u32());
+      const std::uint32_t nfrag = r.read_u32();
+      const std::uint64_t total = r.read_u64();
+      msg.data.reserve(total);
+      for (std::uint32_t i = 0; i < nfrag; ++i) {
+        auto frag = channel_->receive();
+        if (!frag) {
+          throw TransportError("pvm message truncated: missing fragment");
+        }
+        msg.data.insert(msg.data.end(), frag->begin(), frag->end());
+      }
+      if (msg.data.size() != total) {
+        throw TransportError("pvm message size mismatch after reassembly");
+      }
+      return msg;
+    }
+    case MpLibrary::kMpi: {
+      const std::uint32_t comm = r.read_u32();
+      if (comm != communicator_) {
+        throw TransportError("mpi communicator mismatch");
+      }
+      msg.tag = static_cast<int>(r.read_u32());
+      msg.data = r.read_bytes();
+      return msg;
+    }
+    case MpLibrary::kNcs: {
+      const std::uint32_t seq = r.read_u32();
+      if (seq != recv_seq_) {
+        throw TransportError("ncs sequence violation");
+      }
+      ++recv_seq_;
+      msg.tag = static_cast<int>(r.read_u32());
+      msg.data = r.read_bytes();
+      return msg;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace vdce::dm

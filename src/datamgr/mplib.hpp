@@ -1,0 +1,72 @@
+// Message-passing library facades.
+//
+// "Since user tasks can be programmed in various message-passing tools,
+//  the VDCE Runtime System supports multiple message-passing libraries
+//  such as P4, PVM, MPI, NCS."  (Section 2.3.2)
+//
+// Each facade wraps a Channel with that library's envelope and on-wire
+// behaviour: P4 sends plain tagged messages; PVM packs and fragments
+// into fixed-size buffers; MPI carries a communicator id checked on
+// receive; NCS (the multithreaded ATM tool) streams with sequence
+// numbers verified on arrival.  All four interoperate with the same
+// Channel transports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datamgr/channel.hpp"
+
+namespace vdce::dm {
+
+enum class MpLibrary : std::uint8_t { kP4 = 1, kPvm, kMpi, kNcs };
+
+[[nodiscard]] std::string to_string(MpLibrary lib);
+[[nodiscard]] MpLibrary mp_library_from_string(const std::string& s);
+
+/// A tagged message as seen by user task code.
+struct TaggedMessage {
+  int tag = 0;
+  std::vector<std::byte> data;
+};
+
+/// One endpoint of a message-passing session over a channel.
+///
+/// A sending endpoint wraps the sending channel end; a receiving
+/// endpoint wraps the receiving end.  Both sides must use the same
+/// library (checked by a magic byte in every envelope).
+class MessageEndpoint {
+ public:
+  /// PVM fragment payload size, bytes.
+  static constexpr std::size_t kPvmFragment = 4096;
+
+  MessageEndpoint(MpLibrary library, std::shared_ptr<Channel> channel,
+                  std::uint32_t communicator = 0);
+
+  /// Sends one tagged message using the library's envelope.
+  void send(int tag, std::span<const std::byte> data);
+
+  /// Receives the next message; nullopt when the channel closes.
+  /// Throws TransportError on an envelope violation (wrong library,
+  /// wrong communicator, out-of-order NCS sequence, missing PVM
+  /// fragment).
+  [[nodiscard]] std::optional<TaggedMessage> receive();
+
+  void close() { channel_->close(); }
+
+  [[nodiscard]] MpLibrary library() const { return library_; }
+
+ private:
+  MpLibrary library_;
+  std::shared_ptr<Channel> channel_;
+  std::uint32_t communicator_;
+  std::uint32_t send_seq_ = 0;
+  std::uint32_t recv_seq_ = 0;
+};
+
+}  // namespace vdce::dm

@@ -1,0 +1,76 @@
+// User-requested runtime services.
+//
+// "The VDCE Runtime System provides several user-requested services such
+//  as I/O service, console service, and visualization service.  I/O
+//  Service provides either file I/O or URL I/O for the inputs of the
+//  application tasks.  The user can suspend and restart the application
+//  execution with the console service."  (Section 2.3.2)
+//
+// URL I/O maps url: specs onto a configured document root (the web
+// substitution of DESIGN.md §2).  Visualization lives in src/viz; the
+// Data Manager emits its events through viz::EventLog.
+#pragma once
+
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <string>
+
+#include "tasklib/payload.hpp"
+
+namespace vdce::dm {
+
+/// File/URL input and output for application tasks.
+class IoService {
+ public:
+  /// `doc_root` backs url: specs ("url:data/a.mat" reads
+  /// <doc_root>/data/a.mat).
+  explicit IoService(std::filesystem::path doc_root = ".");
+
+  /// Reads a payload from an input spec: "file:<path>" or "url:<path>".
+  /// Throws ParseError on a malformed spec, NotFoundError on a missing
+  /// file.
+  [[nodiscard]] tasklib::Payload read_input(const std::string& spec) const;
+
+  /// Writes a payload's wire image to a file (outputs are always local
+  /// files).
+  void write_output(const std::filesystem::path& path,
+                    const tasklib::Payload& payload) const;
+
+  [[nodiscard]] const std::filesystem::path& doc_root() const {
+    return doc_root_;
+  }
+
+ private:
+  [[nodiscard]] std::filesystem::path resolve(const std::string& spec) const;
+
+  std::filesystem::path doc_root_;
+};
+
+/// Suspend / restart / abort control for a running application.
+///
+/// Compute threads call checkpoint() between phases: it blocks while the
+/// console holds the application suspended and throws StateError once
+/// aborted.  Thread-safe.
+class ConsoleService {
+ public:
+  void suspend();
+  void resume();
+  void abort();
+
+  /// True while suspended.
+  [[nodiscard]] bool suspended() const;
+  /// True once aborted.
+  [[nodiscard]] bool aborted() const;
+
+  /// Blocks while suspended; throws StateError after abort().
+  void checkpoint();
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool suspended_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace vdce::dm

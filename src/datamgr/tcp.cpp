@@ -1,0 +1,170 @@
+#include "datamgr/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace vdce::dm {
+
+using common::TransportError;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+void send_all(int fd, const std::byte* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      fail("tcp send");
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+/// Reads exactly n bytes; returns false on orderly EOF at a message
+/// boundary (off == 0), throws on mid-message EOF or errors.
+bool recv_all(int fd, std::byte* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::recv(fd, data + off, n - off, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      fail("tcp recv");
+    }
+    if (r == 0) {
+      if (off == 0) return false;
+      throw TransportError("tcp peer closed mid-message");
+    }
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpChannel::TcpChannel(int fd) : fd_(fd) {
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpChannel::~TcpChannel() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpChannel::send(std::span<const std::byte> message) {
+  if (fd_ < 0 || shut_) throw TransportError("send on closed tcp channel");
+  std::byte header[4];
+  const auto n = static_cast<std::uint32_t>(message.size());
+  header[0] = std::byte{static_cast<std::uint8_t>(n >> 24)};
+  header[1] = std::byte{static_cast<std::uint8_t>(n >> 16)};
+  header[2] = std::byte{static_cast<std::uint8_t>(n >> 8)};
+  header[3] = std::byte{static_cast<std::uint8_t>(n)};
+  send_all(fd_, header, 4);
+  send_all(fd_, message.data(), message.size());
+  bytes_sent_ += message.size();
+}
+
+std::optional<std::vector<std::byte>> TcpChannel::receive() {
+  if (fd_ < 0) return std::nullopt;
+  std::byte header[4];
+  if (!recv_all(fd_, header, 4)) return std::nullopt;
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n = (n << 8) | static_cast<std::uint8_t>(header[i]);
+  }
+  std::vector<std::byte> body(n);
+  if (n > 0 && !recv_all(fd_, body.data(), n)) {
+    throw TransportError("tcp peer closed mid-message");
+  }
+  return body;
+}
+
+void TcpChannel::close() {
+  // Shut down only: a peer thread blocked in recv() gets an orderly EOF
+  // instead of racing a reused descriptor.  The fd itself is released
+  // by the destructor.
+  if (fd_ >= 0 && !shut_) {
+    ::shutdown(fd_, SHUT_RDWR);
+    shut_ = true;
+  }
+}
+
+std::size_t TcpChannel::bytes_sent() const { return bytes_sent_; }
+
+TcpListener::TcpListener() : fd_(::socket(AF_INET, SOCK_STREAM, 0)) {
+  if (fd_ < 0) fail("tcp socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // kernel-assigned
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    fail("tcp bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    fail("tcp getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd_, 16) < 0) fail("tcp listen");
+}
+
+TcpListener::~TcpListener() { close(); }
+
+std::unique_ptr<TcpChannel> TcpListener::accept() {
+  if (fd_ < 0) throw TransportError("accept on closed listener");
+  for (;;) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) return std::make_unique<TcpChannel>(conn);
+    if (errno == EINTR) continue;
+    fail("tcp accept");
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::unique_ptr<TcpChannel> tcp_connect(std::uint16_t port) {
+  using namespace std::chrono_literals;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail("tcp socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return std::make_unique<TcpChannel>(fd);
+    }
+    ::close(fd);
+    if (errno != ECONNREFUSED) fail("tcp connect");
+    std::this_thread::sleep_for(10ms);  // listener still coming up
+  }
+  throw TransportError("tcp connect: no listener after retries");
+}
+
+}  // namespace vdce::dm

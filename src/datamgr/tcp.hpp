@@ -1,0 +1,66 @@
+// TCP loopback transport: real sockets behind the Channel interface.
+//
+// The prototype's Data Manager spoke BSD sockets across the campus
+// network; here both endpoints live on 127.0.0.1 but traverse the full
+// kernel socket path.  Messages are framed with a 4-byte big-endian
+// length prefix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "datamgr/channel.hpp"
+
+namespace vdce::dm {
+
+/// A channel over a connected TCP socket (owns the fd).
+class TcpChannel final : public Channel {
+ public:
+  /// Takes ownership of a connected socket fd.
+  explicit TcpChannel(int fd);
+  ~TcpChannel() override;
+
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  void send(std::span<const std::byte> message) override;
+  [[nodiscard]] std::optional<std::vector<std::byte>> receive() override;
+  void close() override;
+  [[nodiscard]] std::size_t bytes_sent() const override;
+
+ private:
+  int fd_;
+  bool shut_ = false;
+  std::size_t bytes_sent_ = 0;
+};
+
+/// A listening socket on 127.0.0.1 with a kernel-assigned port.
+class TcpListener {
+ public:
+  TcpListener();
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The port the kernel assigned ("the socket number ... that will be
+  /// used for communication channel setup").
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Blocks for one inbound connection; returns it as a channel.
+  [[nodiscard]] std::unique_ptr<TcpChannel> accept();
+
+  /// Unblocks a pending accept() by closing the listening socket.
+  void close();
+
+ private:
+  int fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`; retries briefly while the listener
+/// races to bind.  Throws TransportError on failure.
+[[nodiscard]] std::unique_ptr<TcpChannel> tcp_connect(std::uint16_t port);
+
+}  // namespace vdce::dm

@@ -1,0 +1,225 @@
+#include "dsm/dsm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vdce::dsm {
+
+using common::NotFoundError;
+using common::StateError;
+
+// ----------------------------------------------------------------- node
+
+DsmNode::~DsmNode() = default;
+
+void DsmNode::apply_invalidations() {
+  auto& endpoint = *server_->endpoints_at(id_);
+  while (auto var = endpoint.invalidations.try_pop()) {
+    cache_.erase(*var);
+    ++stats_.invalidations_applied;
+  }
+}
+
+tasklib::Payload DsmNode::read(const std::string& var) {
+  apply_invalidations();
+  ++stats_.reads;
+  if (const auto it = cache_.find(var); it != cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second.value;
+  }
+  DsmServer::Request req;
+  req.op = DsmServer::Op::kRead;
+  req.node = id_;
+  req.name = var;
+  const auto reply = server_->call(req);
+  if (!reply.ok) throw NotFoundError(reply.error);
+  auto payload = tasklib::Payload::from_wire(reply.data);
+  cache_[var] = CacheEntry{payload, reply.version};
+  return payload;
+}
+
+void DsmNode::write(const std::string& var, const tasklib::Payload& value) {
+  apply_invalidations();
+  ++stats_.writes;
+  DsmServer::Request req;
+  req.op = DsmServer::Op::kWrite;
+  req.node = id_;
+  req.name = var;
+  req.data = value.to_wire();
+  const auto reply = server_->call(req);
+  if (!reply.ok) throw StateError(reply.error);
+  // Our own copy stays valid (the home invalidates everyone else).
+  cache_[var] = CacheEntry{value, reply.version};
+}
+
+void DsmNode::acquire(const std::string& lock) {
+  DsmServer::Request req;
+  req.op = DsmServer::Op::kAcquire;
+  req.node = id_;
+  req.name = lock;
+  const auto reply = server_->call(req);  // blocks until granted
+  if (!reply.ok) throw StateError(reply.error);
+  ++stats_.lock_acquires;
+  // Entering the critical section: observe every prior release's
+  // writes.
+  apply_invalidations();
+}
+
+void DsmNode::release(const std::string& lock) {
+  DsmServer::Request req;
+  req.op = DsmServer::Op::kRelease;
+  req.node = id_;
+  req.name = lock;
+  const auto reply = server_->call(req);
+  if (!reply.ok) throw StateError(reply.error);
+}
+
+bool DsmNode::cached(const std::string& var) {
+  apply_invalidations();
+  return cache_.contains(var);
+}
+
+// --------------------------------------------------------------- server
+
+DsmServer::DsmServer() {
+  service_ = std::jthread([this] { serve(); });
+}
+
+DsmServer::~DsmServer() { stop(); }
+
+void DsmServer::stop() {
+  if (!stopped_) {
+    stopped_ = true;
+    requests_.close();
+  }
+  if (service_.joinable()) service_.join();
+}
+
+std::unique_ptr<DsmNode> DsmServer::attach() {
+  std::lock_guard lk(mu_);
+  const auto id = static_cast<std::uint32_t>(endpoints_.size());
+  endpoints_.push_back(std::make_unique<NodeEndpoint>());
+  return std::unique_ptr<DsmNode>(new DsmNode(this, id));
+}
+
+DsmServer::NodeEndpoint* DsmServer::endpoints_at(std::uint32_t id) {
+  std::lock_guard lk(mu_);
+  return endpoints_[id].get();
+}
+
+DsmServerStats DsmServer::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+DsmServer::Reply DsmServer::call(const Request& request) {
+  NodeEndpoint* endpoint = endpoints_at(request.node);
+  if (!requests_.push(request)) {
+    throw StateError("DSM server is stopped");
+  }
+  auto reply = endpoint->replies.pop();
+  if (!reply) throw StateError("DSM server is stopped");
+  return *reply;
+}
+
+void DsmServer::serve() {
+  while (auto request = requests_.pop()) {
+    {
+      std::lock_guard lk(mu_);
+      ++stats_.requests;
+    }
+    handle(*request);
+  }
+  // Drain: wake any node blocked on a reply.
+  std::lock_guard lk(mu_);
+  for (auto& endpoint : endpoints_) endpoint->replies.close();
+}
+
+void DsmServer::handle(const Request& request) {
+  NodeEndpoint* requester = endpoints_at(request.node);
+
+  switch (request.op) {
+    case Op::kRead: {
+      Reply reply;
+      const auto it = variables_.find(request.name);
+      if (it == variables_.end()) {
+        reply.error = "unknown DSM variable: " + request.name;
+      } else {
+        reply.ok = true;
+        reply.data = it->second.wire;
+        reply.version = it->second.version;
+        auto& copyset = it->second.copyset;
+        if (std::find(copyset.begin(), copyset.end(), request.node) ==
+            copyset.end()) {
+          copyset.push_back(request.node);
+        }
+      }
+      requester->replies.push(std::move(reply));
+      return;
+    }
+    case Op::kWrite: {
+      Variable& var = variables_[request.name];
+      var.wire = request.data;
+      ++var.version;
+      // Invalidate every other cached copy.
+      for (const std::uint32_t node : var.copyset) {
+        if (node == request.node) continue;
+        endpoints_at(node)->invalidations.push(request.name);
+        std::lock_guard lk(mu_);
+        ++stats_.invalidations_sent;
+      }
+      var.copyset.clear();
+      var.copyset.push_back(request.node);  // the writer's copy is fresh
+      Reply reply;
+      reply.ok = true;
+      reply.version = var.version;
+      requester->replies.push(std::move(reply));
+      return;
+    }
+    case Op::kAcquire: {
+      Lock& lock = locks_[request.name];
+      if (!lock.holder) {
+        lock.holder = request.node;
+        Reply reply;
+        reply.ok = true;
+        requester->replies.push(std::move(reply));
+        std::lock_guard lk(mu_);
+        ++stats_.lock_grants;
+      } else {
+        lock.waiters.push_back(request.node);  // reply deferred
+        std::lock_guard lk(mu_);
+        stats_.lock_queue_peak =
+            std::max(stats_.lock_queue_peak, lock.waiters.size());
+      }
+      return;
+    }
+    case Op::kRelease: {
+      const auto it = locks_.find(request.name);
+      Reply reply;
+      if (it == locks_.end() || it->second.holder != request.node) {
+        reply.error = "release of a lock not held: " + request.name;
+        requester->replies.push(std::move(reply));
+        return;
+      }
+      reply.ok = true;
+      requester->replies.push(std::move(reply));
+      Lock& lock = it->second;
+      if (lock.waiters.empty()) {
+        lock.holder.reset();
+      } else {
+        const std::uint32_t next = lock.waiters.front();
+        lock.waiters.erase(lock.waiters.begin());
+        lock.holder = next;
+        Reply grant;
+        grant.ok = true;
+        endpoints_at(next)->replies.push(std::move(grant));
+        std::lock_guard lk(mu_);
+        ++stats_.lock_grants;
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace vdce::dsm

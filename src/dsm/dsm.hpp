@@ -1,0 +1,182 @@
+// Distributed shared memory for VDCE tasks.
+//
+// "We are also implementing a distributed shared memory model that will
+//  allow VDCE users to describe their applications using shared-memory
+//  paradigm."  (Section 3 — the paper's named future work, implemented
+//  here.)
+//
+// Design: an object-granularity DSM with a home/directory server and
+// write-through invalidation, plus a lock service for release-style
+// synchronisation:
+//
+//   * every named variable has its authoritative copy at the DsmServer
+//     (the "home node", colocated with the Site Manager in a deployed
+//     VDCE);
+//   * a DsmNode (one per participating machine/task) caches variables
+//     on read; a write goes through to the home, which invalidates
+//     every other cached copy (directory/copyset protocol);
+//   * invalidations are applied at the caching node's next DSM
+//     operation, so a node observes its own operations in order and
+//     lock-protected sections are sequentially consistent (acquire
+//     drains invalidations before returning);
+//   * named locks are granted FIFO by the server.
+//
+// The transport is the runtime's message-queue fabric; all coordination
+// is real cross-thread message passing, not shared state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "tasklib/payload.hpp"
+
+namespace vdce::dsm {
+
+/// Per-node operation counters.
+struct DsmStats {
+  std::size_t reads = 0;
+  std::size_t cache_hits = 0;
+  std::size_t writes = 0;
+  std::size_t invalidations_applied = 0;
+  std::size_t lock_acquires = 0;
+};
+
+/// Server-side counters.
+struct DsmServerStats {
+  std::size_t requests = 0;
+  std::size_t invalidations_sent = 0;
+  std::size_t lock_grants = 0;
+  std::size_t lock_queue_peak = 0;
+};
+
+class DsmServer;
+
+/// One machine's endpoint into the shared memory.
+///
+/// Thread-compatible: one task thread uses one node.  Different nodes
+/// are fully concurrent.
+class DsmNode {
+ public:
+  ~DsmNode();
+  DsmNode(const DsmNode&) = delete;
+  DsmNode& operator=(const DsmNode&) = delete;
+
+  /// Reads a variable (cached copy if still valid, else fetched from
+  /// the home).  Throws NotFoundError if it was never written.
+  [[nodiscard]] tasklib::Payload read(const std::string& var);
+
+  /// Writes a variable through to the home node; every other node's
+  /// cached copy is invalidated.
+  void write(const std::string& var, const tasklib::Payload& value);
+
+  /// Acquires a named lock (FIFO); blocks until granted.  Drains
+  /// pending invalidations, so reads after acquire see writes made
+  /// before the corresponding release.
+  void acquire(const std::string& lock);
+
+  /// Releases a lock this node holds.  Throws StateError otherwise.
+  void release(const std::string& lock);
+
+  /// True if the node's cache holds a valid copy (test/introspection).
+  [[nodiscard]] bool cached(const std::string& var);
+
+  [[nodiscard]] const DsmStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+ private:
+  friend class DsmServer;
+  DsmNode(DsmServer* server, std::uint32_t id) : server_(server), id_(id) {}
+
+  void apply_invalidations();
+
+  struct CacheEntry {
+    tasklib::Payload value;
+    std::uint64_t version = 0;
+  };
+
+  DsmServer* server_;
+  std::uint32_t id_;
+  std::map<std::string, CacheEntry> cache_;
+  DsmStats stats_;
+};
+
+/// The home/directory node.
+class DsmServer {
+ public:
+  DsmServer();
+  ~DsmServer();
+  DsmServer(const DsmServer&) = delete;
+  DsmServer& operator=(const DsmServer&) = delete;
+
+  /// Creates a node endpoint.  Nodes must not outlive the server.
+  [[nodiscard]] std::unique_ptr<DsmNode> attach();
+
+  /// Stops the service thread (idempotent; destructor calls it).
+  void stop();
+
+  [[nodiscard]] DsmServerStats stats() const;
+
+ private:
+  friend class DsmNode;
+
+  enum class Op : std::uint8_t { kRead, kWrite, kAcquire, kRelease };
+
+  struct Request {
+    Op op;
+    std::uint32_t node = 0;
+    std::string name;
+    std::vector<std::byte> data;  // write payload wire image
+  };
+
+  struct Reply {
+    bool ok = false;
+    std::string error;
+    std::vector<std::byte> data;  // read result wire image
+    std::uint64_t version = 0;
+  };
+
+  struct NodeEndpoint {
+    common::MessageQueue<Reply> replies;
+    common::MessageQueue<std::string> invalidations;
+  };
+
+  /// Blocking RPC used by DsmNode.
+  Reply call(const Request& request);
+
+  /// The endpoint of one node (thread-safe lookup).
+  [[nodiscard]] NodeEndpoint* endpoints_at(std::uint32_t id);
+
+  void serve();
+  void handle(const Request& request);
+
+  struct Variable {
+    std::vector<std::byte> wire;
+    std::uint64_t version = 0;
+    std::vector<std::uint32_t> copyset;  // nodes with cached copies
+  };
+
+  struct Lock {
+    std::optional<std::uint32_t> holder;
+    std::vector<std::uint32_t> waiters;  // FIFO
+  };
+
+  common::MessageQueue<Request> requests_;
+  mutable std::mutex mu_;  // guards endpoints_ and stats_
+  std::vector<std::unique_ptr<NodeEndpoint>> endpoints_;
+  DsmServerStats stats_;
+
+  // Service-thread state (no locking needed).
+  std::map<std::string, Variable> variables_;
+  std::map<std::string, Lock> locks_;
+
+  std::jthread service_;
+  bool stopped_ = false;
+};
+
+}  // namespace vdce::dsm

@@ -1,0 +1,133 @@
+// The Application Editor.
+//
+// "The Application Editor is a web-based graphical user interface for
+//  developing parallel and distributed applications. ... Operationally,
+//  the Application Editor can be in task mode, link mode, or run mode.
+//  In task mode, the user can select/add new tasks, and/or click/drag
+//  icons to position them conveniently in the active editor area.  In
+//  link mode, the user can specify connections between tasks.  In run
+//  mode, Editor submits the graph for execution..."  (Section 2.1)
+//
+// This is the programmatic equivalent of that GUI (see DESIGN.md §2 for
+// the substitution rationale): the same task/link/run mode state
+// machine, menu-driven library selection, icon placement, per-task
+// property panels, store/reload, and submit-time validation.  Its output
+// — the Application Flow Graph — is byte-identical in role to the
+// applet's.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "afg/graph.hpp"
+#include "afg/serialize.hpp"
+#include "tasklib/registry.hpp"
+
+namespace vdce::editor {
+
+using afg::FlowGraph;
+using afg::TaskProperties;
+using common::TaskId;
+
+/// The Editor's operational mode.
+enum class EditorMode : std::uint8_t { kTask, kLink, kRun };
+
+[[nodiscard]] std::string to_string(EditorMode m);
+
+/// Position of a task icon in the active editor area.
+struct IconPosition {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const IconPosition&, const IconPosition&) = default;
+};
+
+/// Programmatic Application Editor.
+///
+/// Mode rules follow the paper: tasks can only be added/moved in task
+/// mode, links only in link mode, and submission only in run mode;
+/// violating the mode throws StateError (the GUI greys those actions
+/// out).  Property panels (set_properties) work in any editing mode,
+/// matching the "double click on any task icon" behaviour.
+class ApplicationEditor {
+ public:
+  /// `registry` supplies the menus; it must outlive the editor.
+  ApplicationEditor(const tasklib::TaskRegistry& registry,
+                    std::string app_name);
+
+  // -- menus ---------------------------------------------------------
+  /// Top-level library menus ("matrix algebra library, C3I ... etc").
+  [[nodiscard]] std::vector<std::string> menus() const;
+  /// Entries of one menu.
+  [[nodiscard]] std::vector<std::string> menu_tasks(
+      const std::string& menu) const;
+  /// One entry's description (the menu tooltip).
+  [[nodiscard]] std::string describe(const std::string& library_task) const;
+
+  // -- mode ----------------------------------------------------------
+  void set_mode(EditorMode mode) { mode_ = mode; }
+  [[nodiscard]] EditorMode mode() const { return mode_; }
+
+  // -- task mode -------------------------------------------------------
+  /// Adds a library task instance at a position in the editor area.
+  /// Requires task mode; throws NotFoundError for an unknown library
+  /// task.
+  TaskId add_task(const std::string& library_task, const std::string& label,
+                  IconPosition pos = {});
+
+  /// Drags a task icon to a new position (task mode).
+  void place_task(TaskId id, IconPosition pos);
+  [[nodiscard]] IconPosition position(TaskId id) const;
+
+  /// Removes a task and its links (task mode).
+  void remove_task(TaskId id);
+
+  // -- link mode -------------------------------------------------------
+  /// Connects two tasks (link mode).  The transferred volume defaults to
+  /// the producer's library communication size scaled by its input_size
+  /// property; pass `transfer_mb` to override.
+  void connect(TaskId from, TaskId to,
+               std::optional<double> transfer_mb = std::nullopt);
+
+  /// Removes a link (link mode).
+  void disconnect(TaskId from, TaskId to);
+
+  // -- property panel ---------------------------------------------------
+  /// Opens the popup panel: sets the task's optional preferences.  The
+  /// default link sizes of outgoing links are rescaled when input_size
+  /// changes (explicit overrides are kept).
+  void set_properties(TaskId id, const TaskProperties& props);
+  [[nodiscard]] const TaskProperties& properties(TaskId id) const;
+
+  // -- run mode --------------------------------------------------------
+  /// Validates and returns the finished AFG (run mode): graph-level
+  /// checks (DAG, non-empty) plus library-level checks (every node's
+  /// in-degree within its library arity).  Throws StateError describing
+  /// the first violation.
+  [[nodiscard]] FlowGraph submit() const;
+
+  /// Stores the AFG for future use (any mode).
+  void save(const std::string& path) const;
+
+  /// Reloads a stored AFG into a fresh editor.
+  [[nodiscard]] static ApplicationEditor load(
+      const tasklib::TaskRegistry& registry, const std::string& path);
+
+  // -- inspection ------------------------------------------------------
+  [[nodiscard]] const FlowGraph& graph() const { return graph_; }
+  [[nodiscard]] std::string to_dot() const { return afg::to_dot(graph_); }
+
+ private:
+  void require_mode(EditorMode needed, const char* action) const;
+
+  const tasklib::TaskRegistry* registry_;
+  FlowGraph graph_;
+  EditorMode mode_ = EditorMode::kTask;
+  std::unordered_map<TaskId, IconPosition> positions_;
+  // Links whose size the user overrode (not rescaled by set_properties).
+  std::vector<std::pair<TaskId, TaskId>> explicit_sizes_;
+};
+
+}  // namespace vdce::editor

@@ -1,0 +1,138 @@
+#include "netsim/config.hpp"
+
+#include "common/rng.hpp"
+
+namespace vdce::netsim {
+
+TestbedConfig make_campus_testbed(std::uint64_t seed) {
+  using repo::ArchType;
+  using repo::OsType;
+
+  TestbedConfig cfg;
+  cfg.seed = seed;
+
+  SiteSpec syracuse;
+  syracuse.name = "syracuse";
+  {
+    GroupSpec sparc_group;
+    sparc_group.name = "syr-sparc";
+    sparc_group.lan_latency_s = 0.0004;
+    sparc_group.lan_mb_per_s = 12.0;  // ATM LAN
+    for (int i = 0; i < 4; ++i) {
+      HostSpec h;
+      h.name = "syr-sparc-" + std::to_string(i);
+      h.arch = ArchType::kSparc;
+      h.os = OsType::kSolaris;
+      h.power_weight = 1.0 + 0.25 * i;  // heterogeneous Sparc generations
+      h.total_memory_mb = 128.0 + 64.0 * i;
+      h.background_load_mean = 0.2 + 0.1 * i;
+      sparc_group.hosts.push_back(h);
+    }
+    syracuse.groups.push_back(sparc_group);
+
+    GroupSpec intel_group;
+    intel_group.name = "syr-intel";
+    intel_group.lan_latency_s = 0.0008;
+    intel_group.lan_mb_per_s = 1.2;  // 10 Mb/s Ethernet
+    for (int i = 0; i < 3; ++i) {
+      HostSpec h;
+      h.name = "syr-intel-" + std::to_string(i);
+      h.arch = ArchType::kIntel;
+      h.os = OsType::kLinux;
+      h.power_weight = 0.8 + 0.4 * i;
+      h.total_memory_mb = 64.0 + 64.0 * i;
+      h.background_load_mean = 0.4;
+      intel_group.hosts.push_back(h);
+    }
+    syracuse.groups.push_back(intel_group);
+  }
+  cfg.sites.push_back(syracuse);
+
+  SiteSpec rome;
+  rome.name = "rome";
+  {
+    GroupSpec lab_group;
+    lab_group.name = "rome-lab";
+    lab_group.lan_latency_s = 0.0005;
+    lab_group.lan_mb_per_s = 10.0;
+    for (int i = 0; i < 3; ++i) {
+      HostSpec h;
+      h.name = "rome-" + std::to_string(i);
+      h.arch = i == 0 ? repo::ArchType::kAlpha : repo::ArchType::kSparc;
+      h.os = i == 0 ? repo::OsType::kOsf1 : repo::OsType::kSolaris;
+      h.power_weight = i == 0 ? 2.5 : 1.2;  // the Alpha is the fast box
+      h.total_memory_mb = 256.0;
+      h.background_load_mean = 0.3;
+      lab_group.hosts.push_back(h);
+    }
+    rome.groups.push_back(lab_group);
+  }
+  cfg.sites.push_back(rome);
+
+  // NYNET ATM WAN between the sites.
+  WanLinkSpec wan;
+  wan.site_a = 0;
+  wan.site_b = 1;
+  wan.latency_s = 0.015;
+  wan.mb_per_s = 4.0;
+  cfg.wan_links.push_back(wan);
+
+  return cfg;
+}
+
+TestbedConfig make_random_testbed(const RandomTestbedParams& p,
+                                  std::uint64_t seed) {
+  common::Rng rng(seed);
+  TestbedConfig cfg;
+  cfg.seed = seed;
+
+  constexpr repo::ArchType kArchs[] = {
+      repo::ArchType::kSparc, repo::ArchType::kIntel, repo::ArchType::kAlpha,
+      repo::ArchType::kPowerPc, repo::ArchType::kMips};
+  constexpr repo::OsType kOses[] = {repo::OsType::kSolaris,
+                                    repo::OsType::kLinux, repo::OsType::kOsf1,
+                                    repo::OsType::kAix, repo::OsType::kIrix};
+
+  for (std::size_t s = 0; s < p.num_sites; ++s) {
+    SiteSpec site;
+    site.name = "site" + std::to_string(s);
+    for (std::size_t g = 0; g < p.groups_per_site; ++g) {
+      GroupSpec group;
+      group.name = site.name + "-g" + std::to_string(g);
+      group.lan_latency_s = rng.uniform(0.0003, 0.001);
+      group.lan_mb_per_s = rng.uniform(1.0, 12.0);
+      for (std::size_t h = 0; h < p.hosts_per_group; ++h) {
+        HostSpec host;
+        host.name = group.name + "-h" + std::to_string(h);
+        const auto arch_idx = rng.uniform_int(std::size(kArchs));
+        host.arch = kArchs[arch_idx];
+        host.os = kOses[arch_idx];
+        host.power_weight = rng.uniform(p.min_power, p.max_power);
+        host.total_memory_mb = 64.0 * static_cast<double>(
+            1 + rng.uniform_int(8));
+        host.background_load_mean = rng.uniform(p.min_load, p.max_load);
+        host.load_volatility = rng.uniform(0.05, 0.25);
+        group.hosts.push_back(host);
+      }
+      site.groups.push_back(group);
+    }
+    cfg.sites.push_back(site);
+  }
+
+  for (std::size_t a = 0; a < p.num_sites; ++a) {
+    for (std::size_t b = a + 1; b < p.num_sites; ++b) {
+      WanLinkSpec wan;
+      wan.site_a = a;
+      wan.site_b = b;
+      // Farther-apart site indices get slower links, giving the
+      // k-nearest-site selection something meaningful to exploit.
+      const double distance = static_cast<double>(b - a);
+      wan.latency_s = p.wan_latency_s * distance;
+      wan.mb_per_s = p.wan_mb_per_s / distance;
+      cfg.wan_links.push_back(wan);
+    }
+  }
+  return cfg;
+}
+
+}  // namespace vdce::netsim

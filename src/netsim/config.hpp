@@ -1,0 +1,89 @@
+// Testbed configuration: the declarative description of a virtual VDCE.
+//
+// A testbed is a set of sites, each holding host groups connected by a
+// LAN, with WAN links between sites — Figure 1 of the paper.  Builders
+// produce (a) a two-site "campus" testbed echoing the paper's
+// Syracuse/Rome prototype and (b) parameterised random testbeds for the
+// scalability experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "repository/types.hpp"
+
+namespace vdce::netsim {
+
+/// Declarative description of one host.
+struct HostSpec {
+  std::string name;
+  repo::ArchType arch = repo::ArchType::kSparc;
+  repo::OsType os = repo::OsType::kSolaris;
+  /// Generic computing-power weight relative to the base processor
+  /// (2.0 = twice as fast); per-task affinities modulate it.
+  double power_weight = 1.0;
+  double total_memory_mb = 128.0;
+  /// Long-run mean of the background load process.
+  double background_load_mean = 0.3;
+  /// Noise scale of the background load.
+  double load_volatility = 0.1;
+};
+
+/// A group of hosts behind one group-leader machine (Figure 6).
+struct GroupSpec {
+  std::string name;
+  std::vector<HostSpec> hosts;
+  /// Intra-group LAN parameters.
+  double lan_latency_s = 0.0005;
+  double lan_mb_per_s = 10.0;
+};
+
+/// One VDCE site ("each of which has one or more VDCE Servers").
+struct SiteSpec {
+  std::string name;
+  std::vector<GroupSpec> groups;
+};
+
+/// A WAN link between two sites (by index into TestbedConfig::sites).
+struct WanLinkSpec {
+  std::size_t site_a = 0;
+  std::size_t site_b = 0;
+  double latency_s = 0.02;
+  double mb_per_s = 2.0;
+};
+
+/// Full testbed description.
+struct TestbedConfig {
+  std::vector<SiteSpec> sites;
+  std::vector<WanLinkSpec> wan_links;
+  /// Seed for every stochastic element (load processes, measurement
+  /// noise); two testbeds built from equal configs behave identically.
+  std::uint64_t seed = 1;
+};
+
+/// The two-site campus prototype: a Syracuse site with a Sparc group and
+/// an Intel group, and a Rome site with a mixed group, WAN-linked —
+/// the shape of Figure 6.
+[[nodiscard]] TestbedConfig make_campus_testbed(std::uint64_t seed = 1);
+
+/// Parameters for a random testbed.
+struct RandomTestbedParams {
+  std::size_t num_sites = 4;
+  std::size_t groups_per_site = 2;
+  std::size_t hosts_per_group = 4;
+  /// Host power weights drawn uniform from this range.
+  double min_power = 0.5;
+  double max_power = 3.0;
+  /// Background load means drawn uniform from this range.
+  double min_load = 0.0;
+  double max_load = 1.5;
+  double wan_latency_s = 0.02;
+  double wan_mb_per_s = 2.0;
+};
+
+/// A heterogeneous random testbed with all-pairs WAN links.
+[[nodiscard]] TestbedConfig make_random_testbed(const RandomTestbedParams& p,
+                                                std::uint64_t seed);
+
+}  // namespace vdce::netsim

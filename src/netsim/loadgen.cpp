@@ -1,0 +1,40 @@
+#include "netsim/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vdce::netsim {
+
+BackgroundLoad::BackgroundLoad(double mean, double volatility,
+                               std::uint64_t seed)
+    : mean_(mean), volatility_(volatility), rng_(seed), current_(mean) {
+  common::expects(mean >= 0.0, "background load mean must be >= 0");
+  common::expects(volatility >= 0.0, "load volatility must be >= 0");
+}
+
+double BackgroundLoad::at(TimePoint t) {
+  // Advance the OU state in fixed steps up to t.  Queries slightly in
+  // the past (interleaved event-driven consumers) read the most recent
+  // state; only the deterministic spike overlay is evaluated at t.
+  while (advanced_to_ + kStep <= t) {
+    advanced_to_ += kStep;
+    const double noise = rng_.normal() * volatility_;
+    current_ += kTheta * (mean_ - current_) + noise;
+    current_ = std::max(0.0, current_);
+  }
+  double load = current_;
+  for (const LoadSpike& s : spikes_) {
+    if (t >= s.start && t < s.start + s.length) load += s.extra_load;
+  }
+  return load;
+}
+
+void BackgroundLoad::add_spike(const LoadSpike& spike) {
+  common::expects(spike.length >= 0.0, "spike length must be >= 0");
+  common::expects(spike.extra_load >= 0.0, "spike load must be >= 0");
+  spikes_.push_back(spike);
+}
+
+}  // namespace vdce::netsim

@@ -1,0 +1,61 @@
+// Background workload generator for simulated hosts.
+//
+// VDCE machines are time-shared ("the heterogeneous nature of the
+// resources and time-sharing make the scheduling difficult"), so each
+// simulated host carries a background CPU load that other users impose.
+// We model it as a mean-reverting (Ornstein-Uhlenbeck style) process
+// advanced in fixed steps, optionally overlaid with deterministic load
+// spikes for the rescheduling experiments.  Everything is reproducible
+// from the seed.
+#pragma once
+
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace vdce::netsim {
+
+using common::Duration;
+using common::TimePoint;
+
+/// A scheduled load spike: extra load added during [start, start+length).
+struct LoadSpike {
+  TimePoint start = 0.0;
+  Duration length = 0.0;
+  double extra_load = 0.0;
+};
+
+/// Mean-reverting background load process, advanced in 1-second steps.
+///
+/// load(t) >= 0 always; `mean` is the long-run average and `volatility`
+/// the per-step noise scale.  Queries must be made with non-decreasing
+/// times (the process advances internally).
+class BackgroundLoad {
+ public:
+  BackgroundLoad(double mean, double volatility, std::uint64_t seed);
+
+  /// Load at time `t`.  The stochastic base advances monotonically: a
+  /// query earlier than the furthest point already reached returns the
+  /// most recent base state (spikes are still evaluated at `t`).
+  [[nodiscard]] double at(TimePoint t);
+
+  /// Registers a deterministic spike on top of the stochastic base.
+  void add_spike(const LoadSpike& spike);
+
+  [[nodiscard]] double mean() const { return mean_; }
+
+ private:
+  static constexpr Duration kStep = 1.0;
+  // Mean-reversion rate per step.
+  static constexpr double kTheta = 0.2;
+
+  double mean_;
+  double volatility_;
+  common::Rng rng_;
+  double current_;
+  TimePoint advanced_to_ = 0.0;
+  std::vector<LoadSpike> spikes_;
+};
+
+}  // namespace vdce::netsim

@@ -1,0 +1,331 @@
+#include "netsim/testbed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vdce::netsim {
+
+using common::NotFoundError;
+using common::expects;
+
+VirtualTestbed::VirtualTestbed(const TestbedConfig& config)
+    : seed_(config.seed) {
+  expects(!config.sites.empty(), "testbed needs at least one site");
+
+  std::uint64_t host_seed = config.seed;
+  for (std::size_t s = 0; s < config.sites.size(); ++s) {
+    const SiteSpec& site = config.sites[s];
+    site_names_.push_back(site.name);
+    for (const GroupSpec& group : site.groups) {
+      const GroupId gid{static_cast<std::uint32_t>(groups_.size())};
+      groups_.push_back(GroupState{group.name,
+                                   SiteId(static_cast<std::uint32_t>(s)),
+                                   group.lan_latency_s, group.lan_mb_per_s});
+      for (const HostSpec& host : group.hosts) {
+        ++host_seed;
+        hosts_.push_back(HostState{
+            host, SiteId(static_cast<std::uint32_t>(s)), gid,
+            BackgroundLoad(host.background_load_mean, host.load_volatility,
+                           host_seed * 0x9E3779B97F4A7C15ull),
+            common::Rng(host_seed * 0xBF58476D1CE4E5B9ull),
+            {}});
+      }
+    }
+  }
+  expects(!hosts_.empty(), "testbed needs at least one host");
+
+  for (const WanLinkSpec& link : config.wan_links) {
+    expects(link.site_a < config.sites.size() &&
+                link.site_b < config.sites.size(),
+            "WAN link references an unknown site");
+    repo::NetworkAttrs attrs;
+    attrs.latency_s = link.latency_s;
+    attrs.transfer_mb_per_s = link.mb_per_s;
+    wan_[pair_key(static_cast<std::uint32_t>(link.site_a),
+                  static_cast<std::uint32_t>(link.site_b))] = attrs;
+  }
+}
+
+std::vector<SiteId> VirtualTestbed::sites() const {
+  std::vector<SiteId> out;
+  out.reserve(site_names_.size());
+  for (std::uint32_t i = 0; i < site_names_.size(); ++i) {
+    out.push_back(SiteId(i));
+  }
+  return out;
+}
+
+std::vector<GroupId> VirtualTestbed::groups_in_site(SiteId site) const {
+  std::vector<GroupId> out;
+  for (std::uint32_t i = 0; i < groups_.size(); ++i) {
+    if (groups_[i].site == site) out.push_back(GroupId(i));
+  }
+  return out;
+}
+
+std::vector<HostId> VirtualTestbed::all_hosts() const {
+  std::vector<HostId> out;
+  out.reserve(hosts_.size());
+  for (std::uint32_t i = 0; i < hosts_.size(); ++i) out.push_back(HostId(i));
+  return out;
+}
+
+std::vector<HostId> VirtualTestbed::hosts_in_group(GroupId group) const {
+  std::vector<HostId> out;
+  for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i].group == group) out.push_back(HostId(i));
+  }
+  return out;
+}
+
+std::vector<HostId> VirtualTestbed::hosts_in_site(SiteId site) const {
+  std::vector<HostId> out;
+  for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i].site == site) out.push_back(HostId(i));
+  }
+  return out;
+}
+
+const std::string& VirtualTestbed::site_name(SiteId site) const {
+  expects(site.value() < site_names_.size(), "unknown site id");
+  return site_names_[site.value()];
+}
+
+const std::string& VirtualTestbed::group_name(GroupId group) const {
+  expects(group.value() < groups_.size(), "unknown group id");
+  return groups_[group.value()].name;
+}
+
+const HostSpec& VirtualTestbed::host_spec(HostId host) const {
+  return host_state(host).spec;
+}
+
+SiteId VirtualTestbed::site_of(HostId host) const {
+  return host_state(host).site;
+}
+
+GroupId VirtualTestbed::group_of(HostId host) const {
+  return host_state(host).group;
+}
+
+const VirtualTestbed::HostState& VirtualTestbed::host_state(
+    HostId host) const {
+  if (host.value() >= hosts_.size()) throw NotFoundError("unknown host id");
+  return hosts_[host.value()];
+}
+
+VirtualTestbed::HostState& VirtualTestbed::host_state(HostId host) {
+  if (host.value() >= hosts_.size()) throw NotFoundError("unknown host id");
+  return hosts_[host.value()];
+}
+
+double VirtualTestbed::true_load(HostId host, TimePoint t) {
+  return host_state(host).load.at(t);
+}
+
+double VirtualTestbed::true_available_memory(HostId host, TimePoint t) {
+  HostState& hs = host_state(host);
+  const double load = hs.load.at(t);
+  // Competing processes hold memory roughly proportional to load.
+  const double held = 48.0 * load;
+  return std::max(hs.spec.total_memory_mb * 0.05,
+                  hs.spec.total_memory_mb - held);
+}
+
+bool VirtualTestbed::is_alive(HostId host, TimePoint t) const {
+  for (const FailureWindow& w : host_state(host).failures) {
+    if (t >= w.start && t < w.start + w.length) return false;
+  }
+  return true;
+}
+
+void VirtualTestbed::fail_host(HostId host, TimePoint start, Duration length) {
+  expects(length >= 0.0, "failure length must be >= 0");
+  host_state(host).failures.push_back(FailureWindow{start, length});
+}
+
+void VirtualTestbed::add_load_spike(HostId host, const LoadSpike& spike) {
+  host_state(host).load.add_spike(spike);
+}
+
+double VirtualTestbed::measure_load(HostId host, TimePoint t) {
+  HostState& hs = host_state(host);
+  const double truth = hs.load.at(t);
+  const double noise = 1.0 + 0.03 * hs.measure_rng.normal();
+  return std::max(0.0, truth * noise);
+}
+
+double VirtualTestbed::measure_available_memory(HostId host, TimePoint t) {
+  HostState& hs = host_state(host);
+  const double truth = true_available_memory(host, t);
+  const double noise = 1.0 + 0.02 * hs.measure_rng.normal();
+  return std::max(0.0, truth * noise);
+}
+
+Duration VirtualTestbed::transfer_time(HostId from, HostId to,
+                                       double mb) const {
+  expects(mb >= 0.0, "transfer size must be >= 0");
+  if (from == to) return 0.0;
+  const HostState& a = host_state(from);
+  const HostState& b = host_state(to);
+  if (a.group == b.group) {
+    const GroupState& g = groups_[a.group.value()];
+    return g.lan_latency_s + mb / g.lan_mb_per_s;
+  }
+  if (a.site == b.site) {
+    // Cross two LAN segments within the site.
+    const GroupState& ga = groups_[a.group.value()];
+    const GroupState& gb = groups_[b.group.value()];
+    const double bw = std::min(ga.lan_mb_per_s, gb.lan_mb_per_s);
+    return ga.lan_latency_s + gb.lan_latency_s + mb / bw;
+  }
+  return site_transfer_time(a.site, b.site, mb) +
+         groups_[a.group.value()].lan_latency_s +
+         groups_[b.group.value()].lan_latency_s;
+}
+
+Duration VirtualTestbed::site_transfer_time(SiteId a, SiteId b,
+                                            double mb) const {
+  if (a == b) return 0.0;
+  const auto it = wan_.find(pair_key(a.value(), b.value()));
+  if (it == wan_.end()) {
+    throw NotFoundError("no WAN link between sites " + site_name(a) +
+                        " and " + site_name(b));
+  }
+  return it->second.latency_s + mb / it->second.transfer_mb_per_s;
+}
+
+std::optional<repo::NetworkAttrs> VirtualTestbed::wan_link(SiteId a,
+                                                           SiteId b) const {
+  const auto it = wan_.find(pair_key(a.value(), b.value()));
+  if (it == wan_.end()) return std::nullopt;
+  return it->second;
+}
+
+repo::NetworkAttrs VirtualTestbed::lan_attrs(GroupId group) const {
+  expects(group.value() < groups_.size(), "unknown group id");
+  repo::NetworkAttrs attrs;
+  attrs.latency_s = groups_[group.value()].lan_latency_s;
+  attrs.transfer_mb_per_s = groups_[group.value()].lan_mb_per_s;
+  return attrs;
+}
+
+double VirtualTestbed::task_arch_affinity(const std::string& task_name,
+                                          repo::ArchType arch) {
+  // FNV-1a over the task name and the architecture tag.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  for (char c : task_name) mix(static_cast<std::uint8_t>(c));
+  mix(static_cast<std::uint8_t>(arch));
+  // Map to [0.75, 1.35].
+  const double u =
+      static_cast<double>(h >> 11) / static_cast<double>(1ull << 53);
+  return 0.75 + 0.6 * u;
+}
+
+double VirtualTestbed::true_power_weight(HostId host,
+                                         const std::string& task_name) const {
+  const HostState& hs = host_state(host);
+  return hs.spec.power_weight * task_arch_affinity(task_name, hs.spec.arch);
+}
+
+Duration VirtualTestbed::execution_time(const repo::TaskPerformanceRecord& rec,
+                                        double input_size, HostId host,
+                                        double load_at_start,
+                                        double available_memory_mb) const {
+  expects(input_size > 0.0, "input size must be positive");
+  const double weight = true_power_weight(host, rec.task_name);
+  const double dedicated = rec.base_time_s * input_size / weight;
+  // Time sharing: with L competing runnable processes the task gets
+  // 1/(1+L) of the CPU.
+  double elapsed = dedicated * (1.0 + load_at_start);
+  // Thrashing penalty when the task does not fit in available memory.
+  const double need = rec.memory_req_mb * input_size;
+  if (need > available_memory_mb && available_memory_mb > 0.0) {
+    elapsed *= 1.0 + 4.0 * (need / available_memory_mb - 1.0);
+  }
+  return elapsed;
+}
+
+Duration VirtualTestbed::execution_time_at(
+    const repo::TaskPerformanceRecord& rec, double input_size, HostId host,
+    TimePoint t) {
+  const double load = true_load(host, t);
+  const double mem = true_available_memory(host, t);
+  return execution_time(rec, input_size, host, load, mem);
+}
+
+void VirtualTestbed::populate_repository(repo::SiteRepository& repository,
+                                         SiteId site, double weight_noise) {
+  common::Rng trial_rng(seed_ ^ 0xA5A5A5A5ull ^ site.value());
+
+  // Hosts: static attributes plus a t=0 measurement.  Host records for
+  // *all* sites are registered (every site's repository knows the whole
+  // VDCE resource map, as Figure 1 implies), but IP addresses are
+  // derived from ids so they stay unique.
+  for (const HostId host : all_hosts()) {
+    const HostState& hs = hosts_[host.value()];
+    repo::HostRecord rec;
+    rec.host = host;
+    rec.static_attrs.host_name = hs.spec.name;
+    rec.static_attrs.ip_address =
+        "10." + std::to_string(hs.site.value()) + "." +
+        std::to_string(hs.group.value()) + "." +
+        std::to_string(host.value() + 1);
+    rec.static_attrs.arch = hs.spec.arch;
+    rec.static_attrs.os = hs.spec.os;
+    rec.static_attrs.total_memory_mb = hs.spec.total_memory_mb;
+    rec.static_attrs.site = hs.site;
+    rec.static_attrs.group = hs.group;
+    rec.dynamic_attrs.cpu_load = hs.spec.background_load_mean;
+    rec.dynamic_attrs.available_memory_mb = hs.spec.total_memory_mb;
+    rec.dynamic_attrs.alive = true;
+    rec.dynamic_attrs.last_update = 0.0;
+    repository.resources().restore(rec);
+  }
+
+  // Network attributes.
+  for (std::uint32_t ga = 0; ga < groups_.size(); ++ga) {
+    repository.resources().update_group_network(GroupId(ga), GroupId(ga),
+                                                lan_attrs(GroupId(ga)));
+  }
+  for (const auto& [key, attrs] : wan_) {
+    const auto a = static_cast<std::uint32_t>(key >> 32);
+    const auto b = static_cast<std::uint32_t>(key & 0xFFFFFFFFull);
+    repository.resources().update_site_network(SiteId(a), SiteId(b), attrs);
+  }
+
+  // Trial-run power weights and executable locations for every task the
+  // repository knows about.
+  for (const std::string& task : repository.tasks().task_names()) {
+    for (const HostId host : all_hosts()) {
+      const double truth = true_power_weight(host, task);
+      const double measured =
+          truth * (1.0 + weight_noise * trial_rng.normal());
+      repository.tasks().set_power_weight(task, host,
+                                          std::max(0.05, measured));
+
+      // Deterministic ~1/8 exclusion: some executables were never built
+      // for some hosts ("some task executables may reside only on some
+      // of the hosts").
+      std::uint64_t h = 1469598103934665603ull;
+      for (char c : task) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 1099511628211ull;
+      }
+      h ^= host.value();
+      h *= 1099511628211ull;
+      if (h % 8 != 0) {
+        repository.constraints().set_location(
+            task, host, "/usr/vdce/tasks/" + task + "/bin/" + task);
+      }
+    }
+  }
+}
+
+}  // namespace vdce::netsim

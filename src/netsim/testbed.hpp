@@ -1,0 +1,170 @@
+// The virtual testbed: ground truth for a simulated VDCE.
+//
+// This is the substitution for the paper's campus/NYNET hardware (see
+// DESIGN.md Section 2).  The testbed owns the *true* state of every host
+// (background load, liveness, memory) and network link; Monitor daemons
+// obtain noisy *measurements* of that truth, the repository stores the
+// measured view, the scheduler predicts from the measured view, and the
+// simulator charges execution times against the truth.  The gap between
+// truth and measurement is exactly what the paper's prediction and
+// monitoring machinery has to cope with.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "netsim/config.hpp"
+#include "netsim/loadgen.hpp"
+#include "repository/repository.hpp"
+
+namespace vdce::netsim {
+
+using common::GroupId;
+using common::HostId;
+using common::SiteId;
+
+/// A host failure window [start, start+length).
+struct FailureWindow {
+  TimePoint start = 0.0;
+  Duration length = 0.0;
+};
+
+/// Ground-truth model of the distributed environment.
+class VirtualTestbed {
+ public:
+  explicit VirtualTestbed(const TestbedConfig& config);
+
+  // -- topology ----------------------------------------------------------
+  [[nodiscard]] std::vector<SiteId> sites() const;
+  [[nodiscard]] std::vector<GroupId> groups_in_site(SiteId site) const;
+  [[nodiscard]] std::vector<HostId> all_hosts() const;
+  [[nodiscard]] std::vector<HostId> hosts_in_group(GroupId group) const;
+  [[nodiscard]] std::vector<HostId> hosts_in_site(SiteId site) const;
+
+  [[nodiscard]] const std::string& site_name(SiteId site) const;
+  [[nodiscard]] const std::string& group_name(GroupId group) const;
+  [[nodiscard]] const HostSpec& host_spec(HostId host) const;
+  [[nodiscard]] SiteId site_of(HostId host) const;
+  [[nodiscard]] GroupId group_of(HostId host) const;
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+
+  // -- ground-truth host state -------------------------------------------
+  /// True CPU load at time t.  Per-host queries must use non-decreasing
+  /// times (the load process advances).
+  [[nodiscard]] double true_load(HostId host, TimePoint t);
+
+  /// True available memory at time t (declines with load: competing
+  /// processes hold memory too).
+  [[nodiscard]] double true_available_memory(HostId host, TimePoint t);
+
+  /// True liveness at time t (false inside an injected failure window).
+  [[nodiscard]] bool is_alive(HostId host, TimePoint t) const;
+
+  /// Injects a crash window (the host stops answering echo packets).
+  void fail_host(HostId host, TimePoint start, Duration length);
+
+  /// Adds a deterministic load spike on top of the background process.
+  void add_load_spike(HostId host, const LoadSpike& spike);
+
+  // -- measurement (what a Monitor daemon reads) ---------------------------
+  /// Load measurement: truth plus small multiplicative noise.
+  [[nodiscard]] double measure_load(HostId host, TimePoint t);
+  /// Memory measurement: truth plus small noise, clamped to >= 0.
+  [[nodiscard]] double measure_available_memory(HostId host, TimePoint t);
+
+  // -- network ground truth ------------------------------------------------
+  /// Time to move `mb` megabytes from one host to another: 0 on the same
+  /// host; LAN latency+bandwidth within a group; group LAN + site LAN
+  /// within a site; WAN across sites.
+  [[nodiscard]] Duration transfer_time(HostId from, HostId to,
+                                       double mb) const;
+
+  /// WAN transfer time between two sites for `mb` megabytes (the
+  /// site-scheduler's transfer_time(S_parent, S_j) * file_size term);
+  /// 0 when the sites are equal.
+  [[nodiscard]] Duration site_transfer_time(SiteId a, SiteId b,
+                                            double mb) const;
+
+  /// Raw WAN link attributes (latency, bandwidth) between two sites.
+  [[nodiscard]] std::optional<repo::NetworkAttrs> wan_link(SiteId a,
+                                                           SiteId b) const;
+  /// LAN attributes of a group.
+  [[nodiscard]] repo::NetworkAttrs lan_attrs(GroupId group) const;
+
+  // -- execution model -------------------------------------------------
+  /// True computing-power weight of `host` for `task_name`: the host's
+  /// generic power modulated by a deterministic per-(task, architecture)
+  /// affinity in [0.75, 1.35].  This realises the paper's observation
+  /// that "a processor may give the best execution time for a specific
+  /// application, but it may give the worst time for another".
+  [[nodiscard]] double true_power_weight(HostId host,
+                                         const std::string& task_name) const;
+
+  /// True execution time of a task on a host given the load at start
+  /// (quasi-static: the start-time load is charged for the whole run):
+  ///   base_time * input_size / weight * (1 + load) * mem_penalty.
+  [[nodiscard]] Duration execution_time(const repo::TaskPerformanceRecord& rec,
+                                        double input_size, HostId host,
+                                        double load_at_start,
+                                        double available_memory_mb) const;
+
+  /// Convenience: execution time sampling the true load/memory at t.
+  [[nodiscard]] Duration execution_time_at(
+      const repo::TaskPerformanceRecord& rec, double input_size, HostId host,
+      TimePoint t);
+
+  // -- repository population ------------------------------------------
+  /// Registers this testbed's hosts/links of `site` into `repository`
+  /// (static attributes and initial dynamic values at t=0), installs
+  /// trial-run power weights (true weight with `weight_noise`
+  /// multiplicative error) for every task in the repository's task
+  /// database, and fills the task-constraints database (every host can
+  /// run every task except a deterministic ~1/8 exclusion set that
+  /// exercises the constraint path).
+  void populate_repository(repo::SiteRepository& repository, SiteId site,
+                           double weight_noise = 0.05);
+
+ private:
+  struct HostState {
+    HostSpec spec;
+    SiteId site;
+    GroupId group;
+    BackgroundLoad load;
+    common::Rng measure_rng;
+    std::vector<FailureWindow> failures;
+  };
+
+  struct GroupState {
+    std::string name;
+    SiteId site;
+    double lan_latency_s;
+    double lan_mb_per_s;
+  };
+
+  [[nodiscard]] const HostState& host_state(HostId host) const;
+  [[nodiscard]] HostState& host_state(HostId host);
+
+  /// Deterministic affinity in [0.75, 1.35] from (task name, arch).
+  [[nodiscard]] static double task_arch_affinity(const std::string& task_name,
+                                                 repo::ArchType arch);
+
+  std::vector<std::string> site_names_;
+  std::vector<GroupState> groups_;
+  std::vector<HostState> hosts_;
+  // WAN links keyed by symmetric site pair.
+  std::unordered_map<std::uint64_t, repo::NetworkAttrs> wan_;
+  std::uint64_t seed_;
+
+  [[nodiscard]] static std::uint64_t pair_key(std::uint32_t a,
+                                              std::uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+};
+
+}  // namespace vdce::netsim

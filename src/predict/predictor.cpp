@@ -1,0 +1,37 @@
+#include "predict/predictor.hpp"
+
+#include "common/error.hpp"
+
+namespace vdce::predict {
+
+Prediction PerformancePredictor::predict_detailed(
+    const std::string& task_name, double input_size, HostId host) const {
+  common::expects(input_size > 0.0, "input size must be positive");
+  const repo::TaskPerformanceRecord task = repo_->tasks().get(task_name);
+  const repo::HostRecord machine = repo_->resources().get(host);
+
+  Prediction p;
+  p.weight = repo_->tasks().power_weight(task_name, host,
+                                         machine.static_attrs.arch);
+  p.dedicated_s = task.base_time_s * input_size / p.weight;
+
+  // CPU_load(R_j): forecast from the monitoring window if available,
+  // else the most recent monitored value in the repository.
+  std::optional<double> forecast;
+  if (forecaster_ != nullptr) forecast = forecaster_->forecast(host);
+  p.load = forecast.value_or(machine.dynamic_attrs.cpu_load);
+
+  // Mem_Req(task_i) vs Memory_Avail(R_j): thrashing multiplier mirrors
+  // the environment's behaviour when the task does not fit.
+  const double need = task.memory_req_mb * input_size;
+  const double avail = machine.dynamic_attrs.available_memory_mb;
+  p.memory_penalty = 1.0;
+  if (need > avail && avail > 0.0) {
+    p.memory_penalty = 1.0 + 4.0 * (need / avail - 1.0);
+  }
+
+  p.time_s = p.dedicated_s * (1.0 + p.load) * p.memory_penalty;
+  return p;
+}
+
+}  // namespace vdce::predict

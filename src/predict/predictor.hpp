@@ -1,0 +1,70 @@
+// Performance prediction: the core of the built-in scheduling algorithms.
+//
+// "we provide separate function evaluations, Predict(task_i, R_j), to
+//  predict the performance of each task, task_i, on each resource, R_j.
+//  The performance prediction functions are based on a combination of
+//  analytical modeling and measurements of experimental runs. ... The
+//  input parameters of the prediction functions include:
+//  Measured_Time(task_i, R_base) ... Weight(task_i, R_j) ...
+//  Mem_Req(task_i) ... Memory_Avail(R_j) ... and CPU_load(R_j)."
+//  (Section 2.2.1)
+//
+// Every input comes from the site repository (task-performance and
+// resource-performance databases); the current load is forecast from the
+// monitoring window when a LoadForecaster is attached, else the
+// repository's most recent measurement is used.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/clock.hpp"
+#include "predict/forecaster.hpp"
+#include "repository/repository.hpp"
+
+namespace vdce::predict {
+
+using common::Duration;
+using common::HostId;
+
+/// Breakdown of one prediction (for the visualization services and the
+/// prediction-accuracy experiments).
+struct Prediction {
+  Duration time_s = 0.0;       // the final Predict(task, R) value
+  Duration dedicated_s = 0.0;  // base_time * size / weight
+  double weight = 1.0;         // the computing-power weight used
+  double load = 0.0;           // forecast load used
+  double memory_penalty = 1.0; // multiplier applied for memory pressure
+};
+
+/// Predict(task, R) evaluator bound to one site repository.
+class PerformancePredictor {
+ public:
+  /// `forecaster` may be null (fall back to the repository's last
+  /// monitored load); both references must outlive the predictor.
+  explicit PerformancePredictor(const repo::SiteRepository& repository,
+                                const LoadForecaster* forecaster = nullptr)
+      : repo_(&repository), forecaster_(forecaster) {}
+
+  /// Full prediction with its breakdown.  Throws NotFoundError for an
+  /// unknown task or host.
+  [[nodiscard]] Prediction predict_detailed(const std::string& task_name,
+                                            double input_size,
+                                            HostId host) const;
+
+  /// Predict(task, R): predicted execution time in seconds.
+  [[nodiscard]] Duration predict(const std::string& task_name,
+                                 double input_size, HostId host) const {
+    return predict_detailed(task_name, input_size, host).time_s;
+  }
+
+  [[nodiscard]] const repo::SiteRepository& repository() const {
+    return *repo_;
+  }
+
+ private:
+  const repo::SiteRepository* repo_;
+  const LoadForecaster* forecaster_;
+};
+
+}  // namespace vdce::predict

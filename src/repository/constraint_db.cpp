@@ -1,0 +1,85 @@
+#include "repository/constraint_db.hpp"
+
+#include <algorithm>
+
+namespace vdce::repo {
+
+void TaskConstraintsDb::set_location(const std::string& task_name, HostId host,
+                                     const std::string& path) {
+  std::lock_guard lk(mu_);
+  rows_[task_name][host] = path;
+}
+
+void TaskConstraintsDb::clear_location(const std::string& task_name,
+                                       HostId host) {
+  std::lock_guard lk(mu_);
+  const auto it = rows_.find(task_name);
+  if (it == rows_.end()) return;
+  it->second.erase(host);
+  if (it->second.empty()) rows_.erase(it);
+}
+
+std::optional<std::string> TaskConstraintsDb::location(
+    const std::string& task_name, HostId host) const {
+  std::lock_guard lk(mu_);
+  const auto it = rows_.find(task_name);
+  if (it == rows_.end()) return std::nullopt;
+  const auto hit = it->second.find(host);
+  if (hit == it->second.end()) return std::nullopt;
+  return hit->second;
+}
+
+bool TaskConstraintsDb::can_run(const std::string& task_name,
+                                HostId host) const {
+  return location(task_name, host).has_value();
+}
+
+std::vector<HostId> TaskConstraintsDb::hosts_for(
+    const std::string& task_name) const {
+  std::lock_guard lk(mu_);
+  std::vector<HostId> out;
+  const auto it = rows_.find(task_name);
+  if (it != rows_.end()) {
+    out.reserve(it->second.size());
+    for (const auto& [host, _] : it->second) out.push_back(host);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void TaskConstraintsDb::remove_host(HostId host) {
+  std::lock_guard lk(mu_);
+  for (auto it = rows_.begin(); it != rows_.end();) {
+    it->second.erase(host);
+    if (it->second.empty()) {
+      it = rows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<TaskConstraint> TaskConstraintsDb::all() const {
+  std::lock_guard lk(mu_);
+  std::vector<TaskConstraint> out;
+  for (const auto& [task, hosts] : rows_) {
+    for (const auto& [host, path] : hosts) {
+      out.push_back(TaskConstraint{task, host, path});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TaskConstraint& a, const TaskConstraint& b) {
+              return std::tie(a.task_name, a.host) <
+                     std::tie(b.task_name, b.host);
+            });
+  return out;
+}
+
+std::size_t TaskConstraintsDb::size() const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const auto& [_, hosts] : rows_) n += hosts.size();
+  return n;
+}
+
+}  // namespace vdce::repo

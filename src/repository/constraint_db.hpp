@@ -1,0 +1,61 @@
+// Task-constraints database.
+//
+// "In order to find locations of a task's executables, VDCE stores
+//  location information of each task (i.e., the absolute path of the
+//  task executable) for each host ... Due to specific library
+//  requirements, some task executables may reside only on some of the
+//  hosts."  (Section 2)
+//
+// A host with no row for a task cannot be selected to run that task; the
+// Host Selection Algorithm filters its candidate set through this
+// database.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "repository/types.hpp"
+
+namespace vdce::repo {
+
+/// Thread-safe store of task executable locations.
+class TaskConstraintsDb {
+ public:
+  /// Declares that `task_name`'s executable lives at `path` on `host`.
+  void set_location(const std::string& task_name, HostId host,
+                    const std::string& path);
+
+  /// Removes the executable of `task_name` from `host`; no-op if absent.
+  void clear_location(const std::string& task_name, HostId host);
+
+  /// The executable path, if the host can run the task.
+  [[nodiscard]] std::optional<std::string> location(
+      const std::string& task_name, HostId host) const;
+
+  /// True if `host` may run `task_name`.
+  [[nodiscard]] bool can_run(const std::string& task_name, HostId host) const;
+
+  /// All hosts able to run the task (sorted by id).
+  [[nodiscard]] std::vector<HostId> hosts_for(
+      const std::string& task_name) const;
+
+  /// Removes every row for `host` (host decommissioned).
+  void remove_host(HostId host);
+
+  /// All rows, for persistence.
+  [[nodiscard]] std::vector<TaskConstraint> all() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  // task name -> host -> path
+  std::unordered_map<std::string, std::unordered_map<HostId, std::string>>
+      rows_;
+};
+
+}  // namespace vdce::repo

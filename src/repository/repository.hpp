@@ -1,0 +1,62 @@
+// The site repository: the per-site "web-based storage environment".
+//
+// "Site repository, the web-based storage environment within a VDCE
+//  site, consists of four different databases."  (Section 2)
+//
+// SiteRepository aggregates the four databases and provides the
+// line-oriented text persistence the Site Manager uses ("The Site
+// Manager stores/updates the relevant VDCE database with the received
+// values").
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "repository/constraint_db.hpp"
+#include "repository/resource_db.hpp"
+#include "repository/task_db.hpp"
+#include "repository/user_db.hpp"
+
+namespace vdce::repo {
+
+/// All four site databases behind one handle.
+class SiteRepository {
+ public:
+  explicit SiteRepository(SiteId site) : site_(site) {}
+
+  [[nodiscard]] SiteId site() const { return site_; }
+
+  [[nodiscard]] UserAccountsDb& users() { return users_; }
+  [[nodiscard]] const UserAccountsDb& users() const { return users_; }
+
+  [[nodiscard]] ResourcePerformanceDb& resources() { return resources_; }
+  [[nodiscard]] const ResourcePerformanceDb& resources() const {
+    return resources_;
+  }
+
+  [[nodiscard]] TaskPerformanceDb& tasks() { return tasks_; }
+  [[nodiscard]] const TaskPerformanceDb& tasks() const { return tasks_; }
+
+  [[nodiscard]] TaskConstraintsDb& constraints() { return constraints_; }
+  [[nodiscard]] const TaskConstraintsDb& constraints() const {
+    return constraints_;
+  }
+
+  /// Writes all four databases into `dir` (users.db, resources.db,
+  /// tasks.db, constraints.db).  Creates the directory if needed.
+  void save(const std::filesystem::path& dir) const;
+
+  /// Reads a repository previously written by save() into this object
+  /// (existing records with the same keys are overwritten).  Throws
+  /// ParseError on malformed content, NotFoundError if a file is missing.
+  void load(const std::filesystem::path& dir);
+
+ private:
+  SiteId site_;
+  UserAccountsDb users_;
+  ResourcePerformanceDb resources_;
+  TaskPerformanceDb tasks_;
+  TaskConstraintsDb constraints_;
+};
+
+}  // namespace vdce::repo

@@ -1,0 +1,148 @@
+#include "repository/resource_db.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vdce::repo {
+
+HostId ResourcePerformanceDb::register_host(const HostStaticAttrs& attrs) {
+  std::lock_guard lk(mu_);
+  if (by_name_.contains(attrs.host_name)) {
+    throw common::StateError("host already registered: " + attrs.host_name);
+  }
+  const HostId id{next_id_++};
+  HostRecord rec;
+  rec.host = id;
+  rec.static_attrs = attrs;
+  rec.dynamic_attrs.available_memory_mb = attrs.total_memory_mb;
+  hosts_.emplace(id, std::move(rec));
+  by_name_.emplace(attrs.host_name, id);
+  return id;
+}
+
+void ResourcePerformanceDb::remove_host(HostId host) {
+  std::lock_guard lk(mu_);
+  const auto it = hosts_.find(host);
+  if (it == hosts_.end()) throw common::NotFoundError("unknown host id");
+  by_name_.erase(it->second.static_attrs.host_name);
+  hosts_.erase(it);
+}
+
+void ResourcePerformanceDb::update_dynamic(HostId host,
+                                           const HostDynamicAttrs& dyn) {
+  std::lock_guard lk(mu_);
+  const auto it = hosts_.find(host);
+  if (it == hosts_.end()) throw common::NotFoundError("unknown host id");
+  it->second.dynamic_attrs = dyn;
+}
+
+void ResourcePerformanceDb::set_alive(HostId host, bool alive,
+                                      TimePoint when) {
+  std::lock_guard lk(mu_);
+  const auto it = hosts_.find(host);
+  if (it == hosts_.end()) throw common::NotFoundError("unknown host id");
+  it->second.dynamic_attrs.alive = alive;
+  it->second.dynamic_attrs.last_update = when;
+}
+
+HostRecord ResourcePerformanceDb::get(HostId host) const {
+  std::lock_guard lk(mu_);
+  const auto it = hosts_.find(host);
+  if (it == hosts_.end()) throw common::NotFoundError("unknown host id");
+  return it->second;
+}
+
+std::optional<HostRecord> ResourcePerformanceDb::find(HostId host) const {
+  std::lock_guard lk(mu_);
+  const auto it = hosts_.find(host);
+  if (it == hosts_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<HostRecord> ResourcePerformanceDb::find_by_name(
+    const std::string& host_name) const {
+  std::lock_guard lk(mu_);
+  const auto it = by_name_.find(host_name);
+  if (it == by_name_.end()) return std::nullopt;
+  return hosts_.at(it->second);
+}
+
+std::vector<HostRecord> ResourcePerformanceDb::all_hosts() const {
+  std::lock_guard lk(mu_);
+  std::vector<HostRecord> out;
+  out.reserve(hosts_.size());
+  for (const auto& [_, rec] : hosts_) out.push_back(rec);
+  std::sort(out.begin(), out.end(),
+            [](const HostRecord& a, const HostRecord& b) {
+              return a.host < b.host;
+            });
+  return out;
+}
+
+std::vector<HostRecord> ResourcePerformanceDb::alive_hosts() const {
+  auto out = all_hosts();
+  std::erase_if(out,
+                [](const HostRecord& r) { return !r.dynamic_attrs.alive; });
+  return out;
+}
+
+std::vector<HostRecord> ResourcePerformanceDb::hosts_in_site(
+    SiteId site) const {
+  auto out = all_hosts();
+  std::erase_if(out, [site](const HostRecord& r) {
+    return r.static_attrs.site != site;
+  });
+  return out;
+}
+
+std::vector<HostRecord> ResourcePerformanceDb::hosts_in_group(
+    GroupId group) const {
+  auto out = all_hosts();
+  std::erase_if(out, [group](const HostRecord& r) {
+    return r.static_attrs.group != group;
+  });
+  return out;
+}
+
+void ResourcePerformanceDb::update_group_network(GroupId a, GroupId b,
+                                                 const NetworkAttrs& attrs) {
+  std::lock_guard lk(mu_);
+  group_links_[pair_key(a.value(), b.value())] = attrs;
+}
+
+std::optional<NetworkAttrs> ResourcePerformanceDb::group_network(
+    GroupId a, GroupId b) const {
+  std::lock_guard lk(mu_);
+  const auto it = group_links_.find(pair_key(a.value(), b.value()));
+  if (it == group_links_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResourcePerformanceDb::update_site_network(SiteId a, SiteId b,
+                                                const NetworkAttrs& attrs) {
+  std::lock_guard lk(mu_);
+  site_links_[pair_key(a.value(), b.value())] = attrs;
+}
+
+std::optional<NetworkAttrs> ResourcePerformanceDb::site_network(
+    SiteId a, SiteId b) const {
+  std::lock_guard lk(mu_);
+  const auto it = site_links_.find(pair_key(a.value(), b.value()));
+  if (it == site_links_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t ResourcePerformanceDb::size() const {
+  std::lock_guard lk(mu_);
+  return hosts_.size();
+}
+
+void ResourcePerformanceDb::restore(const HostRecord& record) {
+  std::lock_guard lk(mu_);
+  hosts_[record.host] = record;
+  by_name_[record.static_attrs.host_name] = record.host;
+  next_id_ = std::max(next_id_, record.host.value() + 1);
+}
+
+}  // namespace vdce::repo

@@ -1,0 +1,84 @@
+// Resource-performance database.
+//
+// "The resource-performance database provides the resource (machine and
+//  network) attributes/parameters ... a) static attributes stored once
+//  during the initial configuration ... b) dynamic attributes that are
+//  updated periodically, such as recent load measurement and available
+//  memory size."  (Section 2)
+//
+// Hosts are registered with their static attributes; Monitor daemons
+// (through the Group Manager and Site Manager) push dynamic updates.
+// Failure detection marks hosts "down", which excludes them from
+// scheduling until they come back.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "repository/types.hpp"
+
+namespace vdce::repo {
+
+/// Thread-safe store of host and network performance attributes.
+class ResourcePerformanceDb {
+ public:
+  /// Registers a host; returns its id.  Throws StateError on duplicate
+  /// host name.
+  HostId register_host(const HostStaticAttrs& attrs);
+
+  /// Removes a host (the paper's "resource is ... removed from the
+  /// VDCE").  Throws NotFoundError.
+  void remove_host(HostId host);
+
+  /// Updates a host's dynamic attributes (load, memory, timestamp).
+  void update_dynamic(HostId host, const HostDynamicAttrs& dyn);
+
+  /// Marks the host down/up; down hosts keep their attributes but are
+  /// excluded from `alive_hosts()`.
+  void set_alive(HostId host, bool alive, TimePoint when);
+
+  [[nodiscard]] HostRecord get(HostId host) const;
+  [[nodiscard]] std::optional<HostRecord> find(HostId host) const;
+  [[nodiscard]] std::optional<HostRecord> find_by_name(
+      const std::string& host_name) const;
+
+  [[nodiscard]] std::vector<HostRecord> all_hosts() const;
+  [[nodiscard]] std::vector<HostRecord> alive_hosts() const;
+  [[nodiscard]] std::vector<HostRecord> hosts_in_site(SiteId site) const;
+  [[nodiscard]] std::vector<HostRecord> hosts_in_group(GroupId group) const;
+
+  /// Records measured network parameters between two groups.  The pair is
+  /// symmetric: (a,b) and (b,a) refer to the same link.
+  void update_group_network(GroupId a, GroupId b, const NetworkAttrs& attrs);
+  [[nodiscard]] std::optional<NetworkAttrs> group_network(GroupId a,
+                                                          GroupId b) const;
+
+  /// Records measured WAN parameters between two sites (symmetric).
+  void update_site_network(SiteId a, SiteId b, const NetworkAttrs& attrs);
+  [[nodiscard]] std::optional<NetworkAttrs> site_network(SiteId a,
+                                                         SiteId b) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Restores a persisted record verbatim (used by repository load).
+  void restore(const HostRecord& record);
+
+ private:
+  [[nodiscard]] static std::uint64_t pair_key(std::uint32_t a,
+                                              std::uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<HostId, HostRecord> hosts_;
+  std::unordered_map<std::string, HostId> by_name_;
+  std::unordered_map<std::uint64_t, NetworkAttrs> group_links_;
+  std::unordered_map<std::uint64_t, NetworkAttrs> site_links_;
+  std::uint32_t next_id_ = 0;
+};
+
+}  // namespace vdce::repo

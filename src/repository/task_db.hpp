@@ -1,0 +1,83 @@
+// Task-performance database.
+//
+// "The task-performance database provides performance characteristics
+//  for each task in the system, and is used to predict the performance
+//  of the task on a given resource.  Each task implementation is
+//  specified by several parameters such as computation size,
+//  communication size, required memory size, etc."  (Section 2)
+//
+// It also stores the per-(task, resource) computing-power weights the
+// prediction functions need ("Trial runs are required to obtain the
+// computing power weights of processors for each task", Section 2.2.1)
+// and the measured execution-time history the Site Manager feeds back
+// after every run.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "repository/types.hpp"
+
+namespace vdce::repo {
+
+/// Thread-safe store of task performance characteristics.
+class TaskPerformanceDb {
+ public:
+  /// Maximum retained measured-history entries per task.
+  static constexpr std::size_t kHistoryCapacity = 32;
+
+  /// Registers (or overwrites) a task's characteristics.
+  void register_task(const TaskPerformanceRecord& record);
+
+  [[nodiscard]] TaskPerformanceRecord get(const std::string& task_name) const;
+  [[nodiscard]] std::optional<TaskPerformanceRecord> find(
+      const std::string& task_name) const;
+  [[nodiscard]] bool contains(const std::string& task_name) const;
+  [[nodiscard]] std::vector<std::string> task_names() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Sets the computing-power weight of a specific host for a task:
+  /// predicted dedicated time on the host = base_time / weight.
+  /// Weight 2.0 means "twice as fast as the base processor for this
+  /// task".
+  void set_power_weight(const std::string& task_name, HostId host,
+                        double weight);
+
+  /// Sets a per-architecture fallback weight used when no host-specific
+  /// trial run exists.
+  void set_arch_weight(const std::string& task_name, ArchType arch,
+                       double weight);
+
+  /// Resolves the weight for (task, host, arch): host-specific first,
+  /// then architecture fallback, then 1.0.
+  [[nodiscard]] double power_weight(const std::string& task_name, HostId host,
+                                    ArchType arch) const;
+
+  /// Appends a newly measured execution time ("After an application
+  /// execution is completed, the newly measured execution time of each
+  /// application task is stored in the task-performance database").
+  /// Bounded to kHistoryCapacity entries.  Throws NotFoundError for an
+  /// unregistered task.
+  void record_measurement(const std::string& task_name, Duration elapsed_s);
+
+  /// Exposes every (task, host) weight for persistence.
+  [[nodiscard]] std::vector<std::tuple<std::string, HostId, double>>
+  all_host_weights() const;
+  [[nodiscard]] std::vector<std::tuple<std::string, ArchType, double>>
+  all_arch_weights() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, TaskPerformanceRecord> tasks_;
+  // Key: task name -> host id -> weight.
+  std::unordered_map<std::string, std::unordered_map<HostId, double>>
+      host_weights_;
+  // Key: task name -> arch -> weight.
+  std::unordered_map<std::string, std::unordered_map<int, double>>
+      arch_weights_;
+};
+
+}  // namespace vdce::repo

@@ -1,0 +1,47 @@
+#include "repository/types.hpp"
+
+#include "common/error.hpp"
+
+namespace vdce::repo {
+
+std::string to_string(ArchType a) {
+  switch (a) {
+    case ArchType::kSparc:   return "sparc";
+    case ArchType::kIntel:   return "intel";
+    case ArchType::kAlpha:   return "alpha";
+    case ArchType::kPowerPc: return "powerpc";
+    case ArchType::kMips:    return "mips";
+  }
+  return "unknown";
+}
+
+std::string to_string(OsType o) {
+  switch (o) {
+    case OsType::kSolaris: return "solaris";
+    case OsType::kLinux:   return "linux";
+    case OsType::kOsf1:    return "osf1";
+    case OsType::kAix:     return "aix";
+    case OsType::kIrix:    return "irix";
+  }
+  return "unknown";
+}
+
+ArchType arch_from_string(const std::string& s) {
+  if (s == "sparc") return ArchType::kSparc;
+  if (s == "intel") return ArchType::kIntel;
+  if (s == "alpha") return ArchType::kAlpha;
+  if (s == "powerpc") return ArchType::kPowerPc;
+  if (s == "mips") return ArchType::kMips;
+  throw common::ParseError("unknown architecture type: " + s);
+}
+
+OsType os_from_string(const std::string& s) {
+  if (s == "solaris") return OsType::kSolaris;
+  if (s == "linux") return OsType::kLinux;
+  if (s == "osf1") return OsType::kOsf1;
+  if (s == "aix") return OsType::kAix;
+  if (s == "irix") return OsType::kIrix;
+  throw common::ParseError("unknown OS type: " + s);
+}
+
+}  // namespace vdce::repo

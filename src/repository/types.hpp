@@ -1,0 +1,128 @@
+// Record types stored in the site repository.
+//
+// The paper (Section 2) defines four databases per VDCE site:
+//   user-accounts, resource-performance, task-performance and
+//   task-constraints.  These are their row types.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+
+namespace vdce::repo {
+
+using common::Duration;
+using common::GroupId;
+using common::HostId;
+using common::SiteId;
+using common::TimePoint;
+using common::UserId;
+
+/// Processor architecture of a VDCE host (the paper's "architecture
+/// type" static attribute; values reflect the mid-90s testbed mix).
+enum class ArchType : std::uint8_t {
+  kSparc,
+  kIntel,
+  kAlpha,
+  kPowerPc,
+  kMips,
+};
+
+/// Operating system of a VDCE host.
+enum class OsType : std::uint8_t {
+  kSolaris,
+  kLinux,
+  kOsf1,
+  kAix,
+  kIrix,
+};
+
+[[nodiscard]] std::string to_string(ArchType a);
+[[nodiscard]] std::string to_string(OsType o);
+[[nodiscard]] ArchType arch_from_string(const std::string& s);
+[[nodiscard]] OsType os_from_string(const std::string& s);
+
+/// The paper's 5-tuple user account: user name, password, user ID,
+/// priority, and access-domain type.
+struct UserAccount {
+  std::string user_name;
+  /// Salted hash of the password (never the plaintext).  The hash is a
+  /// non-cryptographic stand-in for the prototype's password check.
+  std::uint64_t password_hash = 0;
+  std::uint64_t salt = 0;
+  UserId user_id;
+  int priority = 0;
+  /// Access-domain type: which parts of the VDCE the user may schedule
+  /// onto ("local" = own site only, "wan" = all sites).
+  std::string access_domain = "local";
+};
+
+/// Static host attributes, stored once at initial configuration.
+struct HostStaticAttrs {
+  std::string host_name;
+  std::string ip_address;
+  ArchType arch = ArchType::kSparc;
+  OsType os = OsType::kSolaris;
+  double total_memory_mb = 0.0;
+  SiteId site;
+  GroupId group;
+};
+
+/// Dynamic host attributes, updated periodically by the monitors.
+struct HostDynamicAttrs {
+  /// Current CPU load: number of runnable processes competing for the
+  /// CPU (a Unix load-average style figure; 0 = idle).
+  double cpu_load = 0.0;
+  double available_memory_mb = 0.0;
+  /// False once the Group Manager marks the host "down".
+  bool alive = true;
+  TimePoint last_update = 0.0;
+};
+
+/// A resource-performance database row: one registered host.
+struct HostRecord {
+  HostId host;
+  HostStaticAttrs static_attrs;
+  HostDynamicAttrs dynamic_attrs;
+};
+
+/// Measured network parameters between two groups (or two sites).
+struct NetworkAttrs {
+  Duration latency_s = 0.0;       // one-way latency, seconds
+  double transfer_mb_per_s = 0.0; // sustained transfer rate
+  TimePoint last_update = 0.0;
+};
+
+/// A task-performance database row: performance characteristics of one
+/// library task.
+struct TaskPerformanceRecord {
+  std::string task_name;
+  /// Execution time of the task on the dedicated base processor for unit
+  /// size input (the paper's MeasuredTime(task, R_base)).
+  Duration base_time_s = 0.0;
+  /// How computation scales with the problem size parameter (flop count
+  /// per unit size; used by the netsim cost model).
+  double computation_size = 1.0;
+  /// Output volume produced per unit input size, in MB.
+  double communication_size_mb = 1.0;
+  /// Memory requirement for unit size input, MB.
+  double memory_req_mb = 1.0;
+  /// Recently measured execution times (newest last), fed back by the
+  /// Site Manager after each run.
+  std::vector<Duration> measured_history;
+};
+
+/// A task-constraints database row: where the executable for a task
+/// lives on one host (its absolute path).  A missing row means the host
+/// cannot run the task.
+struct TaskConstraint {
+  std::string task_name;
+  HostId host;
+  std::string executable_path;
+};
+
+}  // namespace vdce::repo

@@ -1,0 +1,99 @@
+#include "repository/user_db.hpp"
+
+#include "common/error.hpp"
+
+namespace vdce::repo {
+
+std::uint64_t UserAccountsDb::hash_password(const std::string& password,
+                                            std::uint64_t salt) {
+  // FNV-1a over salt bytes then password bytes.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  for (int i = 0; i < 8; ++i) mix(static_cast<std::uint8_t>(salt >> (8 * i)));
+  for (char c : password) mix(static_cast<std::uint8_t>(c));
+  return h;
+}
+
+UserId UserAccountsDb::add_user(const std::string& user_name,
+                                const std::string& password, int priority,
+                                const std::string& access_domain) {
+  std::lock_guard lk(mu_);
+  if (accounts_.contains(user_name)) {
+    throw common::StateError("user already exists: " + user_name);
+  }
+  UserAccount acct;
+  acct.user_name = user_name;
+  acct.user_id = UserId(next_id_++);
+  acct.priority = priority;
+  acct.access_domain = access_domain;
+  // Deterministic per-user salt: derived from name so persistence tests
+  // are stable; uniqueness across users is what matters for the check.
+  acct.salt = hash_password(user_name, 0x5A17ull);
+  acct.password_hash = hash_password(password, acct.salt);
+  const UserId id = acct.user_id;
+  accounts_.emplace(user_name, std::move(acct));
+  return id;
+}
+
+UserAccount UserAccountsDb::authenticate(const std::string& user_name,
+                                         const std::string& password) const {
+  std::lock_guard lk(mu_);
+  const auto it = accounts_.find(user_name);
+  if (it == accounts_.end()) {
+    throw common::AuthError("unknown user: " + user_name);
+  }
+  const UserAccount& acct = it->second;
+  if (hash_password(password, acct.salt) != acct.password_hash) {
+    throw common::AuthError("bad password for user: " + user_name);
+  }
+  return acct;
+}
+
+std::optional<UserAccount> UserAccountsDb::find(
+    const std::string& user_name) const {
+  std::lock_guard lk(mu_);
+  const auto it = accounts_.find(user_name);
+  if (it == accounts_.end()) return std::nullopt;
+  return it->second;
+}
+
+void UserAccountsDb::set_password(const std::string& user_name,
+                                  const std::string& password) {
+  std::lock_guard lk(mu_);
+  const auto it = accounts_.find(user_name);
+  if (it == accounts_.end()) {
+    throw common::NotFoundError("unknown user: " + user_name);
+  }
+  it->second.password_hash = hash_password(password, it->second.salt);
+}
+
+void UserAccountsDb::remove_user(const std::string& user_name) {
+  std::lock_guard lk(mu_);
+  if (accounts_.erase(user_name) == 0) {
+    throw common::NotFoundError("unknown user: " + user_name);
+  }
+}
+
+std::size_t UserAccountsDb::size() const {
+  std::lock_guard lk(mu_);
+  return accounts_.size();
+}
+
+std::vector<UserAccount> UserAccountsDb::all() const {
+  std::lock_guard lk(mu_);
+  std::vector<UserAccount> out;
+  out.reserve(accounts_.size());
+  for (const auto& [_, acct] : accounts_) out.push_back(acct);
+  return out;
+}
+
+void UserAccountsDb::restore(const UserAccount& account) {
+  std::lock_guard lk(mu_);
+  accounts_[account.user_name] = account;
+  next_id_ = std::max(next_id_, account.user_id.value() + 1);
+}
+
+}  // namespace vdce::repo

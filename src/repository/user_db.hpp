@@ -1,0 +1,60 @@
+// User-accounts database: authentication for the VDCE site.
+//
+// "User-accounts database is used to handle the user authentication.
+//  Each VDCE user account is represented by a 5-tuple: user name,
+//  password, user ID, priority, and access domain type."  (Section 2)
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "repository/types.hpp"
+
+namespace vdce::repo {
+
+/// Thread-safe user-accounts store.  Passwords are stored salted+hashed;
+/// the hash is FNV-1a based — adequate for reproducing the prototype's
+/// login check, documented as not cryptographically strong.
+class UserAccountsDb {
+ public:
+  /// Creates an account; returns its assigned UserId.
+  /// Throws StateError if the user name already exists.
+  UserId add_user(const std::string& user_name, const std::string& password,
+                  int priority, const std::string& access_domain);
+
+  /// Checks a name/password pair; returns the account on success.
+  /// Throws AuthError on unknown user or wrong password.
+  [[nodiscard]] UserAccount authenticate(const std::string& user_name,
+                                         const std::string& password) const;
+
+  /// Looks up an account without authenticating.
+  [[nodiscard]] std::optional<UserAccount> find(
+      const std::string& user_name) const;
+
+  /// Changes an existing user's password.  Throws NotFoundError.
+  void set_password(const std::string& user_name,
+                    const std::string& password);
+
+  void remove_user(const std::string& user_name);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<UserAccount> all() const;
+
+  /// Restores a persisted account verbatim (used by repository load).
+  void restore(const UserAccount& account);
+
+  /// Salted password hash, exposed for persistence round-trips.
+  [[nodiscard]] static std::uint64_t hash_password(const std::string& password,
+                                                   std::uint64_t salt);
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, UserAccount> accounts_;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace vdce::repo

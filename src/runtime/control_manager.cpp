@@ -1,0 +1,52 @@
+#include "runtime/control_manager.hpp"
+
+#include "common/error.hpp"
+
+namespace vdce::rt {
+
+ControlManager::ControlManager(netsim::VirtualTestbed& testbed, SiteId site,
+                               SiteManager& site_manager,
+                               Duration monitor_period_s,
+                               GroupManagerConfig group_config)
+    : site_manager_(&site_manager) {
+  for (const GroupId group : testbed.groups_in_site(site)) {
+    group_managers_.emplace_back(testbed, group, monitor_period_s,
+                                 group_config);
+  }
+}
+
+void ControlManager::tick(TimePoint now) {
+  for (GroupManager& gm : group_managers_) {
+    GroupTickOutput out = gm.tick(now);
+    for (const WorkloadUpdate& u : out.workload_updates) {
+      site_manager_->handle_workload(u);
+    }
+    for (const LivenessChange& c : out.liveness_changes) {
+      site_manager_->handle_liveness(c);
+    }
+    for (const NetworkMeasurement& m : out.network_measurements) {
+      site_manager_->handle_network(m);
+    }
+  }
+}
+
+void ControlManager::run_until(TimePoint from, TimePoint to,
+                               Duration step_s) {
+  common::expects(step_s > 0.0, "tick step must be positive");
+  for (TimePoint t = from + step_s; t <= to + 1e-9; t += step_s) {
+    tick(t);
+  }
+}
+
+ControlManagerStats ControlManager::stats() const {
+  ControlManagerStats total;
+  for (const GroupManager& gm : group_managers_) {
+    total.reports_received += gm.stats().reports_received;
+    total.updates_forwarded += gm.stats().updates_forwarded;
+    total.failures_detected += gm.stats().failures_detected;
+    total.recoveries_detected += gm.stats().recoveries_detected;
+  }
+  return total;
+}
+
+}  // namespace vdce::rt

@@ -1,0 +1,56 @@
+// The Control Manager of one site: the Resource Controller wiring of
+// Figure 6 (Monitor daemons -> Group Managers -> Site Manager).
+//
+// "The Control Manager measures the loads on the resources (hosts and
+//  networks) periodically, and monitors the resources for possible
+//  failures."  (Section 2.3)
+//
+// tick(now) advances every Group Manager (which advances its Monitors)
+// and routes their outputs into the Site Manager; driving tick from a
+// VirtualClock gives a deterministic control plane.
+#pragma once
+
+#include <vector>
+
+#include "runtime/group_manager.hpp"
+#include "runtime/site_manager.hpp"
+
+namespace vdce::rt {
+
+/// Aggregated monitoring statistics of one site.
+struct ControlManagerStats {
+  std::size_t reports_received = 0;
+  std::size_t updates_forwarded = 0;
+  std::size_t failures_detected = 0;
+  std::size_t recoveries_detected = 0;
+};
+
+/// Per-site Resource Controller.
+class ControlManager {
+ public:
+  /// Builds one Group Manager per group of `site`.  `testbed` and
+  /// `site_manager` must outlive the Control Manager.
+  ControlManager(netsim::VirtualTestbed& testbed, SiteId site,
+                 SiteManager& site_manager, Duration monitor_period_s = 1.0,
+                 GroupManagerConfig group_config = {});
+
+  /// One control-plane step: tick every Group Manager, deliver its
+  /// outputs to the Site Manager.
+  void tick(TimePoint now);
+
+  /// Convenience: tick repeatedly from `from` (exclusive) to `to`
+  /// (inclusive) in `step_s` increments.
+  void run_until(TimePoint from, TimePoint to, Duration step_s);
+
+  [[nodiscard]] ControlManagerStats stats() const;
+  [[nodiscard]] const std::vector<GroupManager>& group_managers() const {
+    return group_managers_;
+  }
+  [[nodiscard]] SiteManager& site_manager() { return *site_manager_; }
+
+ private:
+  SiteManager* site_manager_;
+  std::vector<GroupManager> group_managers_;
+};
+
+}  // namespace vdce::rt

@@ -1,0 +1,152 @@
+#include "runtime/engine.hpp"
+
+#include <chrono>
+#include <latch>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace vdce::rt {
+
+ExecutionEngine::ExecutionEngine(const tasklib::TaskRegistry& registry,
+                                 EngineConfig config)
+    : registry_(&registry), config_(config) {}
+
+RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
+                                   const sched::AllocationTable& allocation,
+                                   SiteManager* feedback,
+                                   dm::ConsoleService* console) {
+  graph.validate();
+  for (const afg::TaskNode& node : graph.tasks()) {
+    if (!allocation.contains(node.id)) {
+      throw common::StateError("allocation table misses task " + node.label);
+    }
+  }
+
+  const common::AppId app{next_app_++};
+  dm::ChannelBroker broker(config_.transport);
+
+  const auto task_count = static_cast<std::ptrdiff_t>(graph.task_count());
+  std::latch setup_acks(task_count);    // Figure 7 step 4
+  std::latch start_signal(1);           // Figure 7 step 5
+
+  struct Slot {
+    const afg::TaskNode* node = nullptr;
+    HostId host;
+    TaskOutcome outcome;
+    Duration turnaround_s = 0.0;
+    std::string error;
+  };
+  std::vector<Slot> slots(graph.task_count());
+  {
+    std::size_t i = 0;
+    for (const afg::TaskNode& node : graph.tasks()) {
+      slots[i].node = &node;
+      slots[i].host = allocation.entry(node.id).primary_host();
+      ++i;
+    }
+  }
+
+  // Controllers must outlive the worker threads.
+  std::vector<ApplicationController> controllers;
+  controllers.reserve(graph.task_count());
+  for (const Slot& slot : slots) {
+    controllers.emplace_back(broker, config_.library, app, slot.host);
+  }
+
+  common::log_info("engine", "app ", app.value(), " '", graph.name(),
+                   "': delivering execution requests to ",
+                   graph.task_count(), " tasks");
+
+  {
+    std::vector<std::jthread> machines;
+    machines.reserve(graph.task_count());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      machines.emplace_back([&, i] {
+        Slot& slot = slots[i];
+        ApplicationController& controller = controllers[i];
+        try {
+          dm::TaskWiring wiring;
+          wiring.app = app;
+          wiring.task = slot.node->id;
+          wiring.parents = graph.ordered_parents(slot.node->id);
+          wiring.children = graph.children(slot.node->id);
+          controller.activate(wiring);  // channel setup + ack
+          setup_acks.count_down();
+
+          start_signal.wait();  // the execution startup signal
+
+          const auto t0 = std::chrono::steady_clock::now();
+          tasklib::TaskContext ctx;
+          ctx.input_size = slot.node->props.input_size;
+          common::Rng rng(config_.seed ^
+                          (static_cast<std::uint64_t>(app.value()) << 32) ^
+                          slot.node->id.value());
+          ctx.rng = &rng;
+          slot.outcome = controller.execute(*registry_,
+                                            slot.node->library_task, ctx,
+                                            console);
+          slot.turnaround_s = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+          controller.shutdown();
+        } catch (const std::exception& e) {
+          slot.error = e.what();
+          // Unblock peers: close this task's channels, then make sure
+          // the barrier protocol cannot deadlock the other machines.
+          controller.shutdown();
+          setup_acks.count_down();
+        }
+      });
+    }
+
+    // "When all the required acknowledgments are received an execution
+    // startup signal is sent to start the application execution."
+    setup_acks.wait();
+    common::log_info("engine", "app ", app.value(),
+                     ": all channel-setup acks received; sending startup "
+                     "signal");
+    start_signal.count_down();
+  }  // join all machine threads
+
+  for (const Slot& slot : slots) {
+    if (!slot.error.empty()) {
+      throw common::StateError("task " + slot.node->label +
+                               " failed: " + slot.error);
+    }
+    if (slot.outcome.reschedule) {
+      throw common::StateError(
+          "task " + slot.node->label +
+          " refused by its Application Controller: " +
+          slot.outcome.reschedule->reason);
+    }
+  }
+
+  RunResult result;
+  result.app = app;
+  for (Slot& slot : slots) {
+    TaskRunRecord rec;
+    rec.task = slot.node->id;
+    rec.label = slot.node->label;
+    rec.library_task = slot.node->library_task;
+    rec.host = slot.host;
+    rec.turnaround_s = slot.turnaround_s;
+    rec.compute_s = slot.outcome.compute_elapsed_s;
+    rec.bytes_sent = slot.outcome.io_stats.bytes_sent;
+    rec.bytes_received = slot.outcome.io_stats.bytes_received;
+    result.makespan_s = std::max(result.makespan_s, slot.turnaround_s);
+    result.records.push_back(rec);
+    result.outputs.emplace(slot.node->id, std::move(slot.outcome.payload));
+
+    if (feedback != nullptr) {
+      feedback->record_task_time(slot.node->library_task,
+                                 slot.outcome.compute_elapsed_s);
+    }
+  }
+  common::log_info("engine", "app ", app.value(), " finished; makespan ",
+                   result.makespan_s, "s");
+  return result;
+}
+
+}  // namespace vdce::rt

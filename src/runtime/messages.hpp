@@ -1,0 +1,64 @@
+// Control-plane message types exchanged between the Resource Controller
+// components (Figure 6) and the Application Controller.
+#pragma once
+
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+
+namespace vdce::rt {
+
+using common::Duration;
+using common::GroupId;
+using common::HostId;
+using common::SiteId;
+using common::TaskId;
+using common::TimePoint;
+
+/// A Monitor daemon's periodic measurement of its host.
+struct MonitorReport {
+  HostId host;
+  TimePoint when = 0.0;
+  double cpu_load = 0.0;
+  double available_memory_mb = 0.0;
+};
+
+/// Group Manager -> Site Manager: a workload that changed "considerably"
+/// (outside the confidence interval of the previous measurement).
+struct WorkloadUpdate {
+  HostId host;
+  TimePoint when = 0.0;
+  double cpu_load = 0.0;
+  double available_memory_mb = 0.0;
+};
+
+/// Group Manager -> Site Manager: a host stopped answering echo packets
+/// (or came back).
+struct LivenessChange {
+  HostId host;
+  TimePoint when = 0.0;
+  bool alive = false;
+};
+
+/// Group Manager -> Site Manager: measured intra-group network
+/// parameters (from the echo round-trips).
+struct NetworkMeasurement {
+  GroupId group;
+  TimePoint when = 0.0;
+  Duration latency_s = 0.0;
+  double transfer_mb_per_s = 0.0;
+};
+
+/// Application Controller -> Group Manager: a running task's host
+/// crossed the load threshold; ask the scheduler for a new placement.
+struct RescheduleRequest {
+  common::AppId app;
+  TaskId task;
+  HostId host;
+  TimePoint when = 0.0;
+  double observed_load = 0.0;
+  std::string reason;
+};
+
+}  // namespace vdce::rt

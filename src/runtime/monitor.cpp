@@ -1,0 +1,30 @@
+#include "runtime/monitor.hpp"
+
+#include "common/error.hpp"
+
+namespace vdce::rt {
+
+Monitor::Monitor(netsim::VirtualTestbed& testbed, HostId host,
+                 Duration period_s)
+    : testbed_(&testbed), host_(host), period_s_(period_s) {
+  common::expects(period_s > 0.0, "monitor period must be positive");
+}
+
+std::optional<MonitorReport> Monitor::tick(TimePoint now) {
+  if (now < next_due_) return std::nullopt;
+  // Catch up the schedule (a long gap yields one report, not a burst).
+  while (next_due_ <= now) next_due_ += period_s_;
+
+  if (!testbed_->is_alive(host_, now)) return std::nullopt;
+
+  MonitorReport report;
+  report.host = host_;
+  report.when = now;
+  report.cpu_load = testbed_->measure_load(host_, now);
+  report.available_memory_mb =
+      testbed_->measure_available_memory(host_, now);
+  ++taken_;
+  return report;
+}
+
+}  // namespace vdce::rt

@@ -1,0 +1,43 @@
+// The Monitor daemon.
+//
+// "Each VDCE machine has a Monitor daemon that periodically measures the
+//  up-to-date processor parameters, i.e., CPU load and memory
+//  availability.  The measured values are sent to the group leader
+//  machine."  (Section 2.3.1)
+//
+// Monitors are tick-driven: the Control Manager (or the simulation
+// driver) advances them with the clock, keeping the whole monitoring
+// fabric deterministic.  Each tick at or after the next due time takes a
+// measurement from the testbed and hands it to the Group Manager.
+#pragma once
+
+#include "netsim/testbed.hpp"
+#include "runtime/messages.hpp"
+
+namespace vdce::rt {
+
+/// Per-host measurement daemon.
+class Monitor {
+ public:
+  /// Measures `host` every `period_s` seconds; `testbed` must outlive
+  /// the monitor.
+  Monitor(netsim::VirtualTestbed& testbed, HostId host, Duration period_s);
+
+  /// If a measurement is due at `now`, produces it; otherwise nullopt.
+  /// A dead host produces no report (the daemon died with it) — the
+  /// Group Manager notices through its echo packets.
+  [[nodiscard]] std::optional<MonitorReport> tick(TimePoint now);
+
+  [[nodiscard]] HostId host() const { return host_; }
+  [[nodiscard]] Duration period() const { return period_s_; }
+  [[nodiscard]] std::size_t measurements_taken() const { return taken_; }
+
+ private:
+  netsim::VirtualTestbed* testbed_;
+  HostId host_;
+  Duration period_s_;
+  TimePoint next_due_ = 0.0;
+  std::size_t taken_ = 0;
+};
+
+}  // namespace vdce::rt

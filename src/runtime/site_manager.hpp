@@ -1,0 +1,96 @@
+// The Site Manager.
+//
+// "At each site, the VDCE Server runs the server software, called site
+//  manager, which handles the inter-site communications and bridges the
+//  VDCE modules to the web-based repository."  (Section 2)
+//
+// Responsibilities implemented here (Figure 6):
+//   * updating the site repository with filtered workload updates,
+//     liveness changes and network measurements;
+//   * feeding the load forecaster the scheduler predicts from;
+//   * storing newly measured task execution times after each run;
+//   * authenticating users (the servlet front-end's login);
+//   * answering inter-site Host Selection requests;
+//   * splitting a resource allocation table into the per-host portions
+//     the Group Managers deliver to Application Controllers.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "predict/forecaster.hpp"
+#include "predict/predictor.hpp"
+#include "repository/repository.hpp"
+#include "runtime/messages.hpp"
+#include "scheduler/allocation.hpp"
+#include "scheduler/host_selection.hpp"
+
+namespace vdce::rt {
+
+/// Counters for the control-plane experiments.
+struct SiteManagerStats {
+  std::size_t workload_updates = 0;
+  std::size_t liveness_changes = 0;
+  std::size_t network_measurements = 0;
+  std::size_t task_times_recorded = 0;
+  std::size_t host_selection_requests = 0;
+  std::size_t allocation_rows_distributed = 0;
+  std::size_t logins = 0;
+};
+
+/// The per-site server process.
+class SiteManager {
+ public:
+  /// Both references must outlive the manager.
+  SiteManager(SiteId site, repo::SiteRepository& repository,
+              predict::LoadForecaster& forecaster);
+
+  [[nodiscard]] SiteId site() const { return site_; }
+  [[nodiscard]] repo::SiteRepository& repository() { return *repository_; }
+  [[nodiscard]] const repo::SiteRepository& repository() const {
+    return *repository_;
+  }
+  [[nodiscard]] predict::LoadForecaster& forecaster() { return *forecaster_; }
+
+  // -- resource controller inputs -------------------------------------
+  void handle_workload(const WorkloadUpdate& update);
+  void handle_liveness(const LivenessChange& change);
+  void handle_network(const NetworkMeasurement& measurement);
+
+  // -- post-execution feedback -----------------------------------------
+  /// "After an application execution is completed, the newly measured
+  /// execution time of each application task is stored in the
+  /// task-performance database."
+  void record_task_time(const std::string& library_task, Duration elapsed_s);
+
+  // -- web front-end ---------------------------------------------------
+  /// Authenticates a user against the user-accounts database; throws
+  /// AuthError on failure.  (The servlet login step before the Editor
+  /// loads.)
+  [[nodiscard]] repo::UserAccount login(const std::string& user,
+                                        const std::string& password);
+
+  // -- inter-site coordination -----------------------------------------
+  /// Answers a (local or remote) Application Scheduler's multicast: runs
+  /// the Host Selection Algorithm on this site's repository.
+  [[nodiscard]] sched::HostSelectionMap host_selection_request(
+      const afg::FlowGraph& graph);
+
+  // -- allocation distribution ------------------------------------------
+  /// Splits the allocation table into per-host portions ("sends ...
+  /// related parts of the resource allocation table to the Application
+  /// Controller of the machine").  Only hosts of this site appear.
+  [[nodiscard]] std::map<HostId, std::vector<sched::AllocationEntry>>
+  distribute_allocation(const sched::AllocationTable& table);
+
+  [[nodiscard]] const SiteManagerStats& stats() const { return stats_; }
+
+ private:
+  SiteId site_;
+  repo::SiteRepository* repository_;
+  predict::LoadForecaster* forecaster_;
+  SiteManagerStats stats_;
+};
+
+}  // namespace vdce::rt

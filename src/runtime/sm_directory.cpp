@@ -1,0 +1,77 @@
+#include "runtime/sm_directory.hpp"
+
+#include "common/error.hpp"
+
+namespace vdce::rt {
+
+void SiteManagerDirectory::add_site(SiteManager& manager) {
+  if (managers_.contains(manager.site())) {
+    throw common::StateError("site already registered in directory");
+  }
+  managers_.emplace(manager.site(), &manager);
+}
+
+SiteManager& SiteManagerDirectory::manager(SiteId site) const {
+  const auto it = managers_.find(site);
+  if (it == managers_.end()) {
+    throw common::NotFoundError("unknown site in directory");
+  }
+  return *it->second;
+}
+
+std::vector<SiteId> SiteManagerDirectory::sites() const {
+  std::vector<SiteId> out;
+  out.reserve(managers_.size());
+  for (const auto& [id, _] : managers_) out.push_back(id);
+  return out;
+}
+
+Duration SiteManagerDirectory::site_distance(SiteId a, SiteId b) const {
+  if (a == b) return 0.0;
+  ++stats_.distance_queries;
+  common::expects(!managers_.empty(), "directory has no sites");
+  const auto link = managers_.begin()
+                        ->second->repository()
+                        .resources()
+                        .site_network(a, b);
+  if (!link) throw common::NotFoundError("no WAN link between the sites");
+  return link->latency_s;
+}
+
+Duration SiteManagerDirectory::transfer_time(SiteId a, SiteId b,
+                                             double mb) const {
+  if (a == b) return 0.0;
+  ++stats_.transfer_queries;
+  common::expects(!managers_.empty(), "directory has no sites");
+  const auto link = managers_.begin()
+                        ->second->repository()
+                        .resources()
+                        .site_network(a, b);
+  if (!link) throw common::NotFoundError("no WAN link between the sites");
+  return link->latency_s + mb / link->transfer_mb_per_s;
+}
+
+sched::HostSelectionMap SiteManagerDirectory::host_selection(
+    SiteId site, const afg::FlowGraph& graph) {
+  ++stats_.afg_multicasts;
+  return manager(site).host_selection_request(graph);
+}
+
+Duration SiteManagerDirectory::host_transfer_time(HostId from, HostId to,
+                                                  double mb) const {
+  common::expects(!managers_.empty(), "directory has no sites");
+  return sched::estimate_host_transfer(
+      managers_.begin()->second->repository(), from, to, mb);
+}
+
+Duration SiteManagerDirectory::base_time(
+    const std::string& library_task) const {
+  common::expects(!managers_.empty(), "directory has no sites");
+  return managers_.begin()
+      ->second->repository()
+      .tasks()
+      .get(library_task)
+      .base_time_s;
+}
+
+}  // namespace vdce::rt

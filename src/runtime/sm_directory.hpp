@@ -1,0 +1,55 @@
+// SiteDirectory over Site Managers: the inter-site coordination path.
+//
+// "The inter-site coordination and message transfer are handled by Site
+//  Managers."  (Section 2.3.1)
+//
+// The local Application Scheduler's AFG multicast becomes a
+// host_selection_request to each consulted Site Manager; WAN distances
+// and transfer estimates come from the local site's repository.  The
+// directory counts the control messages so the benches can report
+// coordination traffic.
+#pragma once
+
+#include <map>
+
+#include "runtime/site_manager.hpp"
+#include "scheduler/directory.hpp"
+
+namespace vdce::rt {
+
+/// Message counters of the scheduling control plane.
+struct DirectoryStats {
+  std::size_t afg_multicasts = 0;
+  std::size_t distance_queries = 0;
+  std::size_t transfer_queries = 0;
+};
+
+/// Directory backed by (in-process) Site Manager endpoints.
+class SiteManagerDirectory final : public sched::SiteDirectory {
+ public:
+  /// Registers one site's manager; the first registered acts as the
+  /// local site whose repository answers WAN queries.  Managers must
+  /// outlive the directory.
+  void add_site(SiteManager& manager);
+
+  [[nodiscard]] std::vector<SiteId> sites() const override;
+  [[nodiscard]] Duration site_distance(SiteId a, SiteId b) const override;
+  [[nodiscard]] Duration transfer_time(SiteId a, SiteId b,
+                                       double mb) const override;
+  [[nodiscard]] sched::HostSelectionMap host_selection(
+      SiteId site, const afg::FlowGraph& graph) override;
+  [[nodiscard]] Duration base_time(
+      const std::string& library_task) const override;
+  [[nodiscard]] Duration host_transfer_time(HostId from, HostId to,
+                                            double mb) const override;
+
+  [[nodiscard]] const DirectoryStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] SiteManager& manager(SiteId site) const;
+
+  std::map<SiteId, SiteManager*> managers_;
+  mutable DirectoryStats stats_;
+};
+
+}  // namespace vdce::rt

@@ -1,0 +1,82 @@
+#include "scheduler/allocation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vdce::sched {
+
+void AllocationTable::add(AllocationEntry entry) {
+  common::expects(!entry.hosts.empty(), "allocation entry needs >= 1 host");
+  if (entries_.contains(entry.task)) {
+    throw common::StateError("task already allocated: " + entry.task_label);
+  }
+  entries_.emplace(entry.task, std::move(entry));
+}
+
+void AllocationTable::replace(AllocationEntry entry) {
+  common::expects(!entry.hosts.empty(), "allocation entry needs >= 1 host");
+  const auto it = entries_.find(entry.task);
+  if (it == entries_.end()) {
+    throw common::NotFoundError("task not allocated: " + entry.task_label);
+  }
+  it->second = std::move(entry);
+}
+
+const AllocationEntry& AllocationTable::entry(TaskId task) const {
+  const auto it = entries_.find(task);
+  if (it == entries_.end()) {
+    throw common::NotFoundError("task has no allocation row");
+  }
+  return it->second;
+}
+
+bool AllocationTable::contains(TaskId task) const {
+  return entries_.contains(task);
+}
+
+std::vector<AllocationEntry> AllocationTable::rows() const {
+  std::vector<AllocationEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [_, e] : entries_) out.push_back(e);
+  std::sort(out.begin(), out.end(),
+            [](const AllocationEntry& a, const AllocationEntry& b) {
+              return a.task < b.task;
+            });
+  return out;
+}
+
+std::vector<AllocationEntry> AllocationTable::portion_for_host(
+    HostId host) const {
+  auto out = rows();
+  std::erase_if(out, [host](const AllocationEntry& e) {
+    return std::find(e.hosts.begin(), e.hosts.end(), host) == e.hosts.end();
+  });
+  return out;
+}
+
+std::vector<SiteId> AllocationTable::sites_involved() const {
+  std::vector<SiteId> out;
+  for (const auto& [_, e] : entries_) out.push_back(e.site);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<HostId> AllocationTable::hosts_involved() const {
+  std::vector<HostId> out;
+  for (const auto& [_, e] : entries_) {
+    out.insert(out.end(), e.hosts.begin(), e.hosts.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Duration AllocationTable::total_predicted() const {
+  Duration total = 0.0;
+  for (const auto& [_, e] : entries_) total += e.predicted_s;
+  return total;
+}
+
+}  // namespace vdce::sched

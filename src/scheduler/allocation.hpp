@@ -1,0 +1,85 @@
+// The resource allocation table.
+//
+// "After the best schedule of the whole application is determined by the
+//  local site and a set of remote sites, the resource allocation table
+//  is generated and transferred to the Site Manager ... the Site Manager
+//  multicasts it to the Group Managers that will be involved in the
+//  execution.  If a machine in a group is assigned for a task execution,
+//  the Group Manager sends an execution request message and related
+//  parts of the resource allocation table to the Application Controller
+//  of the machine."  (Sections 2.2.1, 2.3.1)
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+
+namespace vdce::sched {
+
+using common::Duration;
+using common::GroupId;
+using common::HostId;
+using common::SiteId;
+using common::TaskId;
+
+/// One row of the resource allocation table.
+struct AllocationEntry {
+  TaskId task;
+  std::string task_label;
+  std::string library_task;
+  /// The assigned machine(s); one for sequential tasks, num_processors
+  /// for parallel tasks (all within one site, per Section 2.2.1).
+  std::vector<HostId> hosts;
+  SiteId site;
+  /// The predicted execution time the schedule decision was based on.
+  Duration predicted_s = 0.0;
+
+  [[nodiscard]] HostId primary_host() const { return hosts.front(); }
+};
+
+/// The complete mapping of an application's tasks to resources.
+class AllocationTable {
+ public:
+  AllocationTable() = default;
+  explicit AllocationTable(std::string app_name)
+      : app_name_(std::move(app_name)) {}
+
+  [[nodiscard]] const std::string& app_name() const { return app_name_; }
+
+  /// Adds a row; throws StateError if the task is already allocated.
+  void add(AllocationEntry entry);
+
+  /// Replaces an existing row (dynamic rescheduling).  Throws
+  /// NotFoundError if the task has no row yet.
+  void replace(AllocationEntry entry);
+
+  [[nodiscard]] const AllocationEntry& entry(TaskId task) const;
+  [[nodiscard]] bool contains(TaskId task) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// All rows, ordered by task id (deterministic iteration).
+  [[nodiscard]] std::vector<AllocationEntry> rows() const;
+
+  /// The "related portion" for one host: rows whose host set includes
+  /// `host`.
+  [[nodiscard]] std::vector<AllocationEntry> portion_for_host(
+      HostId host) const;
+
+  /// Sites involved in the execution (sorted, unique).
+  [[nodiscard]] std::vector<SiteId> sites_involved() const;
+  /// Hosts involved in the execution (sorted, unique).
+  [[nodiscard]] std::vector<HostId> hosts_involved() const;
+
+  /// Sum of predicted times (a crude schedule-cost figure; the real
+  /// makespan comes from the simulator/runtime).
+  [[nodiscard]] Duration total_predicted() const;
+
+ private:
+  std::string app_name_;
+  std::unordered_map<TaskId, AllocationEntry> entries_;
+};
+
+}  // namespace vdce::sched

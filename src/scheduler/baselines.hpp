@@ -1,0 +1,76 @@
+// Baseline mapping policies the benches compare the VDCE site scheduler
+// against (experiment F4 in DESIGN.md).
+//
+// * RandomScheduler     — uniform random eligible host (no prediction).
+// * RoundRobinScheduler — rotate over eligible hosts (load-blind
+//                         balance).
+// * LocalOnlyScheduler  — the paper's algorithm restricted to the local
+//                         site (k = 0): what a single-site system does.
+// * MinMinScheduler     — classic min-min with completion-time tracking
+//                         (prediction-aware, transfer-blind): among
+//                         ready tasks pick the (task, host) pair with
+//                         the smallest estimated completion time.
+// * MaxMinScheduler     — max-min variant (longest task first).
+//
+// All baselines honour eligibility (liveness, constraints, user
+// preferences) so comparisons isolate the *placement* policy.
+#pragma once
+
+#include "common/rng.hpp"
+#include "predict/predictor.hpp"
+#include "scheduler/scheduler_iface.hpp"
+
+namespace vdce::sched {
+
+/// Uniform random eligible placement.
+class RandomScheduler final : public Scheduler {
+ public:
+  RandomScheduler(const repo::SiteRepository& repository, std::uint64_t seed);
+  [[nodiscard]] AllocationTable schedule(const afg::FlowGraph& graph) override;
+
+ private:
+  const repo::SiteRepository* repo_;
+  predict::PerformancePredictor predictor_;
+  common::Rng rng_;
+};
+
+/// Rotating eligible placement.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(const repo::SiteRepository& repository);
+  [[nodiscard]] AllocationTable schedule(const afg::FlowGraph& graph) override;
+
+ private:
+  const repo::SiteRepository* repo_;
+  predict::PerformancePredictor predictor_;
+  std::size_t cursor_ = 0;
+};
+
+/// Best predicted host, local site only (k = 0 ablation).
+class LocalOnlyScheduler final : public Scheduler {
+ public:
+  LocalOnlyScheduler(const repo::SiteRepository& repository,
+                     common::SiteId local_site);
+  [[nodiscard]] AllocationTable schedule(const afg::FlowGraph& graph) override;
+
+ private:
+  const repo::SiteRepository* repo_;
+  predict::PerformancePredictor predictor_;
+  common::SiteId local_site_;
+};
+
+/// Min-min / max-min list schedulers with per-host completion-time
+/// tracking.
+class MinMinScheduler final : public Scheduler {
+ public:
+  /// `largest_first` = false gives min-min, true gives max-min.
+  MinMinScheduler(const repo::SiteRepository& repository, bool largest_first);
+  [[nodiscard]] AllocationTable schedule(const afg::FlowGraph& graph) override;
+
+ private:
+  const repo::SiteRepository* repo_;
+  predict::PerformancePredictor predictor_;
+  bool largest_first_;
+};
+
+}  // namespace vdce::sched

@@ -1,0 +1,117 @@
+#include "scheduler/directory.hpp"
+
+#include "common/error.hpp"
+
+namespace vdce::sched {
+
+void RepositoryDirectory::add_site(SiteId site,
+                                   const repo::SiteRepository* repository,
+                                   const predict::LoadForecaster* forecaster) {
+  common::expects(repository != nullptr, "repository must not be null");
+  if (sites_.contains(site)) {
+    throw common::StateError("site already registered in directory");
+  }
+  sites_.emplace(
+      site, Entry{repository,
+                  predict::PerformancePredictor(*repository, forecaster)});
+}
+
+std::vector<SiteId> RepositoryDirectory::sites() const {
+  std::vector<SiteId> out;
+  out.reserve(sites_.size());
+  for (const auto& [id, _] : sites_) out.push_back(id);
+  return out;
+}
+
+const RepositoryDirectory::Entry& RepositoryDirectory::entry(
+    SiteId site) const {
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    throw common::NotFoundError("unknown site in directory");
+  }
+  return it->second;
+}
+
+Duration RepositoryDirectory::site_distance(SiteId a, SiteId b) const {
+  if (a == b) return 0.0;
+  // Any site's repository knows the WAN map; use the first registered.
+  const auto link = entry(sites_.begin()->first)
+                        .repository->resources()
+                        .site_network(a, b);
+  if (!link) {
+    throw common::NotFoundError("no WAN link between the sites");
+  }
+  return link->latency_s;
+}
+
+Duration RepositoryDirectory::transfer_time(SiteId a, SiteId b,
+                                            double mb) const {
+  if (a == b) return 0.0;
+  const auto link = entry(sites_.begin()->first)
+                        .repository->resources()
+                        .site_network(a, b);
+  if (!link) {
+    throw common::NotFoundError("no WAN link between the sites");
+  }
+  return link->latency_s + mb / link->transfer_mb_per_s;
+}
+
+HostSelectionMap RepositoryDirectory::host_selection(
+    SiteId site, const afg::FlowGraph& graph) {
+  return run_host_selection(graph, site, entry(site).predictor);
+}
+
+Duration estimate_host_transfer(const repo::SiteRepository& repository,
+                                HostId from, HostId to, double mb) {
+  if (from == to) return 0.0;
+  const auto a = repository.resources().get(from);
+  const auto b = repository.resources().get(to);
+
+  const auto lan = [&](common::GroupId g) -> repo::NetworkAttrs {
+    if (const auto attrs = repository.resources().group_network(g, g)) {
+      return *attrs;
+    }
+    repo::NetworkAttrs fallback;  // typical LAN when unmeasured
+    fallback.latency_s = 0.0005;
+    fallback.transfer_mb_per_s = 10.0;
+    return fallback;
+  };
+
+  const auto ga = lan(a.static_attrs.group);
+  if (a.static_attrs.group == b.static_attrs.group) {
+    return ga.latency_s + mb / ga.transfer_mb_per_s;
+  }
+  const auto gb = lan(b.static_attrs.group);
+  if (a.static_attrs.site == b.static_attrs.site) {
+    const double bw =
+        std::min(ga.transfer_mb_per_s, gb.transfer_mb_per_s);
+    return ga.latency_s + gb.latency_s + mb / bw;
+  }
+  Duration wan = 0.0;
+  if (const auto link = repository.resources().site_network(
+          a.static_attrs.site, b.static_attrs.site)) {
+    wan = link->latency_s + mb / link->transfer_mb_per_s;
+  }
+  return ga.latency_s + gb.latency_s + wan;
+}
+
+Duration RepositoryDirectory::host_transfer_time(HostId from, HostId to,
+                                                 double mb) const {
+  common::expects(!sites_.empty(), "directory has no sites");
+  return estimate_host_transfer(*sites_.begin()->second.repository, from,
+                                to, mb);
+}
+
+Duration RepositoryDirectory::base_time(
+    const std::string& library_task) const {
+  common::expects(!sites_.empty(), "directory has no sites");
+  return sites_.begin()->second.repository->tasks().get(library_task)
+      .base_time_s;
+}
+
+const predict::PerformancePredictor& RepositoryDirectory::predictor(
+    SiteId site) const {
+  return entry(site).predictor;
+}
+
+}  // namespace vdce::sched

@@ -1,0 +1,31 @@
+// Host eligibility: the hardware/software requirement filter.
+//
+// "The schedule decision is based on the task specifications (i.e.,
+//  hardware/software requirements) in the application flow graph,
+//  locations and the configurations of the resources, and up-to-date
+//  resource loads."  (Section 1)
+//
+// A host is eligible for a task when it is alive, has the task's
+// executable (task-constraints database), and matches the user's
+// optional machine-type preferences from the Editor's property panel.
+#pragma once
+
+#include <vector>
+
+#include "afg/graph.hpp"
+#include "repository/repository.hpp"
+
+namespace vdce::sched {
+
+/// Hosts of `site` eligible to run `node` (any site when `site` is
+/// invalid()), sorted by id.
+[[nodiscard]] std::vector<common::HostId> eligible_hosts(
+    const repo::SiteRepository& repository, const afg::TaskNode& node,
+    common::SiteId site = common::SiteId::invalid());
+
+/// True if one specific host is eligible for `node`.
+[[nodiscard]] bool is_eligible(const repo::SiteRepository& repository,
+                               const afg::TaskNode& node,
+                               common::HostId host);
+
+}  // namespace vdce::sched

@@ -1,0 +1,51 @@
+#include "scheduler/host_selection.hpp"
+
+#include <algorithm>
+
+#include "scheduler/eligibility.hpp"
+
+namespace vdce::sched {
+
+HostSelectionMap run_host_selection(
+    const afg::FlowGraph& graph, common::SiteId site,
+    const predict::PerformancePredictor& predictor) {
+  const repo::SiteRepository& repository = predictor.repository();
+  HostSelectionMap out;
+  out.reserve(graph.task_count());
+
+  for (const afg::TaskNode& node : graph.tasks()) {
+    const auto candidates = eligible_hosts(repository, node, site);
+    HostSelection selection;
+
+    if (!candidates.empty()) {
+      // Evaluate Predict(task_i, R) for every eligible resource.
+      std::vector<std::pair<Duration, HostId>> scored;
+      scored.reserve(candidates.size());
+      for (const HostId host : candidates) {
+        scored.emplace_back(
+            predictor.predict(node.library_task, node.props.input_size, host),
+            host);
+      }
+      std::sort(scored.begin(), scored.end());
+      selection.scored = scored;
+
+      const unsigned want = node.props.mode == afg::ComputeMode::kParallel
+                                ? node.props.num_processors
+                                : 1u;
+      if (scored.size() >= want) {
+        for (unsigned i = 0; i < want; ++i) {
+          selection.hosts.push_back(scored[i].second);
+        }
+        // Sequential: the best host's prediction.  Parallel: the slowest
+        // selected machine bounds the per-processor share.
+        selection.predicted_s =
+            scored[want - 1].first / static_cast<double>(want);
+      }
+      // else: the site cannot offer enough machines -> infeasible.
+    }
+    out.emplace(node.id, std::move(selection));
+  }
+  return out;
+}
+
+}  // namespace vdce::sched

@@ -1,0 +1,55 @@
+#include "scheduler/qos.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace vdce::sched {
+
+Duration predicted_makespan(const afg::FlowGraph& graph,
+                            const AllocationTable& allocation,
+                            const SiteDirectory& directory) {
+  graph.validate();
+
+  std::unordered_map<HostId, Duration> host_free;
+  std::unordered_map<TaskId, Duration> finish;
+  Duration makespan = 0.0;
+
+  // Topological sweep: every parent is finished before its children
+  // are visited, so one pass suffices.
+  for (const TaskId id : graph.topological_order()) {
+    const AllocationEntry& entry = allocation.entry(id);
+
+    Duration data_ready = 0.0;
+    for (const TaskId p : graph.parents(id)) {
+      const Duration transfer = directory.host_transfer_time(
+          allocation.entry(p).primary_host(), entry.primary_host(),
+          graph.link(p, id).transfer_mb);
+      data_ready = std::max(data_ready, finish.at(p) + transfer);
+    }
+
+    Duration start = data_ready;
+    for (const HostId h : entry.hosts) {
+      const auto it = host_free.find(h);
+      if (it != host_free.end()) start = std::max(start, it->second);
+    }
+    const Duration end = start + entry.predicted_s;
+    finish[id] = end;
+    for (const HostId h : entry.hosts) host_free[h] = end;
+    makespan = std::max(makespan, end);
+  }
+  return makespan;
+}
+
+QosAdmission check_qos(const afg::FlowGraph& graph,
+                       const AllocationTable& allocation,
+                       const SiteDirectory& directory,
+                       const QosRequirement& qos) {
+  QosAdmission admission;
+  admission.predicted_makespan_s =
+      predicted_makespan(graph, allocation, directory);
+  admission.slack_s = qos.deadline_s - admission.predicted_makespan_s;
+  admission.admitted = admission.slack_s >= 0.0;
+  return admission;
+}
+
+}  // namespace vdce::sched

@@ -1,0 +1,52 @@
+// Application-level Quality of Service.
+//
+// "We provide an application-based scheduling framework that provides
+//  and guarantees Quality-of-Service (QoS) of a given application."
+//  (Section 2.2) and "The main goal of the VDCE project is to ...
+//  [manage] the Quality of Service (QoS) requirements."  (Section 1)
+//
+// The QoS admission check estimates an allocation's makespan from the
+// same information the scheduler used (per-task predictions + host
+// serialisation + host-level transfer estimates) and admits the
+// application only when the estimate meets the user's deadline.  The
+// runtime's load guard and rescheduling then defend the admitted
+// deadline against load changes (Section 2.3.1).
+#pragma once
+
+#include <optional>
+
+#include "afg/graph.hpp"
+#include "scheduler/directory.hpp"
+
+namespace vdce::sched {
+
+/// A user's QoS requirement for one application run.
+struct QosRequirement {
+  /// Wall-clock deadline for the whole application, seconds.
+  Duration deadline_s = 0.0;
+};
+
+/// The admission decision.
+struct QosAdmission {
+  bool admitted = false;
+  /// The estimate the decision was based on.
+  Duration predicted_makespan_s = 0.0;
+  /// Slack (deadline - estimate); negative when rejected.
+  Duration slack_s = 0.0;
+};
+
+/// Estimates the makespan of `allocation` for `graph`: an
+/// estimated-completion-time sweep over the allocation with per-host
+/// serialisation and host-level transfer estimates from `directory`.
+/// This is the scheduler's view (predictions, not ground truth).
+[[nodiscard]] Duration predicted_makespan(const afg::FlowGraph& graph,
+                                          const AllocationTable& allocation,
+                                          const SiteDirectory& directory);
+
+/// Admission check: estimate the makespan and compare to the deadline.
+[[nodiscard]] QosAdmission check_qos(const afg::FlowGraph& graph,
+                                     const AllocationTable& allocation,
+                                     const SiteDirectory& directory,
+                                     const QosRequirement& qos);
+
+}  // namespace vdce::sched

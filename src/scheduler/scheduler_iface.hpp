@@ -1,0 +1,28 @@
+// Common interface of every task-to-resource mapper (the VDCE site
+// scheduler and the baseline policies the benches compare it against).
+#pragma once
+
+#include "afg/graph.hpp"
+#include "common/error.hpp"
+#include "scheduler/allocation.hpp"
+
+namespace vdce::sched {
+
+/// Raised when no feasible mapping exists for some task.
+class SchedulingError : public common::VdceError {
+ public:
+  using VdceError::VdceError;
+};
+
+/// A task-to-resource mapping policy.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Maps every task of `graph` to resources.  Throws SchedulingError
+  /// when some task cannot be placed.
+  [[nodiscard]] virtual AllocationTable schedule(
+      const afg::FlowGraph& graph) = 0;
+};
+
+}  // namespace vdce::sched

@@ -1,0 +1,221 @@
+#include "scheduler/site_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_set>
+
+namespace vdce::sched {
+
+SiteScheduler::SiteScheduler(SiteId local_site, SiteDirectory& directory,
+                             SiteSchedulerConfig config)
+    : local_site_(local_site), directory_(&directory), config_(config) {}
+
+std::vector<SiteId> SiteScheduler::select_nearest_sites() const {
+  // Step 2: the k nearest remote sites by WAN distance.
+  std::vector<SiteId> remotes;
+  for (const SiteId s : directory_->sites()) {
+    if (s != local_site_) remotes.push_back(s);
+  }
+  std::sort(remotes.begin(), remotes.end(), [&](SiteId a, SiteId b) {
+    const Duration da = directory_->site_distance(local_site_, a);
+    const Duration db = directory_->site_distance(local_site_, b);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  if (remotes.size() > config_.k_nearest) remotes.resize(config_.k_nearest);
+  return remotes;
+}
+
+AllocationTable SiteScheduler::schedule(const afg::FlowGraph& graph) {
+  graph.validate();
+
+  // Steps 2-5: consult the local site plus the k nearest remotes.
+  consulted_.clear();
+  consulted_.push_back(local_site_);
+  for (const SiteId s : select_nearest_sites()) consulted_.push_back(s);
+
+  std::map<SiteId, HostSelectionMap> offers;
+  for (const SiteId s : consulted_) {
+    offers.emplace(s, directory_->host_selection(s, graph));
+  }
+
+  // Levels from base-processor computation costs (Section 2.2), fixed
+  // before the scheduling loop runs.
+  const auto levels = afg::compute_levels(graph, [&](const afg::TaskNode& n) {
+    return directory_->base_time(n.library_task) * n.props.input_size;
+  });
+
+  // Priority of a ready task under the configured policy.
+  const auto better = [&](TaskId a, TaskId b) {
+    switch (config_.priority) {
+      case PriorityPolicy::kLevel: {
+        const double la = levels.at(a);
+        const double lb = levels.at(b);
+        if (la != lb) return la > lb;
+        return a < b;
+      }
+      case PriorityPolicy::kFifo:
+        return a < b;
+      case PriorityPolicy::kRandomized: {
+        const auto h = [](TaskId t) {
+          std::uint64_t x = t.value() * 0x9E3779B97F4A7C15ull + 1;
+          x ^= x >> 29;
+          x *= 0xBF58476D1CE4E5B9ull;
+          x ^= x >> 32;
+          return x;
+        };
+        const auto ha = h(a);
+        const auto hb = h(b);
+        if (ha != hb) return ha < hb;
+        return a < b;
+      }
+    }
+    return a < b;
+  };
+
+  // Step 6: ready set bookkeeping.
+  std::unordered_map<TaskId, std::size_t> unscheduled_parents;
+  for (const afg::TaskNode& n : graph.tasks()) {
+    unscheduled_parents[n.id] = graph.parents(n.id).size();
+  }
+  std::vector<TaskId> ready;
+  for (const TaskId id : graph.entry_tasks()) ready.push_back(id);
+
+  AllocationTable table(graph.name());
+  // Queue-aware extension: estimated-completion-time bookkeeping.
+  // host_free[h] = when h finishes its committed work; finish_est[t] =
+  // estimated finish of an already-placed task.  A candidate's cost is
+  // its estimated completion max(host_free, data_ready) + predicted, so
+  // sequential chains are not penalised while parallel siblings spread.
+  std::unordered_map<HostId, Duration> host_free;
+  std::unordered_map<TaskId, Duration> finish_est;
+
+  // Step 7: schedule ready tasks in priority order.
+  while (!ready.empty()) {
+    const auto it = std::min_element(
+        ready.begin(), ready.end(),
+        [&](TaskId a, TaskId b) { return better(a, b); });
+    const TaskId task = *it;
+    ready.erase(it);
+    const afg::TaskNode& node = graph.task(task);
+
+    // Does the task consume input files from its parents?
+    const auto parents = graph.parents(task);
+    bool needs_inputs = false;
+    for (const TaskId p : parents) {
+      if (graph.link(p, task).transfer_mb > 0.0) {
+        needs_inputs = true;
+        break;
+      }
+    }
+
+    SiteId best_site = SiteId::invalid();
+    Duration best_cost = std::numeric_limits<double>::infinity();
+    std::vector<HostId> best_hosts;
+    Duration best_predicted = 0.0;
+
+    const bool parallel = node.props.mode == afg::ComputeMode::kParallel;
+
+    for (const SiteId s : consulted_) {
+      const HostSelection& offer = offers.at(s).at(task);
+      if (!offer.feasible()) continue;
+
+      Duration transfer_cost = 0.0;
+      if (needs_inputs && config_.transfer_aware) {
+        // Sum the transfer of every parent's output into site s.
+        for (const TaskId p : parents) {
+          const SiteId parent_site = table.entry(p).site;
+          transfer_cost += directory_->transfer_time(
+              parent_site, s, graph.link(p, task).transfer_mb);
+        }
+      }
+
+      if (config_.queue_aware && !parallel) {
+        // Estimated completion on every candidate host, with the input
+        // arrival time evaluated per host (intra-site LAN included).
+        for (const auto& [predicted, host] : offer.scored) {
+          Duration data_ready = 0.0;
+          for (const TaskId p : parents) {
+            Duration arrival = finish_est.at(p);
+            if (config_.transfer_aware) {
+              arrival += directory_->host_transfer_time(
+                  table.entry(p).primary_host(), host,
+                  graph.link(p, task).transfer_mb);
+            }
+            data_ready = std::max(data_ready, arrival);
+          }
+          const auto free_it = host_free.find(host);
+          const Duration start = std::max(
+              data_ready, free_it == host_free.end() ? 0.0 : free_it->second);
+          const Duration cost = start + predicted;
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_site = s;
+            best_hosts = {host};
+            best_predicted = predicted;
+          }
+        }
+      } else {
+        const Duration cost = offer.predicted_s + transfer_cost;
+        // Tie-break: prefer the local site, then the lower site id (the
+        // iteration order of consulted_ starts with the local site).
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_site = s;
+          best_hosts = offer.hosts;
+          best_predicted = offer.predicted_s;
+        }
+      }
+    }
+
+    if (!best_site.valid()) {
+      throw SchedulingError("no feasible resource for task '" + node.label +
+                            "' (" + node.library_task + ") in the " +
+                            std::to_string(consulted_.size()) +
+                            " consulted site(s)");
+    }
+
+    if (config_.queue_aware) {
+      // Completion estimate for this task under the chosen placement.
+      Duration data_ready = 0.0;
+      for (const TaskId p : parents) {
+        Duration arrival = finish_est.at(p);
+        if (config_.transfer_aware) {
+          arrival += directory_->host_transfer_time(
+              table.entry(p).primary_host(), best_hosts.front(),
+              graph.link(p, task).transfer_mb);
+        }
+        data_ready = std::max(data_ready, arrival);
+      }
+      Duration start = data_ready;
+      for (const HostId h : best_hosts) {
+        const auto free_it = host_free.find(h);
+        if (free_it != host_free.end()) {
+          start = std::max(start, free_it->second);
+        }
+      }
+      const Duration finish = start + best_predicted;
+      finish_est[task] = finish;
+      for (const HostId h : best_hosts) host_free[h] = finish;
+    }
+
+    AllocationEntry entry;
+    entry.task = task;
+    entry.task_label = node.label;
+    entry.library_task = node.library_task;
+    entry.hosts = best_hosts;
+    entry.site = best_site;
+    entry.predicted_s = best_predicted;
+    table.add(std::move(entry));
+
+    // Release children whose parents are now all scheduled.
+    for (const TaskId child : graph.children(task)) {
+      if (--unscheduled_parents[child] == 0) ready.push_back(child);
+    }
+  }
+
+  return table;
+}
+
+}  // namespace vdce::sched

@@ -1,0 +1,168 @@
+#include "sim/static_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace vdce::sim {
+
+const SimTaskRecord& SimResult::record(TaskId task) const {
+  const auto it = std::find_if(
+      records.begin(), records.end(),
+      [task](const SimTaskRecord& r) { return r.task == task; });
+  if (it == records.end()) {
+    throw common::NotFoundError("no simulation record for task");
+  }
+  return *it;
+}
+
+StaticSimulator::StaticSimulator(netsim::VirtualTestbed& testbed,
+                                 const repo::TaskPerformanceDb& task_db)
+    : testbed_(&testbed), task_db_(&task_db) {}
+
+SimResult StaticSimulator::run(const afg::FlowGraph& graph,
+                               const sched::AllocationTable& allocation,
+                               TimePoint start_at) {
+  return run_many({SimJob{&graph, &allocation, start_at}}).front();
+}
+
+std::vector<SimResult> StaticSimulator::run_many(
+    const std::vector<SimJob>& jobs) {
+  common::expects(!jobs.empty(), "run_many needs at least one job");
+  for (const SimJob& job : jobs) {
+    common::expects(job.graph != nullptr && job.allocation != nullptr,
+                    "job graph/allocation must be set");
+    job.graph->validate();
+  }
+
+  // Composite key: (job index, task id).
+  struct Key {
+    std::size_t job;
+    TaskId task;
+    bool operator==(const Key& other) const {
+      return job == other.job && task == other.task;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::size_t>{}(k.job) * 1000003u ^
+             std::hash<TaskId>{}(k.task);
+    }
+  };
+
+  struct Pending {
+    Key key;
+    TimePoint data_ready;
+  };
+
+  std::unordered_map<Key, std::size_t, KeyHash> waiting_parents;
+  std::unordered_map<Key, TimePoint, KeyHash> finish_time;
+  std::unordered_map<HostId, TimePoint> host_free;
+  std::vector<Pending> ready;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (const afg::TaskNode& n : jobs[j].graph->tasks()) {
+      const Key key{j, n.id};
+      waiting_parents[key] = jobs[j].graph->parents(n.id).size();
+      if (waiting_parents[key] == 0) {
+        ready.push_back(Pending{key, jobs[j].submit_at});
+      }
+    }
+  }
+
+  std::vector<SimResult> results(jobs.size());
+
+  const auto start_of = [&](const Pending& p) {
+    TimePoint s = p.data_ready;
+    for (const HostId h :
+         jobs[p.key.job].allocation->entry(p.key.task).hosts) {
+      const auto it = host_free.find(h);
+      if (it != host_free.end()) s = std::max(s, it->second);
+    }
+    return s;
+  };
+
+  while (!ready.empty()) {
+    // Earliest feasible start first (FCFS per host); ties by job then
+    // task id.
+    const auto best = std::min_element(
+        ready.begin(), ready.end(), [&](const Pending& a, const Pending& b) {
+          const TimePoint sa = start_of(a);
+          const TimePoint sb = start_of(b);
+          if (sa != sb) return sa < sb;
+          if (a.key.job != b.key.job) return a.key.job < b.key.job;
+          return a.key.task < b.key.task;
+        });
+    const Pending pending = *best;
+    ready.erase(best);
+
+    const SimJob& job = jobs[pending.key.job];
+    const afg::TaskNode& node = job.graph->task(pending.key.task);
+    const sched::AllocationEntry& entry =
+        job.allocation->entry(pending.key.task);
+    const auto rec = task_db_->get(node.library_task);
+
+    TimePoint start = pending.data_ready;
+    for (const HostId h : entry.hosts) {
+      const auto it = host_free.find(h);
+      if (it != host_free.end()) start = std::max(start, it->second);
+    }
+
+    // Parallel tasks: the slowest assigned machine bounds the
+    // per-processor share (matching the prediction model).
+    Duration exec = 0.0;
+    for (const HostId h : entry.hosts) {
+      exec = std::max(exec, testbed_->execution_time_at(
+                                rec, node.props.input_size, h, start));
+    }
+    exec /= static_cast<double>(entry.hosts.size());
+
+    const TimePoint finish = start + exec;
+    for (const HostId h : entry.hosts) host_free[h] = finish;
+    finish_time[pending.key] = finish;
+    SimResult& result = results[pending.key.job];
+    result.makespan_s = std::max(result.makespan_s, finish - job.submit_at);
+
+    SimTaskRecord out;
+    out.task = pending.key.task;
+    out.label = node.label;
+    out.library_task = node.library_task;
+    out.host = entry.primary_host();
+    out.site = entry.site;
+    out.data_ready = pending.data_ready;
+    out.start = start;
+    out.finish = finish;
+    out.exec_s = exec;
+    result.records.push_back(out);
+
+    // Release children: data arrives after the producer's output
+    // transfer to the child's host.
+    for (const TaskId child : job.graph->children(pending.key.task)) {
+      const Key child_key{pending.key.job, child};
+      if (--waiting_parents[child_key] != 0) continue;
+      TimePoint data_ready = job.submit_at;
+      for (const TaskId parent : job.graph->parents(child)) {
+        const Duration transfer = testbed_->transfer_time(
+            job.allocation->entry(parent).primary_host(),
+            job.allocation->entry(child).primary_host(),
+            job.graph->link(parent, child).transfer_mb);
+        data_ready = std::max(
+            data_ready,
+            finish_time.at(Key{pending.key.job, parent}) + transfer);
+      }
+      ready.push_back(Pending{child_key, data_ready});
+    }
+  }
+
+  for (SimResult& result : results) {
+    std::sort(result.records.begin(), result.records.end(),
+              [](const SimTaskRecord& a, const SimTaskRecord& b) {
+                if (a.start != b.start) return a.start < b.start;
+                return a.task < b.task;
+              });
+  }
+  return results;
+}
+
+}  // namespace vdce::sim

@@ -1,0 +1,85 @@
+// Static execution simulation: the makespan of a scheduled application.
+//
+// Given an AFG and a resource allocation table, replays the execution
+// against the virtual testbed's ground truth: per-host serialisation
+// (one task at a time per machine), inter-task transfer times over the
+// modelled links, and load-dependent execution times.  No failures and
+// no rescheduling — this is the measurement instrument for comparing
+// scheduling policies (experiment F4/F5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "afg/graph.hpp"
+#include "netsim/testbed.hpp"
+#include "scheduler/allocation.hpp"
+
+namespace vdce::sim {
+
+using common::Duration;
+using common::HostId;
+using common::SiteId;
+using common::TaskId;
+using common::TimePoint;
+
+/// One simulated task execution.
+struct SimTaskRecord {
+  TaskId task;
+  std::string label;
+  std::string library_task;
+  HostId host;          // primary host
+  SiteId site;
+  TimePoint data_ready = 0.0;  // all inputs arrived
+  TimePoint start = 0.0;       // host free and data ready
+  TimePoint finish = 0.0;
+  Duration exec_s = 0.0;
+  /// How many placements this task needed (1 = no rescheduling; used by
+  /// the dynamic simulator which shares this record type).
+  int attempts = 1;
+};
+
+/// Result of one simulated run.
+struct SimResult {
+  std::vector<SimTaskRecord> records;
+  Duration makespan_s = 0.0;
+  std::size_t reschedules = 0;
+  std::size_t failures_hit = 0;
+
+  [[nodiscard]] const SimTaskRecord& record(TaskId task) const;
+};
+
+/// One application of a joint multi-application replay.
+struct SimJob {
+  const afg::FlowGraph* graph = nullptr;
+  const sched::AllocationTable* allocation = nullptr;
+  TimePoint submit_at = 0.0;
+};
+
+/// Deterministic static execution simulator.
+class StaticSimulator {
+ public:
+  /// `testbed` supplies ground truth; `task_db` the task cost records.
+  /// Both must outlive the simulator.
+  StaticSimulator(netsim::VirtualTestbed& testbed,
+                  const repo::TaskPerformanceDb& task_db);
+
+  /// Replays `graph` under `allocation` starting at `start_at`.
+  [[nodiscard]] SimResult run(const afg::FlowGraph& graph,
+                              const sched::AllocationTable& allocation,
+                              TimePoint start_at = 0.0);
+
+  /// Joint replay of several applications sharing the testbed ("a site
+  /// can be a local site for some of the applications and ... a remote
+  /// site for some of the others running in the VDCE system"): tasks of
+  /// different applications contend for the same hosts (FCFS per
+  /// machine).  Returns one result per job, index-aligned.
+  [[nodiscard]] std::vector<SimResult> run_many(
+      const std::vector<SimJob>& jobs);
+
+ private:
+  netsim::VirtualTestbed* testbed_;
+  const repo::TaskPerformanceDb* task_db_;
+};
+
+}  // namespace vdce::sim

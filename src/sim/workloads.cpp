@@ -1,0 +1,280 @@
+#include "sim/workloads.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vdce::sim {
+
+using afg::FlowGraph;
+using afg::TaskProperties;
+using common::TaskId;
+
+std::string to_string(GraphFamily family) {
+  switch (family) {
+    case GraphFamily::kChain:       return "chain";
+    case GraphFamily::kForkJoin:    return "fork_join";
+    case GraphFamily::kLayered:     return "layered";
+    case GraphFamily::kInTree:      return "in_tree";
+    case GraphFamily::kIndependent: return "independent";
+  }
+  return "?";
+}
+
+namespace {
+
+/// synth_compute accepts at most 8 inputs.
+constexpr std::size_t kMaxFanIn = 8;
+
+TaskProperties random_props(const SyntheticGraphParams& p, common::Rng& rng) {
+  TaskProperties props;
+  props.input_size = rng.uniform(p.min_input_size, p.max_input_size);
+  return props;
+}
+
+double random_mb(const SyntheticGraphParams& p, common::Rng& rng) {
+  return rng.uniform(p.min_transfer_mb, p.max_transfer_mb);
+}
+
+FlowGraph make_chain(const SyntheticGraphParams& p, common::Rng& rng) {
+  FlowGraph g("chain_" + std::to_string(p.size));
+  const std::size_t n = std::max<std::size_t>(2, p.size);
+  std::vector<TaskId> ids;
+  ids.push_back(g.add_task("synth_source", "n0", random_props(p, rng)));
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    ids.push_back(g.add_task("synth_compute", "n" + std::to_string(i),
+                             random_props(p, rng)));
+  }
+  ids.push_back(g.add_task("synth_sink", "n" + std::to_string(n - 1),
+                           random_props(p, rng)));
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    g.add_link(ids[i], ids[i + 1], random_mb(p, rng));
+  }
+  return g;
+}
+
+FlowGraph make_fork_join(const SyntheticGraphParams& p, common::Rng& rng) {
+  FlowGraph g("fork_join_" + std::to_string(p.size));
+  const std::size_t width = std::max<std::size_t>(1, p.size);
+  const TaskId src = g.add_task("synth_source", "src", random_props(p, rng));
+  // synth_sink takes at most 8 inputs: chain sinks when wider.
+  std::vector<TaskId> mid;
+  for (std::size_t i = 0; i < width; ++i) {
+    const TaskId t = g.add_task("synth_compute", "w" + std::to_string(i),
+                                random_props(p, rng));
+    g.add_link(src, t, random_mb(p, rng));
+    mid.push_back(t);
+  }
+  // Reduce in groups of <= 8 until one sink remains.
+  std::size_t round = 0;
+  while (mid.size() > 1) {
+    std::vector<TaskId> next;
+    for (std::size_t i = 0; i < mid.size(); i += kMaxFanIn) {
+      const std::size_t hi = std::min(mid.size(), i + kMaxFanIn);
+      const bool last = (hi - i) == mid.size();
+      const TaskId t =
+          g.add_task(last ? "synth_sink" : "synth_compute",
+                     "r" + std::to_string(round) + "_" + std::to_string(i),
+                     random_props(p, rng));
+      for (std::size_t j = i; j < hi; ++j) {
+        g.add_link(mid[j], t, random_mb(p, rng));
+      }
+      next.push_back(t);
+    }
+    mid = std::move(next);
+    ++round;
+  }
+  return g;
+}
+
+FlowGraph make_layered(const SyntheticGraphParams& p, common::Rng& rng) {
+  FlowGraph g("layered_" + std::to_string(p.size) + "x" +
+              std::to_string(p.width));
+  const std::size_t layers = std::max<std::size_t>(2, p.size);
+  const std::size_t width = std::max<std::size_t>(1, p.width);
+
+  std::vector<std::vector<TaskId>> layer_ids(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (std::size_t w = 0; w < width; ++w) {
+      const std::string name = (l == 0) ? "synth_source" : "synth_compute";
+      layer_ids[l].push_back(
+          g.add_task(name,
+                     "l" + std::to_string(l) + "_" + std::to_string(w),
+                     random_props(p, rng)));
+    }
+  }
+  // Guaranteed parent + random extras, capped at the library fan-in.
+  for (std::size_t l = 1; l < layers; ++l) {
+    for (std::size_t w = 0; w < width; ++w) {
+      const TaskId node = layer_ids[l][w];
+      std::vector<std::size_t> parents;
+      parents.push_back(rng.uniform_int(width));
+      for (std::size_t q = 0; q < width && parents.size() < kMaxFanIn; ++q) {
+        if (q != parents.front() && rng.bernoulli(p.edge_probability)) {
+          parents.push_back(q);
+        }
+      }
+      std::sort(parents.begin(), parents.end());
+      parents.erase(std::unique(parents.begin(), parents.end()),
+                    parents.end());
+      for (const std::size_t q : parents) {
+        g.add_link(layer_ids[l - 1][q], node, random_mb(p, rng));
+      }
+    }
+  }
+  // One sink collecting up to 8 nodes of the last layer.
+  const TaskId sink = g.add_task("synth_sink", "sink", random_props(p, rng));
+  for (std::size_t w = 0; w < std::min(width, kMaxFanIn); ++w) {
+    g.add_link(layer_ids[layers - 1][w], sink, random_mb(p, rng));
+  }
+  return g;
+}
+
+FlowGraph make_in_tree(const SyntheticGraphParams& p, common::Rng& rng) {
+  FlowGraph g("in_tree_" + std::to_string(p.size));
+  const std::size_t depth = std::max<std::size_t>(1, p.size);
+  constexpr std::size_t kArity = 4;
+
+  // Leaves at the deepest level, reduced kArity at a time.
+  std::size_t leaves = 1;
+  for (std::size_t d = 0; d < depth; ++d) leaves *= kArity;
+  leaves = std::min<std::size_t>(leaves, 256);
+
+  std::vector<TaskId> level;
+  for (std::size_t i = 0; i < leaves; ++i) {
+    level.push_back(g.add_task("synth_source", "leaf" + std::to_string(i),
+                               random_props(p, rng)));
+  }
+  std::size_t round = 0;
+  while (level.size() > 1) {
+    std::vector<TaskId> next;
+    for (std::size_t i = 0; i < level.size(); i += kArity) {
+      const std::size_t hi = std::min(level.size(), i + kArity);
+      const bool last = (hi - i) == level.size() && level.size() <= kArity;
+      const TaskId t =
+          g.add_task(last ? "synth_sink" : "synth_compute",
+                     "t" + std::to_string(round) + "_" + std::to_string(i),
+                     random_props(p, rng));
+      for (std::size_t j = i; j < hi; ++j) {
+        g.add_link(level[j], t, random_mb(p, rng));
+      }
+      next.push_back(t);
+    }
+    level = std::move(next);
+    ++round;
+  }
+  return g;
+}
+
+FlowGraph make_independent(const SyntheticGraphParams& p, common::Rng& rng) {
+  FlowGraph g("independent_" + std::to_string(p.size));
+  const std::size_t n = std::max<std::size_t>(1, p.size);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskId src = g.add_task(
+        "synth_source", "s" + std::to_string(i), random_props(p, rng));
+    const TaskId work = g.add_task(
+        "synth_compute", "c" + std::to_string(i), random_props(p, rng));
+    g.add_link(src, work, random_mb(p, rng));
+  }
+  return g;
+}
+
+}  // namespace
+
+FlowGraph make_synthetic_graph(const SyntheticGraphParams& params,
+                               common::Rng& rng) {
+  switch (params.family) {
+    case GraphFamily::kChain:       return make_chain(params, rng);
+    case GraphFamily::kForkJoin:    return make_fork_join(params, rng);
+    case GraphFamily::kLayered:     return make_layered(params, rng);
+    case GraphFamily::kInTree:      return make_in_tree(params, rng);
+    case GraphFamily::kIndependent: return make_independent(params, rng);
+  }
+  throw common::StateError("unknown graph family");
+}
+
+FlowGraph make_linear_solver_graph(double matrix_scale) {
+  // x = A^-1 b with PA = LU:  x = U^-1 (L^-1 (P b)).
+  FlowGraph g("linear_solver");
+  TaskProperties mat;
+  mat.input_size = matrix_scale;
+
+  const TaskId a = g.add_task("matrix_generate", "A", mat);
+  const TaskId b = g.add_task("vector_generate", "b", mat);
+  const TaskId lu = g.add_task("lu_decomposition", "LU", mat);
+  const TaskId low = g.add_task("lu_lower", "L", mat);
+  const TaskId up = g.add_task("lu_upper", "U", mat);
+  const TaskId li = g.add_task("matrix_inversion", "L_inv", mat);
+  const TaskId ui = g.add_task("matrix_inversion", "U_inv", mat);
+  const TaskId pb = g.add_task("permute_vector", "Pb", mat);
+  const TaskId y = g.add_task("matrix_vector_multiply", "y", mat);
+  const TaskId x = g.add_task("matrix_vector_multiply", "x", mat);
+  const TaskId res = g.add_task("residual_check", "residual", mat);
+
+  const double mat_mb = 0.008 * matrix_scale;
+  const double vec_mb = 0.0003 * matrix_scale;
+
+  g.add_link(a, lu, mat_mb);
+  g.add_link(lu, low, mat_mb);
+  g.add_link(lu, up, mat_mb);
+  g.add_link(low, li, mat_mb);
+  g.add_link(up, ui, mat_mb);
+  // permute_vector(LU, b)
+  g.add_link(lu, pb, mat_mb);
+  g.add_link(b, pb, vec_mb);
+  // y = L_inv * Pb
+  g.add_link(li, y, mat_mb);
+  g.add_link(pb, y, vec_mb);
+  // x = U_inv * y
+  g.add_link(ui, x, mat_mb);
+  g.add_link(y, x, vec_mb);
+  // residual_check(A, x, b)
+  g.add_link(a, res, mat_mb);
+  g.add_link(x, res, vec_mb);
+  g.add_link(b, res, vec_mb);
+  return g;
+}
+
+FlowGraph make_c3i_graph(double scenario_scale) {
+  FlowGraph g("c3i_surveillance");
+  TaskProperties props;
+  props.input_size = scenario_scale;
+
+  const TaskId ingest = g.add_task("sensor_ingest", "ingest", props);
+  const TaskId detect = g.add_task("target_detect", "detect", props);
+  const TaskId track = g.add_task("track_filter", "track", props);
+  const TaskId rank = g.add_task("threat_rank", "rank", props);
+  const TaskId display = g.add_task("c3i_display", "display", props);
+
+  g.add_link(ingest, detect, 0.01 * scenario_scale);
+  g.add_link(detect, track, 0.005 * scenario_scale);
+  g.add_link(track, rank, 0.001 * scenario_scale);
+  g.add_link(rank, display, 0.0005 * scenario_scale);
+  g.add_link(track, display, 0.001 * scenario_scale);
+  return g;
+}
+
+FlowGraph make_fourier_graph(double signal_scale) {
+  FlowGraph g("fourier_analysis");
+  TaskProperties props;
+  props.input_size = signal_scale;
+
+  const TaskId s1 = g.add_task("signal_generate", "sig1", props);
+  const TaskId s2 = g.add_task("signal_generate", "sig2", props);
+  const TaskId sp1 = g.add_task("power_spectrum", "spec1", props);
+  const TaskId sp2 = g.add_task("power_spectrum", "spec2", props);
+  const TaskId conv = g.add_task("convolve", "conv", props);
+  const TaskId sink = g.add_task("synth_sink", "collect", props);
+
+  const double sig_mb = 0.002 * signal_scale;
+  g.add_link(s1, sp1, sig_mb);
+  g.add_link(s2, sp2, sig_mb);
+  g.add_link(s1, conv, sig_mb);
+  g.add_link(s2, conv, sig_mb);
+  g.add_link(sp1, sink, sig_mb);
+  g.add_link(sp2, sink, sig_mb);
+  g.add_link(conv, sink, sig_mb);
+  return g;
+}
+
+}  // namespace vdce::sim

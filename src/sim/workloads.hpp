@@ -1,0 +1,69 @@
+// Workload generators: the application flow graphs the experiments run.
+//
+// Two kinds: the paper's concrete applications (the Figure 3 Linear
+// Equation Solver and a C3I surveillance pipeline built from the task
+// libraries) and parameterised synthetic graph families (chains,
+// fork-joins, layered random DAGs, reduction trees) for the scheduling
+// sweeps.
+#pragma once
+
+#include <cstdint>
+
+#include "afg/graph.hpp"
+#include "common/rng.hpp"
+
+namespace vdce::sim {
+
+/// Synthetic DAG shapes.
+enum class GraphFamily : std::uint8_t {
+  kChain,        // source -> compute -> ... -> sink
+  kForkJoin,     // source -> W computes -> sink
+  kLayered,      // L layers x W width, random inter-layer edges
+  kInTree,       // reduction tree: leaves -> ... -> root
+  kIndependent,  // N disconnected source -> sink pairs
+};
+
+[[nodiscard]] std::string to_string(GraphFamily family);
+
+/// Parameters of a synthetic graph.
+struct SyntheticGraphParams {
+  GraphFamily family = GraphFamily::kLayered;
+  /// Total size knob: nodes along the main dimension (chain length,
+  /// fork width, layer count, tree depth, pair count).
+  std::size_t size = 4;
+  /// Width of each layer (layered family only).
+  std::size_t width = 4;
+  /// Probability of each possible inter-layer edge beyond the
+  /// guaranteed one (layered family only).
+  double edge_probability = 0.3;
+  /// Range of per-task input_size properties.
+  double min_input_size = 0.5;
+  double max_input_size = 2.0;
+  /// Range of link transfer sizes, MB.
+  double min_transfer_mb = 0.1;
+  double max_transfer_mb = 4.0;
+};
+
+/// Builds a synthetic AFG over the synthetic task library.
+/// Deterministic for a given rng state.
+[[nodiscard]] afg::FlowGraph make_synthetic_graph(
+    const SyntheticGraphParams& params, common::Rng& rng);
+
+/// The Figure 3 application: a Linear Equation Solver (Ax = b via LU
+/// decomposition, triangular-factor inversions and multiplications),
+/// ending in a residual check.  `matrix_scale` is the input_size of the
+/// generator tasks (matrix order = 32 * matrix_scale).
+[[nodiscard]] afg::FlowGraph make_linear_solver_graph(
+    double matrix_scale = 1.0);
+
+/// A C3I surveillance pipeline: sensor ingest -> detection -> tracking
+/// -> threat ranking -> display, the C3I library's canonical chain.
+/// `scenario_scale` is the ingest task's input_size (scan count = 16 *
+/// scenario_scale).
+[[nodiscard]] afg::FlowGraph make_c3i_graph(double scenario_scale = 1.0);
+
+/// A Fourier analysis application: two generated signals, their spectra
+/// and their convolution, reduced by a sink.
+[[nodiscard]] afg::FlowGraph make_fourier_graph(double signal_scale = 1.0);
+
+}  // namespace vdce::sim

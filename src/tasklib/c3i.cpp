@@ -1,0 +1,213 @@
+#include "tasklib/c3i.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vdce::tasklib {
+
+using common::expects;
+
+std::vector<std::vector<SensorReport>> generate_scenario(
+    const ScenarioParams& params, std::size_t num_scans, double dt_s,
+    common::Rng& rng) {
+  expects(dt_s > 0.0, "scan spacing must be positive");
+
+  struct Target {
+    double x, y, vx, vy;
+  };
+  std::vector<Target> targets;
+  targets.reserve(params.num_targets);
+  for (std::size_t i = 0; i < params.num_targets; ++i) {
+    Target t;
+    t.x = rng.uniform(0.0, params.field_km);
+    t.y = rng.uniform(0.0, params.field_km);
+    const double speed = rng.uniform(0.1, 1.0) * params.max_speed_km_s;
+    const double heading = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    t.vx = speed * std::cos(heading);
+    t.vy = speed * std::sin(heading);
+    targets.push_back(t);
+  }
+
+  std::vector<std::vector<SensorReport>> scans;
+  scans.reserve(num_scans);
+  for (std::size_t s = 0; s < num_scans; ++s) {
+    const double t = static_cast<double>(s) * dt_s;
+    std::vector<SensorReport> scan;
+    scan.reserve(params.num_targets + params.clutter_per_scan);
+    for (const Target& target : targets) {
+      SensorReport r;
+      r.x = target.x + target.vx * t + rng.normal(0.0, params.noise_sigma_km);
+      r.y = target.y + target.vy * t + rng.normal(0.0, params.noise_sigma_km);
+      r.intensity = params.target_intensity * rng.uniform(0.8, 1.2);
+      r.time_s = t;
+      scan.push_back(r);
+    }
+    for (std::size_t c = 0; c < params.clutter_per_scan; ++c) {
+      SensorReport r;
+      r.x = rng.uniform(0.0, params.field_km);
+      r.y = rng.uniform(0.0, params.field_km);
+      r.intensity = rng.uniform(0.0, params.clutter_intensity_max);
+      r.time_s = t;
+      scan.push_back(r);
+    }
+    scans.push_back(std::move(scan));
+  }
+  return scans;
+}
+
+std::vector<Detection> detect(const std::vector<SensorReport>& reports,
+                              double threshold) {
+  std::vector<Detection> out;
+  for (const SensorReport& r : reports) {
+    if (r.intensity >= threshold) {
+      out.push_back(Detection{r.x, r.y, r.intensity, r.time_s});
+    }
+  }
+  return out;
+}
+
+Association associate(const std::vector<Track>& tracks,
+                      const std::vector<Detection>& detections,
+                      double gate_km) {
+  Association result;
+  result.track_to_detection.assign(tracks.size(), std::nullopt);
+  std::vector<bool> claimed(detections.size(), false);
+
+  for (std::size_t ti = 0; ti < tracks.size(); ++ti) {
+    const Track& track = tracks[ti];
+    double best = gate_km;
+    std::optional<std::size_t> best_idx;
+    for (std::size_t di = 0; di < detections.size(); ++di) {
+      if (claimed[di]) continue;
+      const Detection& d = detections[di];
+      const double dt = d.time_s - track.last_update_s;
+      const double px = track.x + track.vx * dt;
+      const double py = track.y + track.vy * dt;
+      const double dist = std::hypot(d.x - px, d.y - py);
+      if (dist <= best) {
+        best = dist;
+        best_idx = di;
+      }
+    }
+    if (best_idx) {
+      claimed[*best_idx] = true;
+      result.track_to_detection[ti] = best_idx;
+    }
+  }
+  for (std::size_t di = 0; di < detections.size(); ++di) {
+    if (!claimed[di]) result.unassociated.push_back(di);
+  }
+  return result;
+}
+
+std::vector<Track> track_update(const std::vector<Track>& tracks,
+                                const std::vector<Detection>& detections,
+                                double scan_time_s, const FilterParams& params,
+                                std::uint32_t& next_track_id) {
+  const Association assoc = associate(tracks, detections, params.gate_km);
+
+  std::vector<Track> out;
+  out.reserve(tracks.size() + assoc.unassociated.size());
+
+  for (std::size_t ti = 0; ti < tracks.size(); ++ti) {
+    Track t = tracks[ti];
+    const double dt = scan_time_s - t.last_update_s;
+    // Predict.
+    const double px = t.x + t.vx * dt;
+    const double py = t.y + t.vy * dt;
+    if (assoc.track_to_detection[ti]) {
+      const Detection& d = detections[*assoc.track_to_detection[ti]];
+      // Alpha-beta correction.
+      const double rx = d.x - px;
+      const double ry = d.y - py;
+      t.x = px + params.alpha * rx;
+      t.y = py + params.alpha * ry;
+      if (dt > 0.0) {
+        t.vx += params.beta * rx / dt;
+        t.vy += params.beta * ry / dt;
+      }
+      t.misses = 0;
+      ++t.hits;
+      t.last_update_s = scan_time_s;
+      out.push_back(t);
+    } else {
+      // Coast.
+      t.x = px;
+      t.y = py;
+      t.last_update_s = scan_time_s;
+      ++t.misses;
+      if (t.misses <= params.max_misses) out.push_back(t);
+      // else: track dropped
+    }
+  }
+
+  for (const std::size_t di : assoc.unassociated) {
+    const Detection& d = detections[di];
+    Track t;
+    t.id = next_track_id++;
+    t.x = d.x;
+    t.y = d.y;
+    t.last_update_s = scan_time_s;
+    t.hits = 1;
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::vector<SensorReport>> fuse_scans(
+    const std::vector<std::vector<SensorReport>>& a,
+    const std::vector<std::vector<SensorReport>>& b,
+    double merge_radius_km) {
+  expects(a.size() == b.size(), "fuse_scans requires equal scan counts");
+  std::vector<std::vector<SensorReport>> fused;
+  fused.reserve(a.size());
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    std::vector<SensorReport> scan = a[s];
+    std::vector<bool> merged(scan.size(), false);
+    for (const SensorReport& rb : b[s]) {
+      bool matched = false;
+      for (std::size_t i = 0; i < scan.size(); ++i) {
+        if (merged[i]) continue;
+        if (std::hypot(scan[i].x - rb.x, scan[i].y - rb.y) <=
+            merge_radius_km) {
+          // Average position, add intensity (coherent gain).
+          scan[i].x = 0.5 * (scan[i].x + rb.x);
+          scan[i].y = 0.5 * (scan[i].y + rb.y);
+          scan[i].intensity += rb.intensity;
+          merged[i] = true;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) scan.push_back(rb);
+    }
+    fused.push_back(std::move(scan));
+  }
+  return fused;
+}
+
+std::vector<Threat> rank_threats(const std::vector<Track>& tracks,
+                                 double defended_x, double defended_y) {
+  std::vector<Threat> out;
+  out.reserve(tracks.size());
+  for (const Track& t : tracks) {
+    const double dx = defended_x - t.x;
+    const double dy = defended_y - t.y;
+    const double dist = std::hypot(dx, dy);
+    // Closing speed: velocity component towards the defended point.
+    double closing = 0.0;
+    if (dist > 1e-9) closing = (t.vx * dx + t.vy * dy) / dist;
+    const double score =
+        1.0 / (1.0 + dist) + std::max(0.0, closing);
+    out.push_back(Threat{t.id, score});
+  }
+  std::sort(out.begin(), out.end(), [](const Threat& a, const Threat& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.track_id < b.track_id;
+  });
+  return out;
+}
+
+}  // namespace vdce::tasklib

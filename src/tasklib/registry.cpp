@@ -1,0 +1,484 @@
+#include "tasklib/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vdce::tasklib {
+
+using common::StateError;
+
+void TaskRegistry::add(LibraryEntry entry) {
+  if (entries_.contains(entry.name)) {
+    throw StateError("duplicate library task: " + entry.name);
+  }
+  const std::string name = entry.name;
+  entries_.emplace(name, std::move(entry));
+}
+
+const LibraryEntry& TaskRegistry::get(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw common::NotFoundError("unknown library task: " + name);
+  }
+  return it->second;
+}
+
+bool TaskRegistry::contains(const std::string& name) const {
+  return entries_.contains(name);
+}
+
+std::vector<std::string> TaskRegistry::menus() const {
+  std::vector<std::string> out;
+  for (const auto& [_, e] : entries_) {
+    if (std::find(out.begin(), out.end(), e.menu) == out.end()) {
+      out.push_back(e.menu);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> TaskRegistry::tasks_in_menu(
+    const std::string& menu) const {
+  std::vector<std::string> out;
+  for (const auto& [name, e] : entries_) {
+    if (e.menu == menu) out.push_back(name);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+std::vector<std::string> TaskRegistry::all_tasks() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) out.push_back(name);
+  return out;
+}
+
+void TaskRegistry::install_defaults(repo::TaskPerformanceDb& db) const {
+  for (const auto& [_, e] : entries_) db.register_task(e.default_perf);
+}
+
+Payload TaskRegistry::run(const std::string& name,
+                          const std::vector<Payload>& inputs,
+                          const TaskContext& ctx) const {
+  const LibraryEntry& e = get(name);
+  if (inputs.size() < e.min_inputs || inputs.size() > e.max_inputs) {
+    throw StateError("task " + name + " expects between " +
+                     std::to_string(e.min_inputs) + " and " +
+                     std::to_string(e.max_inputs) + " inputs, got " +
+                     std::to_string(inputs.size()));
+  }
+  return e.fn(inputs, ctx);
+}
+
+namespace {
+
+// Matrix order for a given input_size property (unit size = 32x32).
+std::size_t matrix_dim(double input_size) {
+  return std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::lround(32.0 * input_size)));
+}
+
+// Signal length for a given input_size (unit = 256 samples, power of 2).
+std::size_t signal_len(double input_size) {
+  return next_pow2(std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::lround(256.0 * input_size))));
+}
+
+repo::TaskPerformanceRecord perf(const std::string& name, double base_time,
+                                 double comp, double comm_mb, double mem_mb) {
+  repo::TaskPerformanceRecord r;
+  r.task_name = name;
+  r.base_time_s = base_time;
+  r.computation_size = comp;
+  r.communication_size_mb = comm_mb;
+  r.memory_req_mb = mem_mb;
+  return r;
+}
+
+LibraryEntry entry(std::string name, std::string menu, std::string desc,
+                   unsigned min_in, unsigned max_in, TaskFn fn,
+                   double base_time, double comp, double comm_mb,
+                   double mem_mb) {
+  LibraryEntry e;
+  e.name = name;
+  e.menu = std::move(menu);
+  e.description = std::move(desc);
+  e.min_inputs = min_in;
+  e.max_inputs = max_in;
+  e.fn = std::move(fn);
+  e.default_perf = perf(name, base_time, comp, comm_mb, mem_mb);
+  return e;
+}
+
+void register_matrix_menu(TaskRegistry& r) {
+  r.add(entry(
+      "matrix_generate", "matrix", "random well-conditioned square matrix",
+      0, 0,
+      [](const std::vector<Payload>&, const TaskContext& ctx) {
+        const std::size_t n = matrix_dim(ctx.input_size);
+        return Payload::of_matrix(Matrix::random(
+            n, n, *ctx.rng, /*diag_boost=*/static_cast<double>(n)));
+      },
+      0.05, 1.0, 0.008, 0.05));
+
+  r.add(entry(
+      "vector_generate", "matrix", "random right-hand-side vector",
+      0, 0,
+      [](const std::vector<Payload>&, const TaskContext& ctx) {
+        const std::size_t n = matrix_dim(ctx.input_size);
+        std::vector<double> v(n);
+        for (double& x : v) x = ctx.rng->uniform(-1.0, 1.0);
+        return Payload::of_vector(v);
+      },
+      0.01, 0.2, 0.0003, 0.01));
+
+  r.add(entry(
+      "lu_decomposition", "matrix", "LU decomposition with partial pivoting",
+      1, 1,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        return Payload::of_lu(lu_decompose(in[0].as_matrix()));
+      },
+      1.2, 8.0, 0.009, 0.05));
+
+  r.add(entry(
+      "matrix_inversion", "matrix", "matrix inverse via LU",
+      1, 1,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        return Payload::of_matrix(invert(in[0].as_matrix()));
+      },
+      2.5, 16.0, 0.008, 0.1));
+
+  r.add(entry(
+      "matrix_multiply", "matrix", "dense matrix-matrix product",
+      2, 2,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        return Payload::of_matrix(
+            multiply(in[0].as_matrix(), in[1].as_matrix()));
+      },
+      1.0, 8.0, 0.008, 0.1));
+
+  r.add(entry(
+      "matrix_transpose", "matrix", "matrix transpose",
+      1, 1,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        return Payload::of_matrix(transpose(in[0].as_matrix()));
+      },
+      0.05, 0.5, 0.008, 0.05));
+
+  r.add(entry(
+      "matrix_vector_multiply", "matrix", "matrix-vector product",
+      2, 2,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        return Payload::of_vector(
+            multiply(in[0].as_matrix(), in[1].as_vector()));
+      },
+      0.1, 1.0, 0.0003, 0.05));
+
+  r.add(entry(
+      "triangular_solve", "matrix", "solve Ax=b from LU factors",
+      2, 2,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        return Payload::of_vector(lu_solve(in[0].as_lu(), in[1].as_vector()));
+      },
+      0.2, 1.5, 0.0003, 0.05));
+
+  r.add(entry(
+      "linear_solve", "matrix", "direct dense solve Ax=b",
+      2, 2,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        const auto f = lu_decompose(in[0].as_matrix());
+        return Payload::of_vector(lu_solve(f, in[1].as_vector()));
+      },
+      1.4, 9.0, 0.0003, 0.05));
+
+  r.add(entry(
+      "lu_lower", "matrix", "extract unit-lower factor L",
+      1, 1,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        const LuFactors f = in[0].as_lu();
+        const std::size_t n = f.lu.rows();
+        Matrix l = Matrix::identity(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < i; ++j) l.at(i, j) = f.lu.at(i, j);
+        }
+        return Payload::of_matrix(l);
+      },
+      0.05, 0.3, 0.008, 0.05));
+
+  r.add(entry(
+      "lu_upper", "matrix", "extract upper factor U",
+      1, 1,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        const LuFactors f = in[0].as_lu();
+        const std::size_t n = f.lu.rows();
+        Matrix u(n, n);
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = i; j < n; ++j) u.at(i, j) = f.lu.at(i, j);
+        }
+        return Payload::of_matrix(u);
+      },
+      0.05, 0.3, 0.008, 0.05));
+
+  r.add(entry(
+      "permute_vector", "matrix", "apply the LU row permutation to b",
+      2, 2,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        const LuFactors f = in[0].as_lu();
+        const auto b = in[1].as_vector();
+        common::expects(b.size() == f.perm.size(),
+                        "permute_vector size mismatch");
+        std::vector<double> pb(b.size());
+        for (std::size_t i = 0; i < b.size(); ++i) pb[i] = b[f.perm[i]];
+        return Payload::of_vector(pb);
+      },
+      0.01, 0.1, 0.0003, 0.01));
+
+  r.add(entry(
+      "spd_generate", "matrix", "random symmetric positive-definite matrix",
+      0, 0,
+      [](const std::vector<Payload>&, const TaskContext& ctx) {
+        return Payload::of_matrix(
+            random_spd(matrix_dim(ctx.input_size), *ctx.rng));
+      },
+      0.08, 1.5, 0.008, 0.05));
+
+  r.add(entry(
+      "cholesky_decompose", "matrix", "Cholesky factor of an SPD matrix",
+      1, 1,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        return Payload::of_matrix(cholesky(in[0].as_matrix()));
+      },
+      0.7, 4.0, 0.008, 0.05));
+
+  r.add(entry(
+      "jacobi_solve", "matrix", "iterative Jacobi solve of Ax=b",
+      2, 2,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        const auto result =
+            jacobi_solve(in[0].as_matrix(), in[1].as_vector());
+        common::expects(result.converged, "Jacobi did not converge");
+        return Payload::of_vector(result.x);
+      },
+      1.8, 10.0, 0.0003, 0.05));
+
+  r.add(entry(
+      "residual_check", "matrix", "||Ax-b||_inf of a candidate solution",
+      3, 3,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        return Payload::of_scalar(residual(in[0].as_matrix(),
+                                           in[1].as_vector(),
+                                           in[2].as_vector()));
+      },
+      0.1, 1.0, 0.00001, 0.05));
+}
+
+void register_fourier_menu(TaskRegistry& r) {
+  r.add(entry(
+      "signal_generate", "fourier", "multi-tone test signal with noise",
+      0, 0,
+      [](const std::vector<Payload>&, const TaskContext& ctx) {
+        const std::size_t n = signal_len(ctx.input_size);
+        std::vector<double> v(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const double t = static_cast<double>(i) / static_cast<double>(n);
+          v[i] = std::sin(2.0 * 3.14159265358979323846 * 8.0 * t) +
+                 0.5 * std::sin(2.0 * 3.14159265358979323846 * 21.0 * t) +
+                 0.1 * ctx.rng->normal();
+        }
+        return Payload::of_vector(v);
+      },
+      0.02, 0.2, 0.002, 0.01));
+
+  r.add(entry(
+      "fft_forward", "fourier", "forward FFT of a real signal",
+      1, 1,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        return Payload::of_complex_vector(fft_real(in[0].as_vector()));
+      },
+      0.3, 2.0, 0.004, 0.02));
+
+  r.add(entry(
+      "fft_inverse", "fourier", "inverse FFT",
+      1, 1,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        return Payload::of_complex_vector(ifft(in[0].as_complex_vector()));
+      },
+      0.3, 2.0, 0.004, 0.02));
+
+  r.add(entry(
+      "power_spectrum", "fourier", "power spectrum of a real signal",
+      1, 1,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        return Payload::of_vector(power_spectrum(in[0].as_vector()));
+      },
+      0.35, 2.2, 0.002, 0.02));
+
+  r.add(entry(
+      "lowpass_filter", "fourier", "frequency-domain low-pass filter",
+      1, 1,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        return Payload::of_vector(
+            lowpass_filter(in[0].as_vector(), /*cutoff_fraction=*/0.25));
+      },
+      0.4, 2.5, 0.002, 0.02));
+
+  r.add(entry(
+      "convolve", "fourier", "circular convolution via FFT",
+      2, 2,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        auto a = in[0].as_vector();
+        auto b = in[1].as_vector();
+        const std::size_t n = next_pow2(std::max(a.size(), b.size()));
+        a.resize(n, 0.0);
+        b.resize(n, 0.0);
+        return Payload::of_vector(circular_convolve(a, b));
+      },
+      0.5, 3.0, 0.002, 0.03));
+}
+
+void register_c3i_menu(TaskRegistry& r) {
+  r.add(entry(
+      "sensor_ingest", "c3i", "synthetic surveillance sensor scans",
+      0, 0,
+      [](const std::vector<Payload>&, const TaskContext& ctx) {
+        ScenarioParams params;
+        const auto num_scans = std::max<std::size_t>(
+            2, static_cast<std::size_t>(std::lround(16.0 * ctx.input_size)));
+        return Payload::of_report_scans(
+            generate_scenario(params, num_scans, 1.0, *ctx.rng));
+      },
+      0.1, 0.5, 0.01, 0.02));
+
+  r.add(entry(
+      "sensor_fuse", "c3i", "merge two sensors' scan streams",
+      2, 2,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        return Payload::of_report_scans(
+            fuse_scans(in[0].as_report_scans(), in[1].as_report_scans()));
+      },
+      0.3, 1.5, 0.012, 0.03));
+
+  r.add(entry(
+      "target_detect", "c3i", "intensity-threshold detection",
+      1, 1,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        const auto scans = in[0].as_report_scans();
+        std::vector<std::vector<Detection>> out;
+        out.reserve(scans.size());
+        for (const auto& scan : scans) out.push_back(detect(scan, 5.0));
+        return Payload::of_detection_scans(out);
+      },
+      0.2, 1.0, 0.005, 0.02));
+
+  r.add(entry(
+      "track_filter", "c3i", "alpha-beta multi-scan tracker",
+      1, 1,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        const auto scans = in[0].as_detection_scans();
+        FilterParams params;
+        std::vector<Track> tracks;
+        std::uint32_t next_id = 1;
+        for (const auto& scan : scans) {
+          const double t = scan.empty() ? 0.0 : scan.front().time_s;
+          tracks = track_update(tracks, scan, t, params, next_id);
+        }
+        return Payload::of_tracks(tracks);
+      },
+      0.8, 4.0, 0.001, 0.03));
+
+  r.add(entry(
+      "threat_rank", "c3i", "rank tracks by threat to the defended point",
+      1, 1,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        return Payload::of_threats(
+            rank_threats(in[0].as_tracks(), 50.0, 50.0));
+      },
+      0.1, 0.5, 0.0005, 0.01));
+
+  r.add(entry(
+      "c3i_display", "c3i", "format a situation summary",
+      1, 4,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        std::string text = "C3I summary:";
+        for (const Payload& p : in) {
+          if (p.type() == PayloadType::kThreats) {
+            const auto threats = p.as_threats();
+            text += " threats=" + std::to_string(threats.size());
+            if (!threats.empty()) {
+              text += " top=" + std::to_string(threats.front().track_id);
+            }
+          } else if (p.type() == PayloadType::kTracks) {
+            text += " tracks=" + std::to_string(p.as_tracks().size());
+          } else {
+            text += " [" + to_string(p.type()) + "]";
+          }
+        }
+        return Payload::of_text(text);
+      },
+      0.05, 0.2, 0.0001, 0.01));
+}
+
+void register_synthetic_menu(TaskRegistry& r) {
+  r.add(entry(
+      "synth_source", "synthetic", "random data block",
+      0, 0,
+      [](const std::vector<Payload>&, const TaskContext& ctx) {
+        const auto n = std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::lround(1024.0 * ctx.input_size)));
+        std::vector<double> v(n);
+        for (double& x : v) x = ctx.rng->uniform();
+        return Payload::of_vector(v);
+      },
+      0.02, 0.1, 0.008, 0.01));
+
+  r.add(entry(
+      "synth_compute", "synthetic", "CPU-bound kernel (deterministic flops)",
+      1, 8,
+      [](const std::vector<Payload>& in, const TaskContext& ctx) {
+        // Checksum the inputs, then burn flops proportional to size.
+        double acc = 0.0;
+        for (const Payload& p : in) {
+          acc += static_cast<double>(p.size_bytes() % 1009);
+        }
+        const auto iters = static_cast<std::size_t>(
+            std::lround(50000.0 * std::max(0.01, ctx.input_size)));
+        for (std::size_t i = 1; i <= iters; ++i) {
+          acc += std::sqrt(static_cast<double>(i)) * 1e-6;
+        }
+        return Payload::of_scalar(acc);
+      },
+      0.5, 4.0, 0.00001, 0.01));
+
+  r.add(entry(
+      "synth_sink", "synthetic", "terminal consumer; reports byte total",
+      1, 8,
+      [](const std::vector<Payload>& in, const TaskContext&) {
+        std::size_t total = 0;
+        for (const Payload& p : in) total += p.size_bytes();
+        return Payload::of_scalar(static_cast<double>(total));
+      },
+      0.01, 0.05, 0.00001, 0.01));
+}
+
+}  // namespace
+
+void register_builtin_tasks(TaskRegistry& registry) {
+  register_matrix_menu(registry);
+  register_fourier_menu(registry);
+  register_c3i_menu(registry);
+  register_synthetic_menu(registry);
+}
+
+const TaskRegistry& builtin_registry() {
+  static const TaskRegistry registry = [] {
+    TaskRegistry r;
+    register_builtin_tasks(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace vdce::tasklib

@@ -1,0 +1,89 @@
+// The VDCE task libraries.
+//
+// "VDCE delivers well-defined library functions that relieve end-users
+//  of tedious task implementations and also support reusability. ...
+//  The Application Editor provides menu-driven task libraries that are
+//  grouped in terms of their functionality, such as the matrix algebra
+//  library, C3I ... library, etc."
+//
+// A LibraryEntry bundles a task's executable function with the default
+// performance characteristics seeded into the task-performance database.
+// Task functions are pure: payloads in (one per in-edge, in parent-id
+// order), one payload out (replicated on every out-edge).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "repository/task_db.hpp"
+#include "tasklib/payload.hpp"
+
+namespace vdce::tasklib {
+
+/// Per-invocation context for a task function.
+struct TaskContext {
+  /// The node's input_size property (multiples of the library task's
+  /// unit size); sources scale their output with it.
+  double input_size = 1.0;
+  /// Deterministic per-invocation RNG (seeded from app id + task id).
+  common::Rng* rng = nullptr;
+};
+
+using TaskFn =
+    std::function<Payload(const std::vector<Payload>&, const TaskContext&)>;
+
+/// One menu entry of a task library.
+struct LibraryEntry {
+  std::string name;         // key into the task-performance database
+  std::string menu;         // "matrix" | "fourier" | "c3i" | "synthetic"
+  std::string description;  // shown in the Editor's menu
+  unsigned min_inputs = 0;
+  unsigned max_inputs = 0;  // inclusive; == min for fixed arity
+  TaskFn fn;
+  /// Default performance characteristics (base time per unit size,
+  /// computation/communication/memory sizes) installed into the
+  /// task-performance database at site bring-up.
+  repo::TaskPerformanceRecord default_perf;
+};
+
+/// A registry of library entries, grouped into menus.
+class TaskRegistry {
+ public:
+  /// Adds an entry; throws StateError on duplicate name.
+  void add(LibraryEntry entry);
+
+  [[nodiscard]] const LibraryEntry& get(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Menu names, sorted (the Editor's top-level menus).
+  [[nodiscard]] std::vector<std::string> menus() const;
+  /// Entry names within one menu, sorted.
+  [[nodiscard]] std::vector<std::string> tasks_in_menu(
+      const std::string& menu) const;
+  /// All entry names, sorted.
+  [[nodiscard]] std::vector<std::string> all_tasks() const;
+
+  /// Seeds every entry's default performance record into `db`.
+  void install_defaults(repo::TaskPerformanceDb& db) const;
+
+  /// Executes an entry, validating arity.  Throws StateError on an
+  /// input-count or payload-type mismatch.
+  [[nodiscard]] Payload run(const std::string& name,
+                            const std::vector<Payload>& inputs,
+                            const TaskContext& ctx) const;
+
+ private:
+  std::map<std::string, LibraryEntry> entries_;
+};
+
+/// Registers the built-in matrix / fourier / c3i / synthetic libraries.
+void register_builtin_tasks(TaskRegistry& registry);
+
+/// A process-wide registry pre-loaded with the builtins.
+[[nodiscard]] const TaskRegistry& builtin_registry();
+
+}  // namespace vdce::tasklib

@@ -1,0 +1,50 @@
+// Comparative visualization.
+//
+// "Comparative Visualization: VDCE makes it possible for an end user to
+//  experiment and evaluate his/her application for different
+//  combinations of hardware and software medium by providing the
+//  comparative performance visualization."  (Section 2.3.2)
+//
+// Collects labelled runs of the same application under different
+// configurations and renders them side by side: a summary table and
+// normalised bars against the best configuration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/static_sim.hpp"
+
+namespace vdce::viz {
+
+/// Side-by-side comparison of labelled runs.
+class ComparativeViz {
+ public:
+  /// Adds a labelled run (e.g. "sparc-only", "2 sites, k=1").
+  void add_run(const std::string& label, const sim::SimResult& result);
+
+  /// Table: label, makespan, total exec, reschedules; plus a bar chart
+  /// of makespans normalised to the best run.
+  [[nodiscard]] std::string render() const;
+
+  /// CSV: "label,makespan_s,total_exec_s,tasks,reschedules,failures".
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t runs() const { return runs_.size(); }
+
+  /// Label of the best (smallest makespan) run; empty when no runs.
+  [[nodiscard]] std::string best() const;
+
+ private:
+  struct Entry {
+    std::string label;
+    double makespan_s = 0.0;
+    double total_exec_s = 0.0;
+    std::size_t tasks = 0;
+    std::size_t reschedules = 0;
+    std::size_t failures = 0;
+  };
+  std::vector<Entry> runs_;
+};
+
+}  // namespace vdce::viz

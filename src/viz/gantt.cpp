@@ -1,0 +1,95 @@
+#include "viz/gantt.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace vdce::viz {
+
+std::string render_gantt(const sim::SimResult& result, std::size_t columns) {
+  std::ostringstream os;
+  if (result.records.empty()) return "(empty run)\n";
+
+  double t0 = result.records.front().start;
+  double t1 = 0.0;
+  std::size_t label_width = 4;
+  for (const auto& r : result.records) {
+    t0 = std::min(t0, r.data_ready);
+    t1 = std::max(t1, r.finish);
+    label_width = std::max(label_width, r.label.size());
+  }
+  const double span = std::max(1e-9, t1 - t0);
+  const double per_col = span / static_cast<double>(columns);
+
+  os << std::left << std::setw(static_cast<int>(label_width)) << "task"
+     << " |" << std::string(columns, '-') << "|\n";
+  for (const auto& r : result.records) {
+    const auto col = [&](double t) {
+      return std::min(columns - 1,
+                      static_cast<std::size_t>((t - t0) / per_col));
+    };
+    std::string bar(columns, ' ');
+    // '.' = waiting for data/host, '#' = executing.
+    for (std::size_t c = col(r.data_ready); c < col(r.start); ++c) {
+      bar[c] = '.';
+    }
+    for (std::size_t c = col(r.start); c <= col(r.finish - 1e-12); ++c) {
+      bar[c] = '#';
+    }
+    os << std::left << std::setw(static_cast<int>(label_width)) << r.label
+       << " |" << bar << "| h" << r.host.value();
+    if (r.attempts > 1) os << " (x" << r.attempts << ")";
+    os << "\n";
+  }
+  os << std::left << std::setw(static_cast<int>(label_width)) << ""
+     << "  t=" << std::fixed << std::setprecision(2) << t0 << "s ... t="
+     << t1 << "s  (makespan " << result.makespan_s << "s)\n";
+  return os.str();
+}
+
+std::string to_csv(const sim::SimResult& result) {
+  std::ostringstream os;
+  os << "task,label,host,site,data_ready,start,finish,exec_s,attempts\n";
+  os << std::setprecision(9);
+  for (const auto& r : result.records) {
+    os << r.task.value() << ',' << r.label << ',' << r.host.value() << ','
+       << r.site.value() << ',' << r.data_ready << ',' << r.start << ','
+       << r.finish << ',' << r.exec_s << ',' << r.attempts << '\n';
+  }
+  return os.str();
+}
+
+std::string render_run_table(const rt::RunResult& result) {
+  std::ostringstream os;
+  std::size_t label_width = 4;
+  for (const auto& r : result.records) {
+    label_width = std::max(label_width, r.label.size());
+  }
+  os << std::left << std::setw(static_cast<int>(label_width)) << "task"
+     << "  host  turnaround_s  compute_s  sent_B  recv_B\n";
+  for (const auto& r : result.records) {
+    os << std::left << std::setw(static_cast<int>(label_width)) << r.label
+       << "  " << std::setw(4) << r.host.value() << "  " << std::fixed
+       << std::setprecision(6) << std::setw(12) << r.turnaround_s << "  "
+       << std::setw(9) << r.compute_s << "  " << std::setw(6) << r.bytes_sent
+       << "  " << r.bytes_received << "\n";
+  }
+  os << "makespan: " << std::fixed << std::setprecision(6)
+     << result.makespan_s << "s\n";
+  return os.str();
+}
+
+std::string to_csv(const rt::RunResult& result) {
+  std::ostringstream os;
+  os << "task,label,library_task,host,turnaround_s,compute_s,bytes_sent,"
+        "bytes_received\n";
+  os << std::setprecision(9);
+  for (const auto& r : result.records) {
+    os << r.task.value() << ',' << r.label << ',' << r.library_task << ','
+       << r.host.value() << ',' << r.turnaround_s << ',' << r.compute_s
+       << ',' << r.bytes_sent << ',' << r.bytes_received << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace vdce::viz

@@ -1,0 +1,33 @@
+// Application performance visualization.
+//
+// "Application Performance Visualization: The execution time of tasks in
+//  application (or another user-defined performance measure) is
+//  visualized."  (Section 2.3.2)
+//
+// Renders a simulated or real run as an ASCII Gantt chart (one row per
+// task, bars over a time axis) and as CSV rows for external plotting.
+#pragma once
+
+#include <string>
+
+#include "runtime/engine.hpp"
+#include "sim/static_sim.hpp"
+
+namespace vdce::viz {
+
+/// ASCII Gantt chart of a simulated run.  `columns` is the width of the
+/// drawing area.
+[[nodiscard]] std::string render_gantt(const sim::SimResult& result,
+                                       std::size_t columns = 72);
+
+/// CSV ("task,label,host,site,data_ready,start,finish,exec_s,attempts").
+[[nodiscard]] std::string to_csv(const sim::SimResult& result);
+
+/// Per-task execution time summary of a real-threaded run.
+[[nodiscard]] std::string render_run_table(const rt::RunResult& result);
+
+/// CSV ("task,label,library_task,host,turnaround_s,compute_s,bytes_sent,
+/// bytes_received").
+[[nodiscard]] std::string to_csv(const rt::RunResult& result);
+
+}  // namespace vdce::viz

@@ -1,0 +1,90 @@
+#include "viz/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vdce::viz {
+
+namespace {
+
+/// Escapes a string for inclusion in a JSON literal.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:   out += c;
+    }
+  }
+  return out;
+}
+
+void emit_duration(std::ostringstream& os, bool& first,
+                   const std::string& name, const std::string& category,
+                   double start_us, double duration_us, unsigned lane,
+                   const std::string& args_json) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  {\"name\": \"" << json_escape(name) << "\", \"cat\": \""
+     << category << "\", \"ph\": \"X\", \"ts\": " << start_us
+     << ", \"dur\": " << duration_us << ", \"pid\": 1, \"tid\": " << lane
+     << ", \"args\": " << args_json << "}";
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const sim::SimResult& result) {
+  std::ostringstream os;
+  os << "{\n\"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& r : result.records) {
+    std::ostringstream args;
+    args << "{\"library_task\": \"" << json_escape(r.library_task)
+         << "\", \"site\": " << r.site.value()
+         << ", \"attempts\": " << r.attempts
+         << ", \"data_ready\": " << r.data_ready << "}";
+    emit_duration(os, first, r.label, "task", r.start * 1e6, r.exec_s * 1e6,
+                  r.host.value(), args.str());
+    // Waiting-for-data phase as its own bar.
+    if (r.start > r.data_ready) {
+      emit_duration(os, first, r.label + " (wait)", "wait",
+                    r.data_ready * 1e6, (r.start - r.data_ready) * 1e6,
+                    r.host.value(), "{}");
+    }
+  }
+  os << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+  return os.str();
+}
+
+std::string to_chrome_trace(const rt::RunResult& result) {
+  std::ostringstream os;
+  os << "{\n\"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& r : result.records) {
+    std::ostringstream args;
+    args << "{\"library_task\": \"" << json_escape(r.library_task)
+         << "\", \"compute_s\": " << r.compute_s
+         << ", \"bytes_sent\": " << r.bytes_sent
+         << ", \"bytes_received\": " << r.bytes_received << "}";
+    // Anchor each task's bar so it ends at its turnaround point.
+    const double start_us = (result.makespan_s - r.turnaround_s) * 1e6;
+    emit_duration(os, first, r.label, "task", start_us,
+                  r.turnaround_s * 1e6, r.host.value(), args.str());
+  }
+  os << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+  return os.str();
+}
+
+void write_trace(const std::string& json, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw common::NotFoundError("cannot write trace: " + path);
+  out << json;
+}
+
+}  // namespace vdce::viz

@@ -1,0 +1,29 @@
+// Execution trace export.
+//
+// Complements the ASCII visualizations with a machine-readable timeline:
+// simulated or real runs are exported in the Chrome trace-event JSON
+// format (load into chrome://tracing or Perfetto), one lane per host,
+// one duration event per task execution, instant events for
+// reschedules.  This is the "post-mortem visualization" path of the
+// paper's visualization service in a form today's tooling can open.
+#pragma once
+
+#include <string>
+
+#include "runtime/engine.hpp"
+#include "sim/static_sim.hpp"
+
+namespace vdce::viz {
+
+/// Chrome trace-event JSON for a simulated run.  Timestamps are
+/// microseconds of simulated time; each host is a "thread" lane.
+[[nodiscard]] std::string to_chrome_trace(const sim::SimResult& result);
+
+/// Chrome trace-event JSON for a real-threaded run (turnaround bars per
+/// task, anchored at makespan-relative completion times).
+[[nodiscard]] std::string to_chrome_trace(const rt::RunResult& result);
+
+/// Writes a trace to a file; throws NotFoundError when unwritable.
+void write_trace(const std::string& json, const std::string& path);
+
+}  // namespace vdce::viz

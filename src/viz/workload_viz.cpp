@@ -1,0 +1,61 @@
+#include "viz/workload_viz.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace vdce::viz {
+
+void WorkloadRecorder::snapshot(const repo::SiteRepository& repository,
+                                double when) {
+  times_.push_back(when);
+  for (const repo::HostRecord& rec : repository.resources().all_hosts()) {
+    auto& series = series_[rec.host];
+    series.resize(times_.size() - 1);  // pad hosts added late
+    series.push_back(Sample{rec.dynamic_attrs.cpu_load,
+                            rec.dynamic_attrs.available_memory_mb,
+                            rec.dynamic_attrs.alive});
+  }
+}
+
+std::string WorkloadRecorder::render() const {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  std::ostringstream os;
+  double max_load = 0.0;
+  for (const auto& [_, series] : series_) {
+    for (const Sample& s : series) max_load = std::max(max_load, s.load);
+  }
+  if (max_load <= 0.0) max_load = 1.0;
+
+  for (const auto& [host, series] : series_) {
+    os << "h" << std::left << std::setw(4) << host.value() << " |";
+    for (const Sample& s : series) {
+      if (!s.alive) {
+        os << 'X';
+        continue;
+      }
+      const auto idx = static_cast<std::size_t>(
+          s.load / max_load * (sizeof(kRamp) - 2));
+      os << kRamp[std::min(idx, sizeof(kRamp) - 2)];
+    }
+    os << "|\n";
+  }
+  os << "scale: max load = " << max_load << ", X = down\n";
+  return os.str();
+}
+
+std::string WorkloadRecorder::to_csv() const {
+  std::ostringstream os;
+  os << "when,host,load,available_memory_mb,alive\n";
+  os << std::setprecision(9);
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    for (const auto& [host, series] : series_) {
+      if (i >= series.size()) continue;
+      os << times_[i] << ',' << host.value() << ',' << series[i].load << ','
+         << series[i].memory << ',' << (series[i].alive ? 1 : 0) << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace vdce::viz

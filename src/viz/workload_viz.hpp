@@ -1,0 +1,45 @@
+// Workload visualization.
+//
+// "Workload Visualization: Up-to-date workload information on VDCE
+//  resources is visualized."  (Section 2.3.2)
+//
+// A WorkloadRecorder snapshots the monitored load of every host from a
+// site repository (call snapshot() at control ticks); render() draws
+// one sparkline row per host, and to_csv() emits the raw series.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "repository/repository.hpp"
+
+namespace vdce::viz {
+
+/// Records monitored per-host load series over time.
+class WorkloadRecorder {
+ public:
+  /// Captures the repository's current view of every host's load.
+  void snapshot(const repo::SiteRepository& repository, double when);
+
+  /// One sparkline row per host (load scaled onto ' .:-=+*#%@').
+  [[nodiscard]] std::string render() const;
+
+  /// CSV: "when,host,load,available_memory_mb,alive".
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t snapshots() const { return times_.size(); }
+
+ private:
+  struct Sample {
+    double load = 0.0;
+    double memory = 0.0;
+    bool alive = true;
+  };
+
+  std::vector<double> times_;
+  // host -> one sample per snapshot
+  std::map<common::HostId, std::vector<Sample>> series_;
+};
+
+}  // namespace vdce::viz

@@ -1,0 +1,478 @@
+// Tests for the Data Manager stack: channels (in-process and TCP),
+// the rendezvous broker, message-passing library facades, services,
+// and the send/receive/compute thread lifecycle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "datamgr/broker.hpp"
+#include "datamgr/channel.hpp"
+#include "datamgr/data_manager.hpp"
+#include "datamgr/mplib.hpp"
+#include "datamgr/services.hpp"
+#include "datamgr/tcp.hpp"
+
+namespace vdce::dm {
+namespace {
+
+using common::AppId;
+using common::StateError;
+using common::TaskId;
+using common::TransportError;
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> out;
+  for (char c : s) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+std::string string_of(const std::vector<std::byte>& b) {
+  std::string out;
+  for (std::byte v : b) out.push_back(static_cast<char>(v));
+  return out;
+}
+
+// ------------------------------------------------------------ channels
+
+TEST(InProcChannel, DeliversInOrder) {
+  auto pair = make_inproc_pair();
+  pair.sender->send(bytes_of("one"));
+  pair.sender->send(bytes_of("two"));
+  EXPECT_EQ(string_of(*pair.receiver->receive()), "one");
+  EXPECT_EQ(string_of(*pair.receiver->receive()), "two");
+}
+
+TEST(InProcChannel, CloseDrainsThenEof) {
+  auto pair = make_inproc_pair();
+  pair.sender->send(bytes_of("last"));
+  pair.sender->close();
+  EXPECT_EQ(string_of(*pair.receiver->receive()), "last");
+  EXPECT_EQ(pair.receiver->receive(), std::nullopt);
+}
+
+TEST(InProcChannel, SendAfterCloseThrows) {
+  auto pair = make_inproc_pair();
+  pair.receiver->close();
+  EXPECT_THROW(pair.sender->send(bytes_of("x")), TransportError);
+}
+
+TEST(InProcChannel, WrongDirectionThrows) {
+  auto pair = make_inproc_pair();
+  EXPECT_THROW((void)pair.sender->receive(), TransportError);
+  EXPECT_THROW(pair.receiver->send(bytes_of("x")), TransportError);
+}
+
+TEST(InProcChannel, CountsBytes) {
+  auto pair = make_inproc_pair();
+  pair.sender->send(bytes_of("12345"));
+  EXPECT_EQ(pair.sender->bytes_sent(), 5u);
+}
+
+TEST(TcpChannel, RoundTripOverLoopback) {
+  TcpListener listener;
+  EXPECT_GT(listener.port(), 0);
+
+  std::unique_ptr<TcpChannel> server_end;
+  std::jthread acceptor([&] { server_end = listener.accept(); });
+  auto client_end = tcp_connect(listener.port());
+  acceptor.join();
+  ASSERT_TRUE(server_end);
+
+  client_end->send(bytes_of("hello over tcp"));
+  EXPECT_EQ(string_of(*server_end->receive()), "hello over tcp");
+
+  // And the other direction.
+  server_end->send(bytes_of("reply"));
+  EXPECT_EQ(string_of(*client_end->receive()), "reply");
+}
+
+TEST(TcpChannel, LargeMessage) {
+  TcpListener listener;
+  std::unique_ptr<TcpChannel> server_end;
+  std::jthread acceptor([&] { server_end = listener.accept(); });
+  auto client_end = tcp_connect(listener.port());
+  acceptor.join();
+
+  common::Rng rng(1);
+  std::vector<std::byte> big(1 << 20);
+  for (auto& b : big) b = static_cast<std::byte>(rng() & 0xFF);
+  client_end->send(big);
+  const auto got = server_end->receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, big);
+}
+
+TEST(TcpChannel, EmptyMessage) {
+  TcpListener listener;
+  std::unique_ptr<TcpChannel> server_end;
+  std::jthread acceptor([&] { server_end = listener.accept(); });
+  auto client_end = tcp_connect(listener.port());
+  acceptor.join();
+  client_end->send({});
+  const auto got = server_end->receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(TcpChannel, OrderlyEofOnClose) {
+  TcpListener listener;
+  std::unique_ptr<TcpChannel> server_end;
+  std::jthread acceptor([&] { server_end = listener.accept(); });
+  auto client_end = tcp_connect(listener.port());
+  acceptor.join();
+  client_end->close();
+  EXPECT_EQ(server_end->receive(), std::nullopt);
+}
+
+TEST(TcpChannel, ConnectToDeadPortThrows) {
+  // Grab a port then close the listener so nothing is listening.
+  std::uint16_t port;
+  {
+    TcpListener listener;
+    port = listener.port();
+  }
+  EXPECT_THROW((void)tcp_connect(port), TransportError);
+}
+
+// -------------------------------------------------------------- broker
+
+class BrokerKinds : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(BrokerKinds, RendezvousDelivers) {
+  ChannelBroker broker(GetParam());
+  const LinkKey key{AppId(1), TaskId(0), TaskId(1)};
+
+  auto receiver = broker.open_receive(key);
+  std::jthread producer([&] {
+    auto sender = broker.open_send(key);
+    sender->send(bytes_of("payload"));
+    sender->close();
+  });
+  EXPECT_EQ(string_of(*receiver->receive()), "payload");
+}
+
+TEST_P(BrokerKinds, SenderWaitsForReceiver) {
+  ChannelBroker broker(GetParam());
+  const LinkKey key{AppId(1), TaskId(0), TaskId(1)};
+  std::shared_ptr<Channel> receiver;
+
+  std::jthread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    receiver = broker.open_receive(key);
+  });
+  auto sender = broker.open_send(key, /*timeout_s=*/5.0);  // blocks, then ok
+  consumer.join();
+  sender->send(bytes_of("late ok"));
+  EXPECT_EQ(string_of(*receiver->receive()), "late ok");
+}
+
+TEST_P(BrokerKinds, TimeoutWhenNoConsumer) {
+  ChannelBroker broker(GetParam());
+  const LinkKey key{AppId(1), TaskId(0), TaskId(1)};
+  EXPECT_THROW((void)broker.open_send(key, 0.05), TransportError);
+}
+
+TEST_P(BrokerKinds, DuplicateReceiveRejected) {
+  ChannelBroker broker(GetParam());
+  const LinkKey key{AppId(1), TaskId(0), TaskId(1)};
+  (void)broker.open_receive(key);
+  EXPECT_THROW((void)broker.open_receive(key), StateError);
+}
+
+TEST_P(BrokerKinds, ClearAppFreesKeys) {
+  ChannelBroker broker(GetParam());
+  const LinkKey key{AppId(1), TaskId(0), TaskId(1)};
+  (void)broker.open_receive(key);
+  broker.clear_app(AppId(1));
+  EXPECT_NO_THROW((void)broker.open_receive(key));
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, BrokerKinds,
+                         ::testing::Values(TransportKind::kInProcess,
+                                           TransportKind::kTcp));
+
+// --------------------------------------------------------------- mplib
+
+class MpLibSweep : public ::testing::TestWithParam<MpLibrary> {};
+
+TEST_P(MpLibSweep, TaggedRoundTrip) {
+  auto pair = make_inproc_pair();
+  MessageEndpoint tx(GetParam(), pair.sender);
+  MessageEndpoint rx(GetParam(), pair.receiver);
+  tx.send(42, bytes_of("tagged message"));
+  const auto msg = rx.receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->tag, 42);
+  EXPECT_EQ(string_of(msg->data), "tagged message");
+}
+
+TEST_P(MpLibSweep, EofPropagates) {
+  auto pair = make_inproc_pair();
+  MessageEndpoint tx(GetParam(), pair.sender);
+  MessageEndpoint rx(GetParam(), pair.receiver);
+  tx.close();
+  EXPECT_EQ(rx.receive(), std::nullopt);
+}
+
+TEST_P(MpLibSweep, LargePayloadRoundTrip) {
+  auto pair = make_inproc_pair();
+  MessageEndpoint tx(GetParam(), pair.sender);
+  MessageEndpoint rx(GetParam(), pair.receiver);
+  common::Rng rng(2);
+  std::vector<std::byte> big(100000);
+  for (auto& b : big) b = static_cast<std::byte>(rng() & 0xFF);
+  tx.send(7, big);
+  const auto msg = rx.receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->data, big);
+}
+
+INSTANTIATE_TEST_SUITE_P(Libraries, MpLibSweep,
+                         ::testing::Values(MpLibrary::kP4, MpLibrary::kPvm,
+                                           MpLibrary::kMpi, MpLibrary::kNcs));
+
+TEST(MpLib, LibraryMismatchDetected) {
+  auto pair = make_inproc_pair();
+  MessageEndpoint tx(MpLibrary::kP4, pair.sender);
+  MessageEndpoint rx(MpLibrary::kMpi, pair.receiver);
+  tx.send(1, bytes_of("x"));
+  EXPECT_THROW((void)rx.receive(), TransportError);
+}
+
+TEST(MpLib, MpiCommunicatorChecked) {
+  auto pair = make_inproc_pair();
+  MessageEndpoint tx(MpLibrary::kMpi, pair.sender, /*communicator=*/1);
+  MessageEndpoint rx(MpLibrary::kMpi, pair.receiver, /*communicator=*/2);
+  tx.send(1, bytes_of("x"));
+  EXPECT_THROW((void)rx.receive(), TransportError);
+}
+
+TEST(MpLib, PvmFragmentsLargeMessages) {
+  auto pair = make_inproc_pair();
+  MessageEndpoint tx(MpLibrary::kPvm, pair.sender);
+  std::vector<std::byte> data(MessageEndpoint::kPvmFragment * 2 + 100);
+  tx.send(1, data);
+  tx.close();
+  // On the raw channel: one header frame + three fragment frames.
+  int frames = 0;
+  while (pair.receiver->receive()) ++frames;
+  EXPECT_EQ(frames, 4);
+}
+
+TEST(MpLib, PvmMissingFragmentDetected) {
+  auto pair = make_inproc_pair();
+  MessageEndpoint tx(MpLibrary::kPvm, pair.sender);
+  MessageEndpoint rx(MpLibrary::kPvm, pair.receiver);
+  std::vector<std::byte> data(MessageEndpoint::kPvmFragment + 10);
+  tx.send(1, data);
+  // Swallow the last fragment: read the header + first fragment through
+  // a raw side-channel is not possible here, so instead close the
+  // channel mid-message by sending a fresh header claiming fragments
+  // that never arrive.
+  auto pair2 = make_inproc_pair();
+  MessageEndpoint tx2(MpLibrary::kPvm, pair2.sender);
+  MessageEndpoint rx2(MpLibrary::kPvm, pair2.receiver);
+  tx2.send(1, data);
+  // Receive normally works:
+  EXPECT_EQ(rx2.receive()->data.size(), data.size());
+  // Truncated: header only, then close.
+  common::WireWriter header;
+  header.write_u8(static_cast<std::uint8_t>(MpLibrary::kPvm));
+  header.write_u32(1);
+  header.write_u32(3);  // claims 3 fragments
+  header.write_u64(100);
+  pair2.sender->send(header.bytes());
+  pair2.sender->close();
+  EXPECT_THROW((void)rx2.receive(), TransportError);
+}
+
+TEST(MpLib, NcsSequenceViolationDetected) {
+  auto tx_pair = make_inproc_pair();
+  MessageEndpoint tx(MpLibrary::kNcs, tx_pair.sender);
+  MessageEndpoint rx(MpLibrary::kNcs, tx_pair.receiver);
+  tx.send(1, bytes_of("a"));
+  // Drop one message by consuming it at the raw level... instead send
+  // two and read both fine first:
+  tx.send(2, bytes_of("b"));
+  EXPECT_EQ(rx.receive()->tag, 1);
+  EXPECT_EQ(rx.receive()->tag, 2);
+  // Now fake an out-of-order frame by constructing a second sender whose
+  // sequence numbers restart at 0.
+  MessageEndpoint rogue(MpLibrary::kNcs, tx_pair.sender);
+  rogue.send(3, bytes_of("c"));  // seq 0, receiver expects 2
+  EXPECT_THROW((void)rx.receive(), TransportError);
+}
+
+// ------------------------------------------------------------ services
+
+TEST(IoServiceTest, FileRoundTrip) {
+  IoService io("/tmp");
+  const auto payload = tasklib::Payload::of_vector({1.0, 2.0, 3.0});
+  io.write_output("/tmp/vdce_io_test.bin", payload);
+  const auto reread = io.read_input("file:/tmp/vdce_io_test.bin");
+  EXPECT_EQ(reread.as_vector(), payload.as_vector());
+}
+
+TEST(IoServiceTest, UrlResolvesAgainstDocRoot) {
+  IoService io("/tmp");
+  const auto payload = tasklib::Payload::of_scalar(4.5);
+  io.write_output("/tmp/vdce_url_test.bin", payload);
+  EXPECT_DOUBLE_EQ(io.read_input("url:vdce_url_test.bin").as_scalar(), 4.5);
+}
+
+TEST(IoServiceTest, BadSpecThrows) {
+  IoService io;
+  EXPECT_THROW((void)io.read_input("ftp:whatever"), common::ParseError);
+  EXPECT_THROW((void)io.read_input("file:/tmp/definitely_missing_xyz"),
+               common::NotFoundError);
+}
+
+TEST(ConsoleServiceTest, SuspendBlocksCheckpoint) {
+  ConsoleService console;
+  console.suspend();
+  EXPECT_TRUE(console.suspended());
+
+  std::atomic<bool> passed{false};
+  std::jthread worker([&] {
+    console.checkpoint();
+    passed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(passed);
+  console.resume();
+  worker.join();
+  EXPECT_TRUE(passed);
+}
+
+TEST(ConsoleServiceTest, AbortThrowsInCheckpoint) {
+  ConsoleService console;
+  console.abort();
+  EXPECT_TRUE(console.aborted());
+  EXPECT_THROW(console.checkpoint(), StateError);
+}
+
+TEST(ConsoleServiceTest, AbortWakesSuspended) {
+  ConsoleService console;
+  console.suspend();
+  std::atomic<bool> threw{false};
+  std::jthread worker([&] {
+    try {
+      console.checkpoint();
+    } catch (const StateError&) {
+      threw = true;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  console.abort();
+  worker.join();
+  EXPECT_TRUE(threw);
+}
+
+// -------------------------------------------------------- data manager
+
+class DataManagerKinds : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(DataManagerKinds, TwoTaskPipeline) {
+  ChannelBroker broker(GetParam());
+  const auto& registry = tasklib::builtin_registry();
+
+  // synth_source -> synth_sink, each on its own "machine" thread.
+  TaskWiring source_wiring{AppId(1), TaskId(0), {}, {TaskId(1)}};
+  TaskWiring sink_wiring{AppId(1), TaskId(1), {TaskId(0)}, {}};
+
+  tasklib::Payload sink_out;
+  std::string error;
+  std::jthread sink_machine([&] {
+    try {
+      DataManager dm(broker);
+      dm.setup(sink_wiring);
+      common::Rng rng(2);
+      tasklib::TaskContext ctx{1.0, &rng};
+      sink_out = dm.run(registry, "synth_sink", ctx);
+      dm.teardown();
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+  });
+  std::jthread source_machine([&] {
+    try {
+      DataManager dm(broker);
+      dm.setup(source_wiring);
+      common::Rng rng(1);
+      tasklib::TaskContext ctx{1.0, &rng};
+      (void)dm.run(registry, "synth_source", ctx);
+      dm.teardown();
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+  });
+  sink_machine.join();
+  source_machine.join();
+  ASSERT_TRUE(error.empty()) << error;
+  // 1024 doubles + payload framing -> sink counted the bytes.
+  EXPECT_GT(sink_out.as_scalar(), 8000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, DataManagerKinds,
+                         ::testing::Values(TransportKind::kInProcess,
+                                           TransportKind::kTcp));
+
+TEST(DataManagerTest, RunBeforeSetupThrows) {
+  ChannelBroker broker(TransportKind::kInProcess);
+  DataManager dm(broker);
+  common::Rng rng(1);
+  tasklib::TaskContext ctx{1.0, &rng};
+  EXPECT_THROW((void)dm.run(tasklib::builtin_registry(), "synth_source", ctx),
+               StateError);
+}
+
+TEST(DataManagerTest, DoubleSetupThrows) {
+  ChannelBroker broker(TransportKind::kInProcess);
+  DataManager dm(broker);
+  dm.setup(TaskWiring{AppId(1), TaskId(0), {}, {}});
+  EXPECT_THROW(dm.setup(TaskWiring{AppId(1), TaskId(0), {}, {}}), StateError);
+}
+
+TEST(DataManagerTest, StatsAccumulate) {
+  ChannelBroker broker(TransportKind::kInProcess);
+  DataManager dm(broker);
+  dm.setup(TaskWiring{AppId(1), TaskId(0), {}, {}});
+  common::Rng rng(1);
+  tasklib::TaskContext ctx{1.0, &rng};
+  (void)dm.run(tasklib::builtin_registry(), "synth_source", ctx);
+  EXPECT_EQ(dm.stats().messages_received, 0u);
+  EXPECT_EQ(dm.stats().messages_sent, 0u);
+}
+
+TEST(DataManagerTest, InputChannelClosedIsError) {
+  ChannelBroker broker(TransportKind::kInProcess);
+  const auto& registry = tasklib::builtin_registry();
+  TaskWiring wiring{AppId(1), TaskId(1), {TaskId(0)}, {}};
+
+  std::string error;
+  std::jthread consumer([&] {
+    try {
+      DataManager dm(broker);
+      dm.setup(wiring);
+      common::Rng rng(1);
+      tasklib::TaskContext ctx{1.0, &rng};
+      (void)dm.run(registry, "synth_sink", ctx);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+  });
+  // The producer connects but closes without sending.
+  auto sender =
+      broker.open_send(LinkKey{AppId(1), TaskId(0), TaskId(1)}, 5.0);
+  sender->close();
+  consumer.join();
+  EXPECT_NE(error.find("closed"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace vdce::dm

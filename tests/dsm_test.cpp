@@ -1,0 +1,214 @@
+// Tests for the distributed shared memory model (the paper's named
+// future work): caching, invalidation, locks, and concurrency.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dsm/dsm.hpp"
+
+namespace vdce::dsm {
+namespace {
+
+using tasklib::Payload;
+
+TEST(DsmTest, WriteThenReadBack) {
+  DsmServer server;
+  auto node = server.attach();
+  node->write("x", Payload::of_scalar(4.5));
+  EXPECT_DOUBLE_EQ(node->read("x").as_scalar(), 4.5);
+}
+
+TEST(DsmTest, ReadUnknownThrows) {
+  DsmServer server;
+  auto node = server.attach();
+  EXPECT_THROW((void)node->read("ghost"), common::NotFoundError);
+}
+
+TEST(DsmTest, CrossNodeVisibility) {
+  DsmServer server;
+  auto a = server.attach();
+  auto b = server.attach();
+  a->write("x", Payload::of_text("from a"));
+  EXPECT_EQ(b->read("x").as_text(), "from a");
+}
+
+TEST(DsmTest, ReadCachesLocally) {
+  DsmServer server;
+  auto a = server.attach();
+  auto b = server.attach();
+  a->write("x", Payload::of_scalar(1.0));
+  (void)b->read("x");
+  EXPECT_TRUE(b->cached("x"));
+  (void)b->read("x");
+  EXPECT_EQ(b->stats().cache_hits, 1u);
+}
+
+TEST(DsmTest, WriteInvalidatesOtherCaches) {
+  DsmServer server;
+  auto a = server.attach();
+  auto b = server.attach();
+  a->write("x", Payload::of_scalar(1.0));
+  (void)b->read("x");  // b caches
+  a->write("x", Payload::of_scalar(2.0));
+  // b's next operation applies the invalidation and refetches.
+  EXPECT_DOUBLE_EQ(b->read("x").as_scalar(), 2.0);
+  EXPECT_GE(b->stats().invalidations_applied, 1u);
+}
+
+TEST(DsmTest, WriterKeepsOwnCopyValid) {
+  DsmServer server;
+  auto a = server.attach();
+  a->write("x", Payload::of_scalar(1.0));
+  (void)a->read("x");
+  EXPECT_EQ(a->stats().cache_hits, 1u);  // own write stays cached
+}
+
+TEST(DsmTest, VariablesAreIndependent) {
+  DsmServer server;
+  auto a = server.attach();
+  auto b = server.attach();
+  a->write("x", Payload::of_scalar(1.0));
+  a->write("y", Payload::of_scalar(2.0));
+  (void)b->read("x");
+  (void)b->read("y");
+  a->write("x", Payload::of_scalar(9.0));
+  // Only x was invalidated at b.
+  (void)b->read("y");
+  EXPECT_EQ(b->stats().cache_hits, 1u);
+}
+
+TEST(DsmTest, LockMutualExclusion) {
+  DsmServer server;
+  auto a = server.attach();
+  auto b = server.attach();
+  a->write("counter", Payload::of_scalar(0.0));
+
+  constexpr int kIncrementsPerNode = 50;
+  const auto worker = [&](DsmNode& node) {
+    for (int i = 0; i < kIncrementsPerNode; ++i) {
+      node.acquire("L");
+      const double v = node.read("counter").as_scalar();
+      node.write("counter", Payload::of_scalar(v + 1.0));
+      node.release("L");
+    }
+  };
+  {
+    std::jthread ta([&] { worker(*a); });
+    std::jthread tb([&] { worker(*b); });
+  }
+  EXPECT_DOUBLE_EQ(a->read("counter").as_scalar(),
+                   2.0 * kIncrementsPerNode);
+}
+
+TEST(DsmTest, ReleaseWithoutHoldThrows) {
+  DsmServer server;
+  auto a = server.attach();
+  auto b = server.attach();
+  EXPECT_THROW(a->release("L"), common::StateError);
+  a->acquire("L");
+  EXPECT_THROW(b->release("L"), common::StateError);
+  a->release("L");
+}
+
+TEST(DsmTest, LockGrantedFifo) {
+  DsmServer server;
+  auto a = server.attach();
+  auto b = server.attach();
+  auto c = server.attach();
+  a->acquire("L");
+
+  std::vector<int> order;
+  std::mutex order_mu;
+  std::jthread tb([&] {
+    b->acquire("L");
+    {
+      std::lock_guard lk(order_mu);
+      order.push_back(2);
+    }
+    b->release("L");
+  });
+  // Ensure b queues before c.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::jthread tc([&] {
+    c->acquire("L");
+    {
+      std::lock_guard lk(order_mu);
+      order.push_back(3);
+    }
+    c->release("L");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  a->release("L");
+  tb.join();
+  tc.join();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 3);
+}
+
+TEST(DsmTest, AcquireSeesPreReleaseWrites) {
+  // Release consistency: a reader that acquires after the writer's
+  // release must see the write even if it had a stale cached copy.
+  DsmServer server;
+  auto writer = server.attach();
+  auto reader = server.attach();
+  writer->write("data", Payload::of_scalar(1.0));
+  (void)reader->read("data");  // stale copy cached
+
+  writer->acquire("L");
+  writer->write("data", Payload::of_scalar(42.0));
+  writer->release("L");
+
+  reader->acquire("L");
+  EXPECT_DOUBLE_EQ(reader->read("data").as_scalar(), 42.0);
+  reader->release("L");
+}
+
+TEST(DsmTest, ManyNodesSharedVector) {
+  DsmServer server;
+  constexpr int kNodes = 6;
+  std::vector<std::unique_ptr<DsmNode>> nodes;
+  for (int i = 0; i < kNodes; ++i) nodes.push_back(server.attach());
+
+  nodes[0]->write("v", Payload::of_vector(std::vector<double>(kNodes, 0.0)));
+  {
+    std::vector<std::jthread> threads;
+    for (int i = 0; i < kNodes; ++i) {
+      threads.emplace_back([&, i] {
+        nodes[i]->acquire("L");
+        auto v = nodes[i]->read("v").as_vector();
+        v[i] = i + 1.0;
+        nodes[i]->write("v", Payload::of_vector(v));
+        nodes[i]->release("L");
+      });
+    }
+  }
+  const auto v = nodes[0]->read("v").as_vector();
+  for (int i = 0; i < kNodes; ++i) EXPECT_DOUBLE_EQ(v[i], i + 1.0);
+}
+
+TEST(DsmTest, ServerStatsCount) {
+  DsmServer server;
+  auto a = server.attach();
+  auto b = server.attach();
+  a->write("x", Payload::of_scalar(1.0));
+  (void)b->read("x");
+  a->write("x", Payload::of_scalar(2.0));
+  const auto stats = server.stats();
+  EXPECT_GE(stats.requests, 3u);
+  EXPECT_GE(stats.invalidations_sent, 1u);
+}
+
+TEST(DsmTest, StopUnblocksAndRejects) {
+  DsmServer server;
+  auto a = server.attach();
+  a->write("x", Payload::of_scalar(1.0));
+  server.stop();
+  EXPECT_THROW(a->write("y", Payload::of_scalar(2.0)),
+               common::StateError);
+}
+
+}  // namespace
+}  // namespace vdce::dsm

@@ -1,0 +1,237 @@
+// Tests for the Application Editor: modes, menus, property panels,
+// store/reload, submit-time validation.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "editor/editor.hpp"
+
+namespace vdce::editor {
+namespace {
+
+using common::NotFoundError;
+using common::StateError;
+
+class EditorTest : public ::testing::Test {
+ protected:
+  EditorTest() : ed_(tasklib::builtin_registry(), "test_app") {}
+  ApplicationEditor ed_;
+};
+
+// --------------------------------------------------------------- menus
+
+TEST_F(EditorTest, MenusListLibraries) {
+  const auto menus = ed_.menus();
+  EXPECT_GE(menus.size(), 4u);
+  EXPECT_FALSE(ed_.menu_tasks("matrix").empty());
+}
+
+TEST_F(EditorTest, DescribeTask) {
+  EXPECT_FALSE(ed_.describe("lu_decomposition").empty());
+  EXPECT_THROW((void)ed_.describe("bogus"), NotFoundError);
+}
+
+// --------------------------------------------------------------- modes
+
+TEST_F(EditorTest, StartsInTaskMode) {
+  EXPECT_EQ(ed_.mode(), EditorMode::kTask);
+}
+
+TEST_F(EditorTest, AddTaskRequiresTaskMode) {
+  ed_.set_mode(EditorMode::kLink);
+  EXPECT_THROW((void)ed_.add_task("synth_source", "a"), StateError);
+  ed_.set_mode(EditorMode::kTask);
+  EXPECT_NO_THROW((void)ed_.add_task("synth_source", "a"));
+}
+
+TEST_F(EditorTest, ConnectRequiresLinkMode) {
+  const auto a = ed_.add_task("synth_source", "a");
+  const auto b = ed_.add_task("synth_sink", "b");
+  EXPECT_THROW(ed_.connect(a, b), StateError);
+  ed_.set_mode(EditorMode::kLink);
+  EXPECT_NO_THROW(ed_.connect(a, b));
+}
+
+TEST_F(EditorTest, SubmitRequiresRunMode) {
+  const auto a = ed_.add_task("synth_source", "a");
+  const auto b = ed_.add_task("synth_sink", "b");
+  ed_.set_mode(EditorMode::kLink);
+  ed_.connect(a, b);
+  EXPECT_THROW((void)ed_.submit(), StateError);
+  ed_.set_mode(EditorMode::kRun);
+  EXPECT_NO_THROW((void)ed_.submit());
+}
+
+TEST_F(EditorTest, PropertyPanelUnavailableInRunMode) {
+  const auto a = ed_.add_task("synth_source", "a");
+  ed_.set_mode(EditorMode::kRun);
+  EXPECT_THROW(ed_.set_properties(a, {}), StateError);
+}
+
+// --------------------------------------------------------- task mode
+
+TEST_F(EditorTest, UnknownLibraryTaskRejected) {
+  EXPECT_THROW((void)ed_.add_task("quantum_sort", "q"), NotFoundError);
+}
+
+TEST_F(EditorTest, IconPlacement) {
+  const auto a = ed_.add_task("synth_source", "a", {10.0, 20.0});
+  EXPECT_EQ(ed_.position(a), (IconPosition{10.0, 20.0}));
+  ed_.place_task(a, {30.0, 40.0});
+  EXPECT_EQ(ed_.position(a), (IconPosition{30.0, 40.0}));
+}
+
+TEST_F(EditorTest, RemoveTaskCleansUp) {
+  const auto a = ed_.add_task("synth_source", "a");
+  const auto b = ed_.add_task("synth_sink", "b");
+  ed_.set_mode(EditorMode::kLink);
+  ed_.connect(a, b);
+  ed_.set_mode(EditorMode::kTask);
+  ed_.remove_task(a);
+  EXPECT_EQ(ed_.graph().task_count(), 1u);
+  EXPECT_EQ(ed_.graph().link_count(), 0u);
+  EXPECT_THROW((void)ed_.position(a), NotFoundError);
+}
+
+// --------------------------------------------------------- link mode
+
+TEST_F(EditorTest, DefaultLinkSizeFromLibrary) {
+  const auto a = ed_.add_task("matrix_generate", "a");
+  const auto b = ed_.add_task("lu_decomposition", "b");
+  ed_.set_mode(EditorMode::kLink);
+  ed_.connect(a, b);
+  const auto& entry = tasklib::builtin_registry().get("matrix_generate");
+  EXPECT_DOUBLE_EQ(ed_.graph().link(a, b).transfer_mb,
+                   entry.default_perf.communication_size_mb);
+}
+
+TEST_F(EditorTest, ExplicitLinkSizeKept) {
+  const auto a = ed_.add_task("matrix_generate", "a");
+  const auto b = ed_.add_task("lu_decomposition", "b");
+  ed_.set_mode(EditorMode::kLink);
+  ed_.connect(a, b, 9.5);
+  EXPECT_DOUBLE_EQ(ed_.graph().link(a, b).transfer_mb, 9.5);
+
+  // Changing input_size must not clobber the explicit override.
+  ed_.set_mode(EditorMode::kTask);
+  afg::TaskProperties props;
+  props.input_size = 3.0;
+  ed_.set_properties(a, props);
+  EXPECT_DOUBLE_EQ(ed_.graph().link(a, b).transfer_mb, 9.5);
+}
+
+TEST_F(EditorTest, DefaultLinkRescalesWithInputSize) {
+  const auto a = ed_.add_task("matrix_generate", "a");
+  const auto b = ed_.add_task("lu_decomposition", "b");
+  ed_.set_mode(EditorMode::kLink);
+  ed_.connect(a, b);
+  ed_.set_mode(EditorMode::kTask);
+  afg::TaskProperties props;
+  props.input_size = 3.0;
+  ed_.set_properties(a, props);
+  const auto& entry = tasklib::builtin_registry().get("matrix_generate");
+  EXPECT_DOUBLE_EQ(ed_.graph().link(a, b).transfer_mb,
+                   3.0 * entry.default_perf.communication_size_mb);
+}
+
+TEST_F(EditorTest, Disconnect) {
+  const auto a = ed_.add_task("synth_source", "a");
+  const auto b = ed_.add_task("synth_sink", "b");
+  ed_.set_mode(EditorMode::kLink);
+  ed_.connect(a, b);
+  ed_.disconnect(a, b);
+  EXPECT_EQ(ed_.graph().link_count(), 0u);
+}
+
+// --------------------------------------------------- property panel
+
+TEST_F(EditorTest, PropertiesRoundTrip) {
+  const auto a = ed_.add_task("lu_decomposition", "a");
+  afg::TaskProperties props;
+  props.mode = afg::ComputeMode::kParallel;
+  props.num_processors = 4;
+  props.preferred_arch = repo::ArchType::kAlpha;
+  props.input_size = 2.0;
+  ed_.set_properties(a, props);
+  EXPECT_EQ(ed_.properties(a), props);
+}
+
+TEST_F(EditorTest, BadPropertiesRejected) {
+  const auto a = ed_.add_task("synth_source", "a");
+  afg::TaskProperties bad;
+  bad.num_processors = 0;
+  EXPECT_THROW(ed_.set_properties(a, bad), StateError);
+  bad.num_processors = 1;
+  bad.input_size = -1.0;
+  EXPECT_THROW(ed_.set_properties(a, bad), StateError);
+}
+
+// ----------------------------------------------------------- submit
+
+TEST_F(EditorTest, SubmitChecksArity) {
+  // residual_check needs exactly 3 inputs; give it one.
+  const auto a = ed_.add_task("matrix_generate", "a");
+  const auto r = ed_.add_task("residual_check", "r");
+  ed_.set_mode(EditorMode::kLink);
+  ed_.connect(a, r);
+  ed_.set_mode(EditorMode::kRun);
+  EXPECT_THROW((void)ed_.submit(), StateError);
+}
+
+TEST_F(EditorTest, SubmitChecksSourceHasNoInputs) {
+  const auto a = ed_.add_task("synth_source", "a");
+  const auto b = ed_.add_task("synth_source", "b");
+  ed_.set_mode(EditorMode::kLink);
+  ed_.connect(a, b);  // a source with an input
+  ed_.set_mode(EditorMode::kRun);
+  EXPECT_THROW((void)ed_.submit(), StateError);
+}
+
+TEST_F(EditorTest, SubmitValidGraph) {
+  const auto a = ed_.add_task("synth_source", "a");
+  const auto b = ed_.add_task("synth_compute", "b");
+  const auto c = ed_.add_task("synth_sink", "c");
+  ed_.set_mode(EditorMode::kLink);
+  ed_.connect(a, b);
+  ed_.connect(b, c);
+  ed_.set_mode(EditorMode::kRun);
+  const auto graph = ed_.submit();
+  EXPECT_EQ(graph.task_count(), 3u);
+  EXPECT_EQ(graph.name(), "test_app");
+}
+
+// ------------------------------------------------------ store/reload
+
+TEST_F(EditorTest, SaveAndLoad) {
+  const auto a = ed_.add_task("synth_source", "a");
+  const auto b = ed_.add_task("synth_sink", "b");
+  ed_.set_mode(EditorMode::kLink);
+  ed_.connect(a, b, 2.0);
+  ed_.save("/tmp/vdce_editor_test.afg");
+
+  auto loaded = ApplicationEditor::load(tasklib::builtin_registry(),
+                                        "/tmp/vdce_editor_test.afg");
+  EXPECT_EQ(loaded.graph().task_count(), 2u);
+  EXPECT_EQ(loaded.graph().name(), "test_app");
+  loaded.set_mode(EditorMode::kRun);
+  EXPECT_NO_THROW((void)loaded.submit());
+}
+
+TEST_F(EditorTest, LoadRejectsUnknownLibraryTask) {
+  {
+    std::ofstream out("/tmp/vdce_editor_bad.afg");
+    out << "app bad\ntask a warp_coil\n";
+  }
+  EXPECT_THROW((void)ApplicationEditor::load(tasklib::builtin_registry(),
+                                             "/tmp/vdce_editor_bad.afg"),
+               NotFoundError);
+}
+
+TEST_F(EditorTest, DotExportMentionsTasks) {
+  (void)ed_.add_task("synth_source", "alpha");
+  EXPECT_NE(ed_.to_dot().find("alpha"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vdce::editor

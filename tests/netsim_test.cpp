@@ -1,0 +1,283 @@
+// Tests for the virtual testbed substrate: load processes, topology,
+// transfer model, failures, measurement, repository population.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "netsim/testbed.hpp"
+#include "tasklib/registry.hpp"
+
+namespace vdce::netsim {
+namespace {
+
+using common::GroupId;
+using common::HostId;
+using common::SiteId;
+
+// ------------------------------------------------------------- loadgen
+
+TEST(BackgroundLoadTest, NonNegative) {
+  BackgroundLoad load(0.3, 0.2, 1);
+  for (double t = 0.0; t < 200.0; t += 1.0) {
+    EXPECT_GE(load.at(t), 0.0);
+  }
+}
+
+TEST(BackgroundLoadTest, DeterministicForSeed) {
+  BackgroundLoad a(0.5, 0.1, 7), b(0.5, 0.1, 7);
+  for (double t = 0.0; t < 50.0; t += 1.0) {
+    EXPECT_DOUBLE_EQ(a.at(t), b.at(t));
+  }
+}
+
+TEST(BackgroundLoadTest, MeanReverts) {
+  BackgroundLoad load(1.0, 0.05, 3);
+  common::RunningStats stats;
+  for (double t = 0.0; t < 2000.0; t += 1.0) stats.add(load.at(t));
+  EXPECT_NEAR(stats.mean(), 1.0, 0.15);
+}
+
+TEST(BackgroundLoadTest, SpikeApplies) {
+  BackgroundLoad load(0.0, 0.0, 1);  // deterministic zero base
+  load.add_spike({10.0, 5.0, 3.0});
+  EXPECT_DOUBLE_EQ(load.at(9.0), 0.0);
+  EXPECT_DOUBLE_EQ(load.at(12.0), 3.0);
+  EXPECT_DOUBLE_EQ(load.at(15.0), 0.0);  // [start, start+length)
+}
+
+TEST(BackgroundLoadTest, RejectsBadParams) {
+  EXPECT_THROW(BackgroundLoad(-1.0, 0.1, 1), common::StateError);
+  BackgroundLoad ok(0.1, 0.1, 1);
+  EXPECT_THROW(ok.add_spike({0, -1, 1}), common::StateError);
+}
+
+// ------------------------------------------------------------- topology
+
+class CampusTestbed : public ::testing::Test {
+ protected:
+  CampusTestbed() : testbed_(make_campus_testbed(42)) {}
+  VirtualTestbed testbed_;
+};
+
+TEST_F(CampusTestbed, Shape) {
+  EXPECT_EQ(testbed_.sites().size(), 2u);
+  EXPECT_EQ(testbed_.host_count(), 10u);  // 4 + 3 + 3
+  EXPECT_EQ(testbed_.groups_in_site(SiteId(0)).size(), 2u);
+  EXPECT_EQ(testbed_.groups_in_site(SiteId(1)).size(), 1u);
+  EXPECT_EQ(testbed_.site_name(SiteId(0)), "syracuse");
+  EXPECT_EQ(testbed_.site_name(SiteId(1)), "rome");
+}
+
+TEST_F(CampusTestbed, HostMembership) {
+  for (const HostId h : testbed_.all_hosts()) {
+    const SiteId site = testbed_.site_of(h);
+    const GroupId group = testbed_.group_of(h);
+    const auto in_site = testbed_.hosts_in_site(site);
+    const auto in_group = testbed_.hosts_in_group(group);
+    EXPECT_NE(std::find(in_site.begin(), in_site.end(), h), in_site.end());
+    EXPECT_NE(std::find(in_group.begin(), in_group.end(), h),
+              in_group.end());
+  }
+}
+
+TEST_F(CampusTestbed, UnknownIdsThrow) {
+  EXPECT_THROW((void)testbed_.host_spec(HostId(99)), common::NotFoundError);
+  EXPECT_THROW((void)testbed_.site_name(SiteId(9)), common::StateError);
+}
+
+TEST(RandomTestbed, RespectsParams) {
+  RandomTestbedParams p;
+  p.num_sites = 5;
+  p.groups_per_site = 3;
+  p.hosts_per_group = 2;
+  VirtualTestbed tb(make_random_testbed(p, 1));
+  EXPECT_EQ(tb.sites().size(), 5u);
+  EXPECT_EQ(tb.host_count(), 30u);
+  // All-pairs WAN links exist.
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = a + 1; b < 5; ++b) {
+      EXPECT_TRUE(tb.wan_link(SiteId(a), SiteId(b)).has_value());
+    }
+  }
+}
+
+TEST(RandomTestbed, DeterministicForSeed) {
+  RandomTestbedParams p;
+  const auto cfg_a = make_random_testbed(p, 5);
+  const auto cfg_b = make_random_testbed(p, 5);
+  ASSERT_EQ(cfg_a.sites.size(), cfg_b.sites.size());
+  for (std::size_t s = 0; s < cfg_a.sites.size(); ++s) {
+    for (std::size_t g = 0; g < cfg_a.sites[s].groups.size(); ++g) {
+      for (std::size_t h = 0; h < cfg_a.sites[s].groups[g].hosts.size();
+           ++h) {
+        EXPECT_DOUBLE_EQ(cfg_a.sites[s].groups[g].hosts[h].power_weight,
+                         cfg_b.sites[s].groups[g].hosts[h].power_weight);
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------- network
+
+TEST_F(CampusTestbed, SameHostTransferFree) {
+  const auto h = testbed_.all_hosts().front();
+  EXPECT_DOUBLE_EQ(testbed_.transfer_time(h, h, 100.0), 0.0);
+}
+
+TEST_F(CampusTestbed, IntraGroupFasterThanWan) {
+  const auto g0 = testbed_.hosts_in_group(GroupId(0));
+  ASSERT_GE(g0.size(), 2u);
+  const auto rome = testbed_.hosts_in_site(SiteId(1));
+  const double lan = testbed_.transfer_time(g0[0], g0[1], 1.0);
+  const double wan = testbed_.transfer_time(g0[0], rome[0], 1.0);
+  EXPECT_LT(lan, wan);
+}
+
+TEST_F(CampusTestbed, TransferScalesWithSize) {
+  const auto g0 = testbed_.hosts_in_group(GroupId(0));
+  EXPECT_LT(testbed_.transfer_time(g0[0], g0[1], 1.0),
+            testbed_.transfer_time(g0[0], g0[1], 100.0));
+}
+
+TEST_F(CampusTestbed, SiteTransferSymmetric) {
+  EXPECT_DOUBLE_EQ(testbed_.site_transfer_time(SiteId(0), SiteId(1), 5.0),
+                   testbed_.site_transfer_time(SiteId(1), SiteId(0), 5.0));
+  EXPECT_DOUBLE_EQ(testbed_.site_transfer_time(SiteId(0), SiteId(0), 5.0),
+                   0.0);
+}
+
+TEST_F(CampusTestbed, NegativeTransferRejected) {
+  const auto h = testbed_.all_hosts();
+  EXPECT_THROW((void)testbed_.transfer_time(h[0], h[1], -1.0),
+               common::StateError);
+}
+
+// ------------------------------------------------------------- failures
+
+TEST_F(CampusTestbed, FailureWindow) {
+  const auto h = testbed_.all_hosts().front();
+  testbed_.fail_host(h, 10.0, 5.0);
+  EXPECT_TRUE(testbed_.is_alive(h, 9.9));
+  EXPECT_FALSE(testbed_.is_alive(h, 10.0));
+  EXPECT_FALSE(testbed_.is_alive(h, 14.9));
+  EXPECT_TRUE(testbed_.is_alive(h, 15.0));
+}
+
+TEST_F(CampusTestbed, MultipleFailureWindows) {
+  const auto h = testbed_.all_hosts().front();
+  testbed_.fail_host(h, 10.0, 2.0);
+  testbed_.fail_host(h, 20.0, 2.0);
+  EXPECT_FALSE(testbed_.is_alive(h, 11.0));
+  EXPECT_TRUE(testbed_.is_alive(h, 15.0));
+  EXPECT_FALSE(testbed_.is_alive(h, 21.0));
+}
+
+// ---------------------------------------------------------- measurement
+
+TEST_F(CampusTestbed, MeasurementTracksTruth) {
+  const auto h = testbed_.all_hosts().front();
+  for (double t = 1.0; t < 50.0; t += 1.0) {
+    const double truth = testbed_.true_load(h, t);
+    const double measured = testbed_.measure_load(h, t);
+    EXPECT_NEAR(measured, truth, 0.25 * truth + 1e-9);
+    EXPECT_GE(measured, 0.0);
+  }
+}
+
+TEST_F(CampusTestbed, MemoryDeclinesWithLoad) {
+  const auto h = testbed_.all_hosts().front();
+  testbed_.add_load_spike(h, {100.0, 10.0, 4.0});
+  const double before = testbed_.true_available_memory(h, 99.0);
+  const double during = testbed_.true_available_memory(h, 101.0);
+  EXPECT_GT(before, during);
+  EXPECT_GT(during, 0.0);
+}
+
+// ------------------------------------------------------ execution model
+
+TEST_F(CampusTestbed, ExecutionScalesInverselyWithWeight) {
+  repo::TaskPerformanceRecord rec;
+  rec.task_name = "bench";
+  rec.base_time_s = 10.0;
+  rec.memory_req_mb = 1.0;
+  const auto hosts = testbed_.all_hosts();
+  // Find two hosts with different generic power.
+  const auto t0 = testbed_.execution_time(rec, 1.0, hosts[0], 0.0, 1e9);
+  const double w0 = testbed_.true_power_weight(hosts[0], "bench");
+  EXPECT_NEAR(t0, 10.0 / w0, 1e-9);
+}
+
+TEST_F(CampusTestbed, LoadStretchesExecution) {
+  repo::TaskPerformanceRecord rec;
+  rec.task_name = "bench";
+  rec.base_time_s = 10.0;
+  const auto h = testbed_.all_hosts().front();
+  EXPECT_DOUBLE_EQ(testbed_.execution_time(rec, 1.0, h, 3.0, 1e9),
+                   4.0 * testbed_.execution_time(rec, 1.0, h, 0.0, 1e9));
+}
+
+TEST_F(CampusTestbed, MemoryPressureStretchesExecution) {
+  repo::TaskPerformanceRecord rec;
+  rec.task_name = "bench";
+  rec.base_time_s = 10.0;
+  rec.memory_req_mb = 100.0;
+  const auto h = testbed_.all_hosts().front();
+  EXPECT_GT(testbed_.execution_time(rec, 1.0, h, 0.0, 50.0),
+            testbed_.execution_time(rec, 1.0, h, 0.0, 200.0));
+}
+
+TEST_F(CampusTestbed, AffinityVariesAcrossTasks) {
+  // The same host should not have identical weights for every task
+  // ("the performance of the processors changes from one application
+  // to another").
+  const auto h = testbed_.all_hosts().front();
+  const double w1 = testbed_.true_power_weight(h, "lu_decomposition");
+  const double w2 = testbed_.true_power_weight(h, "fft_forward");
+  const double w3 = testbed_.true_power_weight(h, "track_filter");
+  EXPECT_FALSE(w1 == w2 && w2 == w3);
+}
+
+TEST_F(CampusTestbed, AffinityDeterministic) {
+  VirtualTestbed other(make_campus_testbed(42));
+  const auto h = testbed_.all_hosts().front();
+  EXPECT_DOUBLE_EQ(testbed_.true_power_weight(h, "fft_forward"),
+                   other.true_power_weight(h, "fft_forward"));
+}
+
+// ---------------------------------------------------------- repository
+
+TEST_F(CampusTestbed, PopulateRepository) {
+  repo::SiteRepository repository(SiteId(0));
+  tasklib::builtin_registry().install_defaults(repository.tasks());
+  testbed_.populate_repository(repository, SiteId(0));
+
+  // Every host registered.
+  EXPECT_EQ(repository.resources().size(), testbed_.host_count());
+  // WAN link recorded.
+  EXPECT_TRUE(repository.resources()
+                  .site_network(SiteId(0), SiteId(1))
+                  .has_value());
+  // Constraints: most (task, host) pairs allowed, some excluded.
+  std::size_t allowed = 0, total = 0;
+  for (const auto& task : repository.tasks().task_names()) {
+    for (const HostId h : testbed_.all_hosts()) {
+      ++total;
+      if (repository.constraints().can_run(task, h)) ++allowed;
+    }
+  }
+  EXPECT_GT(allowed, total * 3 / 4);
+  EXPECT_LT(allowed, total);
+
+  // Trial-run weights approximate the truth.
+  const auto h = testbed_.all_hosts().front();
+  const auto rec = repository.resources().get(h);
+  const double measured = repository.tasks().power_weight(
+      "lu_decomposition", h, rec.static_attrs.arch);
+  const double truth = testbed_.true_power_weight(h, "lu_decomposition");
+  EXPECT_NEAR(measured, truth, 0.25 * truth);
+}
+
+}  // namespace
+}  // namespace vdce::netsim

@@ -1,0 +1,188 @@
+// Tests for performance prediction: Predict(task, R) and the load
+// forecaster.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "predict/forecaster.hpp"
+#include "predict/predictor.hpp"
+
+namespace vdce::predict {
+namespace {
+
+using common::ForecastMethod;
+using common::HostId;
+using common::SiteId;
+
+void fill_repo(repo::SiteRepository& r) {
+  repo::TaskPerformanceRecord task;
+  task.task_name = "fft";
+  task.base_time_s = 2.0;
+  task.memory_req_mb = 32.0;
+  r.tasks().register_task(task);
+
+  repo::HostStaticAttrs h;
+  h.host_name = "h0";
+  h.arch = repo::ArchType::kSparc;
+  h.total_memory_mb = 256.0;
+  h.site = SiteId(0);
+  h.group = common::GroupId(0);
+  r.resources().register_host(h);  // HostId(0)
+}
+
+// ----------------------------------------------------------- forecaster
+
+TEST(Forecaster, EmptyIsNullopt) {
+  LoadForecaster f;
+  EXPECT_FALSE(f.forecast(HostId(0)).has_value());
+  EXPECT_EQ(f.count(HostId(0)), 0u);
+}
+
+TEST(Forecaster, WindowMean) {
+  LoadForecaster f(4, ForecastMethod::kWindowMean);
+  f.observe(HostId(0), 1.0);
+  f.observe(HostId(0), 3.0);
+  EXPECT_DOUBLE_EQ(f.forecast(HostId(0)).value(), 2.0);
+}
+
+TEST(Forecaster, LastSample) {
+  LoadForecaster f(4, ForecastMethod::kLastSample);
+  f.observe(HostId(0), 1.0);
+  f.observe(HostId(0), 3.0);
+  EXPECT_DOUBLE_EQ(f.forecast(HostId(0)).value(), 3.0);
+}
+
+TEST(Forecaster, WindowEvicts) {
+  LoadForecaster f(2, ForecastMethod::kWindowMean);
+  f.observe(HostId(0), 100.0);
+  f.observe(HostId(0), 1.0);
+  f.observe(HostId(0), 3.0);  // evicts 100
+  EXPECT_DOUBLE_EQ(f.forecast(HostId(0)).value(), 2.0);
+  EXPECT_EQ(f.count(HostId(0)), 2u);
+}
+
+TEST(Forecaster, PerHostIsolation) {
+  LoadForecaster f;
+  f.observe(HostId(0), 1.0);
+  f.observe(HostId(1), 9.0);
+  EXPECT_DOUBLE_EQ(f.forecast(HostId(0)).value(), 1.0);
+  EXPECT_DOUBLE_EQ(f.forecast(HostId(1)).value(), 9.0);
+}
+
+TEST(Forecaster, Forget) {
+  LoadForecaster f;
+  f.observe(HostId(0), 1.0);
+  f.forget(HostId(0));
+  EXPECT_FALSE(f.forecast(HostId(0)).has_value());
+}
+
+// ------------------------------------------------------------ predictor
+
+TEST(Predictor, DedicatedUnloadedBaseline) {
+  repo::SiteRepository repo{SiteId(0)};
+  fill_repo(repo);
+  PerformancePredictor p(repo);
+  // weight=1, load=0 (initial), fits in memory -> base_time * size.
+  EXPECT_DOUBLE_EQ(p.predict("fft", 1.0, HostId(0)), 2.0);
+  EXPECT_DOUBLE_EQ(p.predict("fft", 3.0, HostId(0)), 6.0);
+}
+
+TEST(Predictor, WeightSpeedsUp) {
+  repo::SiteRepository repo{SiteId(0)};
+  fill_repo(repo);
+  repo.tasks().set_power_weight("fft", HostId(0), 2.0);
+  PerformancePredictor p(repo);
+  EXPECT_DOUBLE_EQ(p.predict("fft", 1.0, HostId(0)), 1.0);
+}
+
+TEST(Predictor, ArchWeightFallback) {
+  repo::SiteRepository repo{SiteId(0)};
+  fill_repo(repo);
+  repo.tasks().set_arch_weight("fft", repo::ArchType::kSparc, 4.0);
+  PerformancePredictor p(repo);
+  EXPECT_DOUBLE_EQ(p.predict("fft", 1.0, HostId(0)), 0.5);
+}
+
+TEST(Predictor, LoadSlowsDown) {
+  repo::SiteRepository repo{SiteId(0)};
+  fill_repo(repo);
+  repo::HostDynamicAttrs dyn;
+  dyn.cpu_load = 1.0;  // one competing process
+  dyn.available_memory_mb = 256.0;
+  repo.resources().update_dynamic(HostId(0), dyn);
+  PerformancePredictor p(repo);
+  EXPECT_DOUBLE_EQ(p.predict("fft", 1.0, HostId(0)), 4.0);  // 2 * (1+1)
+}
+
+TEST(Predictor, ForecasterOverridesRepositoryLoad) {
+  repo::SiteRepository repo{SiteId(0)};
+  fill_repo(repo);
+  repo::HostDynamicAttrs dyn;
+  dyn.cpu_load = 9.0;  // stale high value in the repository
+  dyn.available_memory_mb = 256.0;
+  repo.resources().update_dynamic(HostId(0), dyn);
+
+  LoadForecaster f(4, ForecastMethod::kWindowMean);
+  f.observe(HostId(0), 0.0);
+  PerformancePredictor p(repo, &f);
+  EXPECT_DOUBLE_EQ(p.predict("fft", 1.0, HostId(0)), 2.0);
+}
+
+TEST(Predictor, MemoryPressurePenalty) {
+  repo::SiteRepository repo{SiteId(0)};
+  fill_repo(repo);
+  repo::HostDynamicAttrs dyn;
+  dyn.cpu_load = 0.0;
+  dyn.available_memory_mb = 16.0;  // task needs 32
+  repo.resources().update_dynamic(HostId(0), dyn);
+  PerformancePredictor p(repo);
+  const auto detail = p.predict_detailed("fft", 1.0, HostId(0));
+  // penalty = 1 + 4*(32/16 - 1) = 5.
+  EXPECT_DOUBLE_EQ(detail.memory_penalty, 5.0);
+  EXPECT_DOUBLE_EQ(detail.time_s, 10.0);
+}
+
+TEST(Predictor, DetailedBreakdownConsistent) {
+  repo::SiteRepository repo{SiteId(0)};
+  fill_repo(repo);
+  repo.tasks().set_power_weight("fft", HostId(0), 2.0);
+  repo::HostDynamicAttrs dyn;
+  dyn.cpu_load = 0.5;
+  dyn.available_memory_mb = 256.0;
+  repo.resources().update_dynamic(HostId(0), dyn);
+  PerformancePredictor p(repo);
+  const auto d = p.predict_detailed("fft", 2.0, HostId(0));
+  EXPECT_DOUBLE_EQ(d.weight, 2.0);
+  EXPECT_DOUBLE_EQ(d.dedicated_s, 2.0);  // 2*2/2
+  EXPECT_DOUBLE_EQ(d.load, 0.5);
+  EXPECT_DOUBLE_EQ(d.memory_penalty, 1.0);
+  EXPECT_DOUBLE_EQ(d.time_s, 3.0);
+}
+
+TEST(Predictor, UnknownTaskOrHostThrows) {
+  repo::SiteRepository repo{SiteId(0)};
+  fill_repo(repo);
+  PerformancePredictor p(repo);
+  EXPECT_THROW((void)p.predict("nope", 1.0, HostId(0)),
+               common::NotFoundError);
+  EXPECT_THROW((void)p.predict("fft", 1.0, HostId(42)),
+               common::NotFoundError);
+  EXPECT_THROW((void)p.predict("fft", 0.0, HostId(0)), common::StateError);
+}
+
+// Property: prediction is monotone in input size and in load.
+class PredictMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(PredictMonotone, MonotoneInSize) {
+  repo::SiteRepository repo{SiteId(0)};
+  fill_repo(repo);
+  PerformancePredictor p(repo);
+  const double size = GetParam();
+  EXPECT_LE(p.predict("fft", size, HostId(0)),
+            p.predict("fft", size * 1.5, HostId(0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PredictMonotone,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace vdce::predict

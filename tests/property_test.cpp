@@ -1,0 +1,275 @@
+// Cross-module property tests: randomized round-trips and invariants
+// that hold for arbitrary (seeded) inputs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "afg/serialize.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "repository/repository.hpp"
+#include "scheduler/qos.hpp"
+#include "scheduler/site_scheduler.hpp"
+#include "sim/static_sim.hpp"
+#include "sim/workloads.hpp"
+#include "tasklib/registry.hpp"
+#include "viz/trace.hpp"
+
+namespace vdce {
+namespace {
+
+using common::HostId;
+using common::Rng;
+using common::SiteId;
+
+// ----------------------------------------------- repository persistence
+
+/// Builds a randomized repository, persists it, reloads it, and checks
+/// every record survives byte-exact.
+TEST(PersistenceProperty, RandomRepositoryRoundTrip) {
+  Rng rng(606);
+  const auto dir =
+      std::filesystem::temp_directory_path() / "vdce_prop_repo";
+  for (int trial = 0; trial < 5; ++trial) {
+    std::filesystem::remove_all(dir);
+    repo::SiteRepository original{SiteId(trial)};
+
+    // Users.
+    const auto nusers = 1 + rng.uniform_int(5);
+    for (std::uint64_t u = 0; u < nusers; ++u) {
+      original.users().add_user(
+          "user" + std::to_string(u), "pw" + std::to_string(rng() % 1000),
+          static_cast<int>(rng.uniform_int(10)),
+          rng.bernoulli(0.5) ? "wan" : "local");
+    }
+    // Hosts.
+    const auto nhosts = 1 + rng.uniform_int(8);
+    std::vector<HostId> hosts;
+    for (std::uint64_t h = 0; h < nhosts; ++h) {
+      repo::HostStaticAttrs attrs;
+      attrs.host_name = "host" + std::to_string(h);
+      attrs.ip_address = "10.0.0." + std::to_string(h);
+      attrs.arch = static_cast<repo::ArchType>(rng.uniform_int(5));
+      attrs.os = static_cast<repo::OsType>(rng.uniform_int(5));
+      attrs.total_memory_mb = rng.uniform(32.0, 512.0);
+      attrs.site = SiteId(static_cast<std::uint32_t>(rng.uniform_int(3)));
+      attrs.group =
+          common::GroupId(static_cast<std::uint32_t>(rng.uniform_int(3)));
+      const auto id = original.resources().register_host(attrs);
+      hosts.push_back(id);
+      repo::HostDynamicAttrs dyn;
+      dyn.cpu_load = rng.uniform(0.0, 5.0);
+      dyn.available_memory_mb = rng.uniform(0.0, attrs.total_memory_mb);
+      dyn.alive = rng.bernoulli(0.9);
+      dyn.last_update = rng.uniform(0.0, 100.0);
+      original.resources().update_dynamic(id, dyn);
+    }
+    // Tasks + weights + constraints.
+    const auto ntasks = 1 + rng.uniform_int(6);
+    for (std::uint64_t t = 0; t < ntasks; ++t) {
+      repo::TaskPerformanceRecord rec;
+      rec.task_name = "task" + std::to_string(t);
+      rec.base_time_s = rng.uniform(0.01, 5.0);
+      rec.computation_size = rng.uniform(0.1, 20.0);
+      rec.communication_size_mb = rng.uniform(0.001, 10.0);
+      rec.memory_req_mb = rng.uniform(1.0, 128.0);
+      const auto nhist = rng.uniform_int(5);
+      for (std::uint64_t i = 0; i < nhist; ++i) {
+        rec.measured_history.push_back(rng.uniform(0.01, 10.0));
+      }
+      original.tasks().register_task(rec);
+      for (const auto h : hosts) {
+        if (rng.bernoulli(0.7)) {
+          original.tasks().set_power_weight(rec.task_name, h,
+                                            rng.uniform(0.1, 4.0));
+        }
+        if (rng.bernoulli(0.8)) {
+          original.constraints().set_location(
+              rec.task_name, h, "/bin/" + rec.task_name);
+        }
+      }
+    }
+
+    original.save(dir);
+    repo::SiteRepository loaded{SiteId(trial)};
+    loaded.load(dir);
+
+    // Users authenticate with their original passwords.
+    for (const auto& acct : original.users().all()) {
+      const auto reloaded = loaded.users().find(acct.user_name);
+      ASSERT_TRUE(reloaded.has_value());
+      EXPECT_EQ(reloaded->password_hash, acct.password_hash);
+      EXPECT_EQ(reloaded->priority, acct.priority);
+      EXPECT_EQ(reloaded->access_domain, acct.access_domain);
+    }
+    // Hosts byte-identical.
+    for (const auto& rec : original.resources().all_hosts()) {
+      const auto r = loaded.resources().get(rec.host);
+      EXPECT_EQ(r.static_attrs.host_name, rec.static_attrs.host_name);
+      EXPECT_EQ(r.static_attrs.arch, rec.static_attrs.arch);
+      EXPECT_DOUBLE_EQ(r.dynamic_attrs.cpu_load,
+                       rec.dynamic_attrs.cpu_load);
+      EXPECT_EQ(r.dynamic_attrs.alive, rec.dynamic_attrs.alive);
+      EXPECT_DOUBLE_EQ(r.dynamic_attrs.last_update,
+                       rec.dynamic_attrs.last_update);
+    }
+    // Tasks, weights, constraints.
+    for (const auto& name : original.tasks().task_names()) {
+      const auto a = original.tasks().get(name);
+      const auto b = loaded.tasks().get(name);
+      EXPECT_DOUBLE_EQ(a.base_time_s, b.base_time_s);
+      EXPECT_EQ(a.measured_history, b.measured_history);
+      for (const auto h : hosts) {
+        EXPECT_DOUBLE_EQ(
+            original.tasks().power_weight(name, h, repo::ArchType::kSparc),
+            loaded.tasks().power_weight(name, h, repo::ArchType::kSparc));
+        EXPECT_EQ(original.constraints().location(name, h),
+                  loaded.constraints().location(name, h));
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------- payload fuzzing
+
+/// Truncating a valid payload wire image at any byte never crashes: it
+/// either throws ParseError on decode or fails the type check.
+TEST(PayloadProperty, TruncationAlwaysThrowsCleanly) {
+  Rng rng(707);
+  const auto m = tasklib::Matrix::random(5, 7, rng);
+  const auto payload = tasklib::Payload::of_matrix(m);
+  const auto wire = payload.to_wire();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    std::vector<std::byte> truncated(wire.begin(),
+                                     wire.begin() +
+                                         static_cast<std::ptrdiff_t>(cut));
+    try {
+      const auto decoded = tasklib::Payload::from_wire(truncated);
+      (void)decoded.as_matrix();
+      // Only the complete image may decode successfully.
+      FAIL() << "truncated payload decoded at cut " << cut;
+    } catch (const common::ParseError&) {
+      // expected
+    } catch (const common::StateError&) {
+      // type-tag survived but body truncated to another type: also fine
+    }
+  }
+  // The untruncated image decodes.
+  EXPECT_EQ(tasklib::Payload::from_wire(wire).as_matrix(), m);
+}
+
+/// Corrupting the AFG text at a random line yields ParseError, never a
+/// crash or silent acceptance of garbage directives.
+TEST(AfgProperty, GarbageLinesRejected) {
+  Rng rng(808);
+  const auto graph = sim::make_linear_solver_graph();
+  const auto text = afg::to_text(graph);
+  const char* garbage[] = {"node x y", "task", "link a", "app", "= = ="};
+  for (const char* bad : garbage) {
+    EXPECT_THROW((void)afg::from_text(text + bad + "\n"),
+                 common::ParseError)
+        << bad;
+  }
+}
+
+// -------------------------------------------- schedule/simulate invariants
+
+class ScheduleSimProperty : public ::testing::TestWithParam<int> {};
+
+/// For arbitrary graphs: the schedule covers all tasks, the simulated
+/// run respects precedence and host serialisation, and the QoS
+/// estimator is a finite positive number.
+TEST_P(ScheduleSimProperty, EndToEndInvariants) {
+  const int seed = GetParam();
+  Rng rng(seed);
+
+  netsim::RandomTestbedParams tb_params;
+  tb_params.num_sites = 2;
+  tb_params.groups_per_site = 2;
+  tb_params.hosts_per_group = 3;
+  const auto config = netsim::make_random_testbed(tb_params, 1000 + seed);
+  netsim::VirtualTestbed testbed(config);
+  repo::SiteRepository repository(SiteId(0));
+  tasklib::builtin_registry().install_defaults(repository.tasks());
+  testbed.populate_repository(repository, SiteId(0));
+  sched::RepositoryDirectory directory;
+  directory.add_site(SiteId(0), &repository);
+  repo::SiteRepository repository1(SiteId(1));
+  tasklib::builtin_registry().install_defaults(repository1.tasks());
+  testbed.populate_repository(repository1, SiteId(1));
+  directory.add_site(SiteId(1), &repository1);
+
+  sim::SyntheticGraphParams params;
+  params.family = static_cast<sim::GraphFamily>(seed % 5);
+  params.size = 3 + seed % 4;
+  params.width = 3;
+  const auto graph = sim::make_synthetic_graph(params, rng);
+
+  sched::SiteSchedulerConfig sched_config;
+  sched_config.queue_aware = (seed % 2) == 0;
+  sched::SiteScheduler scheduler(SiteId(0), directory, sched_config);
+  const auto table = scheduler.schedule(graph);
+  ASSERT_EQ(table.size(), graph.task_count());
+
+  // QoS estimate is sane.
+  const double estimate = sched::predicted_makespan(graph, table, directory);
+  EXPECT_GT(estimate, 0.0);
+  EXPECT_LT(estimate, 1e6);
+
+  // Simulated execution invariants.
+  sim::StaticSimulator simulator(testbed, repository.tasks());
+  const auto result = simulator.run(graph, table, 5.0);
+  ASSERT_EQ(result.records.size(), graph.task_count());
+  for (const auto& link : graph.links()) {
+    EXPECT_GE(result.record(link.to).start + 1e-9,
+              result.record(link.from).finish);
+  }
+  for (const auto& a : result.records) {
+    EXPECT_GE(a.start + 1e-12, a.data_ready);
+    EXPECT_GT(a.exec_s, 0.0);
+    for (const auto& b : result.records) {
+      if (a.task == b.task || a.host != b.host) continue;
+      EXPECT_TRUE(a.finish <= b.start + 1e-9 || b.finish <= a.start + 1e-9);
+    }
+  }
+
+  // The trace exporter produces parseable-looking JSON with one event
+  // per task at minimum.
+  const auto trace = viz::to_chrome_trace(result);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  for (const auto& r : result.records) {
+    EXPECT_NE(trace.find("\"" + r.label + "\""), std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleSimProperty,
+                         ::testing::Range(0, 10));
+
+// --------------------------------------------------------- trace export
+
+TEST(TraceExport, RealRunTrace) {
+  rt::RunResult run;
+  rt::TaskRunRecord rec;
+  rec.task = common::TaskId(0);
+  rec.label = "alpha \"quoted\"";
+  rec.library_task = "synth_source";
+  rec.host = HostId(2);
+  rec.turnaround_s = 0.5;
+  rec.compute_s = 0.4;
+  run.records.push_back(rec);
+  run.makespan_s = 0.5;
+  const auto trace = viz::to_chrome_trace(run);
+  // Quotes escaped, fields present.
+  EXPECT_NE(trace.find("alpha \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(trace.find("\"tid\": 2"), std::string::npos);
+
+  const auto path = "/tmp/vdce_trace_test.json";
+  viz::write_trace(trace, path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_THROW(viz::write_trace(trace, "/nonexistent_dir/x.json"),
+               common::NotFoundError);
+}
+
+}  // namespace
+}  // namespace vdce

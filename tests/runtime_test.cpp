@@ -1,0 +1,483 @@
+// Tests for the VDCE Runtime System: Monitor daemons, Group Managers
+// (CI filtering, failure detection), Site Managers, the Control Manager
+// wiring, the Site-Manager-backed scheduling directory, and the
+// real-threaded execution engine.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "netsim/testbed.hpp"
+#include "runtime/control_manager.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/sm_directory.hpp"
+#include "scheduler/site_scheduler.hpp"
+#include "sim/workloads.hpp"
+#include "tasklib/registry.hpp"
+
+namespace vdce::rt {
+namespace {
+
+using common::HostId;
+using common::SiteId;
+
+/// One fully wired site over the campus testbed.
+class RuntimeEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testbed_ = std::make_unique<netsim::VirtualTestbed>(
+        netsim::make_campus_testbed(13));
+    for (const SiteId site : testbed_->sites()) {
+      auto repository = std::make_unique<repo::SiteRepository>(site);
+      tasklib::builtin_registry().install_defaults(repository->tasks());
+      testbed_->populate_repository(*repository, site);
+      auto forecaster = std::make_unique<predict::LoadForecaster>();
+      auto manager =
+          std::make_unique<SiteManager>(site, *repository, *forecaster);
+      auto control =
+          std::make_unique<ControlManager>(*testbed_, site, *manager);
+      directory_.add_site(*manager);
+      repositories_.push_back(std::move(repository));
+      forecasters_.push_back(std::move(forecaster));
+      managers_.push_back(std::move(manager));
+      controls_.push_back(std::move(control));
+    }
+  }
+
+  void warm_up(double until) {
+    for (double t = 1.0; t <= until; t += 1.0) {
+      for (auto& c : controls_) c->tick(t);
+    }
+  }
+
+  std::unique_ptr<netsim::VirtualTestbed> testbed_;
+  std::vector<std::unique_ptr<repo::SiteRepository>> repositories_;
+  std::vector<std::unique_ptr<predict::LoadForecaster>> forecasters_;
+  std::vector<std::unique_ptr<SiteManager>> managers_;
+  std::vector<std::unique_ptr<ControlManager>> controls_;
+  SiteManagerDirectory directory_;
+};
+
+// -------------------------------------------------------------- monitor
+
+TEST(MonitorTest, FiresOnPeriod) {
+  netsim::VirtualTestbed testbed(netsim::make_campus_testbed(1));
+  Monitor monitor(testbed, testbed.all_hosts().front(), 2.0);
+  EXPECT_TRUE(monitor.tick(0.0).has_value());   // due immediately
+  EXPECT_FALSE(monitor.tick(1.0).has_value());  // not due
+  EXPECT_TRUE(monitor.tick(2.0).has_value());
+  EXPECT_EQ(monitor.measurements_taken(), 2u);
+}
+
+TEST(MonitorTest, GapYieldsOneReport) {
+  netsim::VirtualTestbed testbed(netsim::make_campus_testbed(1));
+  Monitor monitor(testbed, testbed.all_hosts().front(), 1.0);
+  (void)monitor.tick(0.0);
+  EXPECT_TRUE(monitor.tick(50.0).has_value());
+  EXPECT_EQ(monitor.measurements_taken(), 2u);  // no burst of 50
+}
+
+TEST(MonitorTest, DeadHostProducesNothing) {
+  netsim::VirtualTestbed testbed(netsim::make_campus_testbed(1));
+  const auto host = testbed.all_hosts().front();
+  testbed.fail_host(host, 5.0, 10.0);
+  Monitor monitor(testbed, host, 1.0);
+  EXPECT_TRUE(monitor.tick(1.0).has_value());
+  EXPECT_FALSE(monitor.tick(6.0).has_value());
+  EXPECT_TRUE(monitor.tick(20.0).has_value());
+}
+
+TEST(MonitorTest, RejectsBadPeriod) {
+  netsim::VirtualTestbed testbed(netsim::make_campus_testbed(1));
+  EXPECT_THROW(Monitor(testbed, testbed.all_hosts().front(), 0.0),
+               common::StateError);
+}
+
+// -------------------------------------------------------- group manager
+
+TEST(GroupManagerTest, CiFilterReducesForwarding) {
+  netsim::VirtualTestbed testbed_a(netsim::make_campus_testbed(3));
+  netsim::VirtualTestbed testbed_b(netsim::make_campus_testbed(3));
+
+  GroupManagerConfig filtered;
+  filtered.ci_filter = true;
+  GroupManagerConfig unfiltered;
+  unfiltered.ci_filter = false;
+
+  GroupManager gm_filtered(testbed_a, common::GroupId(0), 1.0, filtered);
+  GroupManager gm_unfiltered(testbed_b, common::GroupId(0), 1.0, unfiltered);
+
+  for (double t = 1.0; t <= 200.0; t += 1.0) {
+    (void)gm_filtered.tick(t);
+    (void)gm_unfiltered.tick(t);
+  }
+  EXPECT_EQ(gm_filtered.stats().reports_received,
+            gm_unfiltered.stats().reports_received);
+  EXPECT_LT(gm_filtered.stats().updates_forwarded,
+            gm_unfiltered.stats().updates_forwarded);
+  // The unfiltered manager forwards everything.
+  EXPECT_EQ(gm_unfiltered.stats().updates_forwarded,
+            gm_unfiltered.stats().reports_received);
+}
+
+TEST(GroupManagerTest, DetectsFailureAndRecovery) {
+  netsim::VirtualTestbed testbed(netsim::make_campus_testbed(5));
+  const auto group = common::GroupId(0);
+  const auto host = testbed.hosts_in_group(group).front();
+  testbed.fail_host(host, 10.0, 10.0);
+
+  GroupManagerConfig config;
+  config.echo_period_s = 2.0;
+  GroupManager gm(testbed, group, 1.0, config);
+
+  bool saw_down = false;
+  bool saw_up = false;
+  for (double t = 1.0; t <= 40.0; t += 1.0) {
+    const auto out = gm.tick(t);
+    for (const auto& change : out.liveness_changes) {
+      if (change.host == host && !change.alive) saw_down = true;
+      if (change.host == host && change.alive) saw_up = true;
+    }
+  }
+  EXPECT_TRUE(saw_down);
+  EXPECT_TRUE(saw_up);
+  EXPECT_EQ(gm.stats().failures_detected, 1u);
+  EXPECT_EQ(gm.stats().recoveries_detected, 1u);
+  // After recovery the host is believed alive again.
+  const auto alive = gm.hosts_believed_alive();
+  EXPECT_NE(std::find(alive.begin(), alive.end(), host), alive.end());
+}
+
+TEST(GroupManagerTest, EchoRoundsMeasureNetwork) {
+  netsim::VirtualTestbed testbed(netsim::make_campus_testbed(5));
+  GroupManager gm(testbed, common::GroupId(0), 1.0);
+  bool saw_network = false;
+  for (double t = 1.0; t <= 10.0; t += 1.0) {
+    const auto out = gm.tick(t);
+    if (!out.network_measurements.empty()) {
+      saw_network = true;
+      EXPECT_GT(out.network_measurements.front().transfer_mb_per_s, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_network);
+}
+
+// --------------------------------------------------------- site manager
+
+TEST_F(RuntimeEnv, WorkloadUpdatesReachRepositoryAndForecaster) {
+  const auto host = testbed_->hosts_in_site(SiteId(0)).front();
+  WorkloadUpdate update{host, 5.0, 2.5, 100.0};
+  managers_[0]->handle_workload(update);
+  const auto rec = repositories_[0]->resources().get(host);
+  EXPECT_DOUBLE_EQ(rec.dynamic_attrs.cpu_load, 2.5);
+  EXPECT_DOUBLE_EQ(rec.dynamic_attrs.last_update, 5.0);
+  EXPECT_DOUBLE_EQ(forecasters_[0]->forecast(host).value(), 2.5);
+}
+
+TEST_F(RuntimeEnv, LivenessChangeMarksHost) {
+  const auto host = testbed_->hosts_in_site(SiteId(0)).front();
+  managers_[0]->handle_liveness(LivenessChange{host, 3.0, false});
+  EXPECT_FALSE(
+      repositories_[0]->resources().get(host).dynamic_attrs.alive);
+  managers_[0]->handle_liveness(LivenessChange{host, 6.0, true});
+  EXPECT_TRUE(repositories_[0]->resources().get(host).dynamic_attrs.alive);
+}
+
+TEST_F(RuntimeEnv, LoginWorks) {
+  repositories_[0]->users().add_user("ops", "pw", 3, "wan");
+  EXPECT_EQ(managers_[0]->login("ops", "pw").priority, 3);
+  EXPECT_THROW((void)managers_[0]->login("ops", "bad"), common::AuthError);
+}
+
+TEST_F(RuntimeEnv, RecordTaskTimeAppendsHistory) {
+  managers_[0]->record_task_time("fft_forward", 0.42);
+  const auto rec = repositories_[0]->tasks().get("fft_forward");
+  ASSERT_FALSE(rec.measured_history.empty());
+  EXPECT_DOUBLE_EQ(rec.measured_history.back(), 0.42);
+}
+
+TEST_F(RuntimeEnv, DistributeAllocationSplitsPerHost) {
+  sched::AllocationTable table("app");
+  const auto hosts = testbed_->hosts_in_site(SiteId(0));
+  for (int i = 0; i < 3; ++i) {
+    sched::AllocationEntry e;
+    e.task = common::TaskId(i);
+    e.task_label = "t" + std::to_string(i);
+    e.hosts = {hosts[i % 2]};
+    e.site = SiteId(0);
+    table.add(e);
+  }
+  // One row for the other site; must not appear in this site's portions.
+  sched::AllocationEntry remote;
+  remote.task = common::TaskId(9);
+  remote.hosts = {testbed_->hosts_in_site(SiteId(1)).front()};
+  remote.site = SiteId(1);
+  table.add(remote);
+
+  const auto portions = managers_[0]->distribute_allocation(table);
+  std::size_t rows = 0;
+  for (const auto& [host, entries] : portions) {
+    rows += entries.size();
+    EXPECT_EQ(
+        repositories_[0]->resources().get(host).static_attrs.site,
+        SiteId(0));
+  }
+  EXPECT_EQ(rows, 3u);
+}
+
+// ------------------------------------------------------ control manager
+
+TEST_F(RuntimeEnv, MonitoringPipelineUpdatesRepository) {
+  warm_up(20.0);
+  const auto stats = controls_[0]->stats();
+  EXPECT_GT(stats.reports_received, 0u);
+  EXPECT_GT(stats.updates_forwarded, 0u);
+  EXPECT_LE(stats.updates_forwarded, stats.reports_received);
+
+  // Repository dynamic attributes were refreshed.
+  for (const auto& rec :
+       repositories_[0]->resources().hosts_in_site(SiteId(0))) {
+    EXPECT_GT(rec.dynamic_attrs.last_update, 0.0);
+  }
+}
+
+TEST_F(RuntimeEnv, FailureFlowsToRepository) {
+  const auto host = testbed_->hosts_in_site(SiteId(0)).front();
+  testbed_->fail_host(host, 5.0, 100.0);
+  warm_up(20.0);
+  EXPECT_FALSE(repositories_[0]->resources().get(host).dynamic_attrs.alive);
+  // The scheduler no longer sees the host.
+  EXPECT_EQ(repositories_[0]->resources().alive_hosts().size(),
+            testbed_->host_count() - 1);
+}
+
+TEST_F(RuntimeEnv, RunUntilConvenience) {
+  controls_[0]->run_until(0.0, 10.0, 1.0);
+  EXPECT_GT(controls_[0]->stats().reports_received, 0u);
+}
+
+// ----------------------------------------------------------- directory
+
+TEST_F(RuntimeEnv, DirectoryRoutesHostSelection) {
+  warm_up(10.0);
+  const auto graph = sim::make_c3i_graph();
+  const auto result = directory_.host_selection(SiteId(1), graph);
+  EXPECT_EQ(result.size(), graph.task_count());
+  EXPECT_GT(directory_.stats().afg_multicasts, 0u);
+  EXPECT_EQ(managers_[1]->stats().host_selection_requests, 1u);
+}
+
+TEST_F(RuntimeEnv, DirectoryAnswersWanQueries) {
+  EXPECT_GT(directory_.transfer_time(SiteId(0), SiteId(1), 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(directory_.transfer_time(SiteId(0), SiteId(0), 10.0),
+                   0.0);
+  EXPECT_GT(directory_.base_time("lu_decomposition"), 0.0);
+}
+
+// --------------------------------------------------------------- engine
+
+TEST_F(RuntimeEnv, EndToEndLinearSolver) {
+  warm_up(10.0);
+  const auto graph = sim::make_linear_solver_graph(0.5);
+  sched::SiteScheduler scheduler(SiteId(0), directory_);
+  const auto allocation = scheduler.schedule(graph);
+
+  ExecutionEngine engine(tasklib::builtin_registry());
+  const auto result = engine.execute(graph, allocation, managers_[0].get());
+
+  EXPECT_EQ(result.records.size(), graph.task_count());
+  EXPECT_GT(result.makespan_s, 0.0);
+  const auto res_task = graph.find_by_label("residual");
+  EXPECT_LT(result.outputs.at(*res_task).as_scalar(), 1e-9);
+
+  // Measured times fed back into the task-performance database.
+  EXPECT_FALSE(repositories_[0]->tasks()
+                   .get("lu_decomposition")
+                   .measured_history.empty());
+}
+
+TEST_F(RuntimeEnv, EngineOverTcpWithEveryLibrary) {
+  warm_up(10.0);
+  const auto graph = sim::make_c3i_graph(0.5);
+  sched::SiteScheduler scheduler(SiteId(0), directory_);
+  const auto allocation = scheduler.schedule(graph);
+
+  for (const auto lib : {dm::MpLibrary::kP4, dm::MpLibrary::kPvm,
+                         dm::MpLibrary::kMpi, dm::MpLibrary::kNcs}) {
+    EngineConfig config;
+    config.transport = dm::TransportKind::kTcp;
+    config.library = lib;
+    ExecutionEngine engine(tasklib::builtin_registry(), config);
+    const auto result = engine.execute(graph, allocation);
+    const auto rank = graph.find_by_label("rank");
+    EXPECT_FALSE(result.outputs.at(*rank).as_threats().empty())
+        << "library " << dm::to_string(lib);
+  }
+}
+
+TEST_F(RuntimeEnv, EngineRejectsIncompleteAllocation) {
+  const auto graph = sim::make_c3i_graph(0.5);
+  sched::AllocationTable empty("x");
+  ExecutionEngine engine(tasklib::builtin_registry());
+  EXPECT_THROW((void)engine.execute(graph, empty), common::StateError);
+}
+
+TEST_F(RuntimeEnv, EngineDeterministicOutputsAcrossTransports) {
+  warm_up(10.0);
+  const auto graph = sim::make_linear_solver_graph(0.5);
+  sched::SiteScheduler scheduler(SiteId(0), directory_);
+  const auto allocation = scheduler.schedule(graph);
+
+  EngineConfig inproc;
+  inproc.seed = 7;
+  EngineConfig tcp;
+  tcp.seed = 7;
+  tcp.transport = dm::TransportKind::kTcp;
+
+  ExecutionEngine e1(tasklib::builtin_registry(), inproc);
+  ExecutionEngine e2(tasklib::builtin_registry(), tcp);
+  const auto r1 = e1.execute(graph, allocation);
+  const auto r2 = e2.execute(graph, allocation);
+  const auto x = graph.find_by_label("x");
+  EXPECT_EQ(r1.outputs.at(*x).as_vector(), r2.outputs.at(*x).as_vector());
+}
+
+TEST_F(RuntimeEnv, ConsoleAbortFailsRun) {
+  warm_up(5.0);
+  const auto graph = sim::make_c3i_graph(0.5);
+  sched::SiteScheduler scheduler(SiteId(0), directory_);
+  const auto allocation = scheduler.schedule(graph);
+
+  dm::ConsoleService console;
+  console.abort();
+  ExecutionEngine engine(tasklib::builtin_registry());
+  EXPECT_THROW((void)engine.execute(graph, allocation, nullptr, &console),
+               common::StateError);
+}
+
+TEST_F(RuntimeEnv, EngineFailurePropagatesWithoutHanging) {
+  // A graph that is structurally valid but type-broken at runtime: the
+  // failing task must be named and every peer unblocked.
+  warm_up(5.0);
+  afg::FlowGraph g("broken");
+  const auto a = g.add_task("vector_generate", "vec");
+  const auto b = g.add_task("lu_decomposition", "lu");  // wants a matrix
+  const auto c = g.add_task("lu_lower", "lower");
+  g.add_link(a, b, 0.1);
+  g.add_link(b, c, 0.1);
+
+  sched::SiteScheduler scheduler(SiteId(0), directory_);
+  const auto allocation = scheduler.schedule(g);
+  ExecutionEngine engine(tasklib::builtin_registry());
+  try {
+    (void)engine.execute(g, allocation);
+    FAIL() << "expected StateError";
+  } catch (const common::StateError& e) {
+    EXPECT_NE(std::string(e.what()).find("lu"), std::string::npos);
+  }
+}
+
+TEST_F(RuntimeEnv, EngineParallelTaskUsesAllAssignedHosts) {
+  warm_up(5.0);
+  afg::FlowGraph g("par");
+  afg::TaskProperties props;
+  props.mode = afg::ComputeMode::kParallel;
+  props.num_processors = 2;
+  const auto src = g.add_task("synth_source", "src", props);
+  const auto sink = g.add_task("synth_sink", "sink");
+  g.add_link(src, sink, 0.1);
+
+  sched::SiteScheduler scheduler(SiteId(0), directory_);
+  const auto allocation = scheduler.schedule(g);
+  EXPECT_EQ(allocation.entry(src).hosts.size(), 2u);
+  ExecutionEngine engine(tasklib::builtin_registry());
+  const auto result = engine.execute(g, allocation);
+  EXPECT_GT(result.outputs.at(sink).as_scalar(), 0.0);
+}
+
+TEST_F(RuntimeEnv, EngineMatchesSequentialReference) {
+  // Property: the distributed execution computes exactly what a
+  // sequential topological evaluation with the same per-task seeds
+  // computes.
+  warm_up(5.0);
+  const auto& registry = tasklib::builtin_registry();
+  common::Rng graph_rng(4242);
+  for (int trial = 0; trial < 3; ++trial) {
+    sim::SyntheticGraphParams params;
+    params.family = sim::GraphFamily::kLayered;
+    params.size = 3;
+    params.width = 3;
+    const auto graph = sim::make_synthetic_graph(params, graph_rng);
+
+    sched::SiteScheduler scheduler(SiteId(0), directory_);
+    const auto allocation = scheduler.schedule(graph);
+
+    EngineConfig config;
+    config.seed = 99;
+    ExecutionEngine engine(tasklib::builtin_registry(), config);
+    const auto result = engine.execute(graph, allocation);
+    const auto app = result.app;
+
+    // Sequential reference with the engine's seed derivation.
+    std::map<common::TaskId, tasklib::Payload> reference;
+    for (const auto id : graph.topological_order()) {
+      const auto& node = graph.task(id);
+      std::vector<tasklib::Payload> inputs;
+      for (const auto parent : graph.ordered_parents(id)) {
+        inputs.push_back(reference.at(parent));
+      }
+      common::Rng rng(config.seed ^
+                      (static_cast<std::uint64_t>(app.value()) << 32) ^
+                      id.value());
+      tasklib::TaskContext ctx{node.props.input_size, &rng};
+      reference.emplace(id, registry.run(node.library_task, inputs, ctx));
+    }
+    for (const auto& [id, payload] : result.outputs) {
+      EXPECT_EQ(payload.to_wire(), reference.at(id).to_wire());
+    }
+  }
+}
+
+TEST_F(RuntimeEnv, DirectoryRejectsDuplicateSite) {
+  SiteManagerDirectory dir;
+  dir.add_site(*managers_[0]);
+  EXPECT_THROW(dir.add_site(*managers_[0]), common::StateError);
+}
+
+// ----------------------------------------------------- app controller
+
+TEST(AppControllerTest, LoadGuardRefusesOverloadedMachine) {
+  dm::ChannelBroker broker(dm::TransportKind::kInProcess);
+  ApplicationController controller(broker, dm::MpLibrary::kP4,
+                                   common::AppId(1), HostId(0));
+  controller.activate(dm::TaskWiring{common::AppId(1), common::TaskId(0),
+                                     {}, {}});
+  controller.set_load_guard([] { return 9.0; }, /*threshold=*/4.0);
+
+  common::Rng rng(1);
+  tasklib::TaskContext ctx{1.0, &rng};
+  const auto outcome = controller.execute(tasklib::builtin_registry(),
+                                          "synth_source", ctx);
+  EXPECT_FALSE(outcome.completed);
+  ASSERT_TRUE(outcome.reschedule.has_value());
+  EXPECT_EQ(outcome.reschedule->host, HostId(0));
+  EXPECT_DOUBLE_EQ(outcome.reschedule->observed_load, 9.0);
+}
+
+TEST(AppControllerTest, RunsWhenUnderThreshold) {
+  dm::ChannelBroker broker(dm::TransportKind::kInProcess);
+  ApplicationController controller(broker, dm::MpLibrary::kP4,
+                                   common::AppId(1), HostId(0));
+  controller.activate(dm::TaskWiring{common::AppId(1), common::TaskId(0),
+                                     {}, {}});
+  controller.set_load_guard([] { return 1.0; }, 4.0);
+  common::Rng rng(1);
+  tasklib::TaskContext ctx{1.0, &rng};
+  const auto outcome = controller.execute(tasklib::builtin_registry(),
+                                          "synth_source", ctx);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_GT(outcome.compute_elapsed_s, 0.0);
+}
+
+}  // namespace
+}  // namespace vdce::rt

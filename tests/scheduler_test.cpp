@@ -1,0 +1,580 @@
+// Tests for the Application Scheduler: eligibility, the Host Selection
+// Algorithm (Figure 5), the Site Scheduler Algorithm (Figure 4), the
+// allocation table, and the baseline policies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+#include "netsim/testbed.hpp"
+#include "scheduler/baselines.hpp"
+#include "scheduler/directory.hpp"
+#include "scheduler/eligibility.hpp"
+#include "scheduler/host_selection.hpp"
+#include "scheduler/qos.hpp"
+#include "scheduler/site_scheduler.hpp"
+#include "sim/workloads.hpp"
+#include "tasklib/registry.hpp"
+
+namespace vdce::sched {
+namespace {
+
+using common::HostId;
+using common::SiteId;
+using common::TaskId;
+
+/// A fully populated multi-site environment for scheduler tests.
+class SchedulerEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    netsim::RandomTestbedParams params;
+    params.num_sites = 3;
+    params.groups_per_site = 2;
+    params.hosts_per_group = 3;
+    testbed_ = std::make_unique<netsim::VirtualTestbed>(
+        netsim::make_random_testbed(params, 7));
+    for (const SiteId site : testbed_->sites()) {
+      auto repository = std::make_unique<repo::SiteRepository>(site);
+      tasklib::builtin_registry().install_defaults(repository->tasks());
+      testbed_->populate_repository(*repository, site);
+      directory_.add_site(site, repository.get());
+      repositories_.push_back(std::move(repository));
+    }
+  }
+
+  afg::FlowGraph chain3() {
+    afg::FlowGraph g("chain");
+    const auto a = g.add_task("synth_source", "a");
+    const auto b = g.add_task("synth_compute", "b");
+    const auto c = g.add_task("synth_sink", "c");
+    g.add_link(a, b, 1.0);
+    g.add_link(b, c, 1.0);
+    return g;
+  }
+
+  std::unique_ptr<netsim::VirtualTestbed> testbed_;
+  std::vector<std::unique_ptr<repo::SiteRepository>> repositories_;
+  RepositoryDirectory directory_;
+};
+
+// ---------------------------------------------------------- eligibility
+
+TEST_F(SchedulerEnv, EligibilityHonoursConstraints) {
+  afg::TaskNode node;
+  node.id = TaskId(0);
+  node.library_task = "synth_compute";
+  const auto& repository = *repositories_[0];
+  for (const HostId h : eligible_hosts(repository, node)) {
+    EXPECT_TRUE(repository.constraints().can_run("synth_compute", h));
+  }
+}
+
+TEST_F(SchedulerEnv, EligibilityHonoursLiveness) {
+  afg::TaskNode node;
+  node.id = TaskId(0);
+  node.library_task = "synth_compute";
+  auto& repository = *repositories_[0];
+  const auto before = eligible_hosts(repository, node);
+  ASSERT_FALSE(before.empty());
+  repository.resources().set_alive(before.front(), false, 1.0);
+  const auto after = eligible_hosts(repository, node);
+  EXPECT_EQ(after.size(), before.size() - 1);
+  EXPECT_FALSE(is_eligible(repository, node, before.front()));
+}
+
+TEST_F(SchedulerEnv, EligibilityHonoursArchPreference) {
+  afg::TaskNode node;
+  node.id = TaskId(0);
+  node.library_task = "synth_compute";
+  node.props.preferred_arch = repo::ArchType::kAlpha;
+  const auto& repository = *repositories_[0];
+  for (const HostId h : eligible_hosts(repository, node)) {
+    EXPECT_EQ(repository.resources().get(h).static_attrs.arch,
+              repo::ArchType::kAlpha);
+  }
+}
+
+TEST_F(SchedulerEnv, EligibilitySiteFilter) {
+  afg::TaskNode node;
+  node.id = TaskId(0);
+  node.library_task = "synth_compute";
+  const auto& repository = *repositories_[0];
+  for (const HostId h : eligible_hosts(repository, node, SiteId(1))) {
+    EXPECT_EQ(repository.resources().get(h).static_attrs.site, SiteId(1));
+  }
+}
+
+// ------------------------------------------------------- host selection
+
+TEST_F(SchedulerEnv, HostSelectionPicksMinimumPrediction) {
+  const auto graph = chain3();
+  const predict::PerformancePredictor& predictor =
+      directory_.predictor(SiteId(0));
+  const auto result = run_host_selection(graph, SiteId(0), predictor);
+  ASSERT_EQ(result.size(), graph.task_count());
+  for (const auto& node : graph.tasks()) {
+    const HostSelection& sel = result.at(node.id);
+    ASSERT_TRUE(sel.feasible());
+    // No eligible in-site host predicts better than the chosen one.
+    for (const HostId h :
+         eligible_hosts(*repositories_[0], node, SiteId(0))) {
+      EXPECT_LE(sel.predicted_s - 1e-12,
+                predictor.predict(node.library_task, node.props.input_size,
+                                  h));
+    }
+  }
+}
+
+TEST_F(SchedulerEnv, HostSelectionStaysInSite) {
+  const auto graph = chain3();
+  const auto result =
+      run_host_selection(graph, SiteId(2), directory_.predictor(SiteId(2)));
+  for (const auto& [task, sel] : result) {
+    for (const HostId h : sel.hosts) {
+      EXPECT_EQ(repositories_[0]->resources().get(h).static_attrs.site,
+                SiteId(2));
+    }
+  }
+}
+
+TEST_F(SchedulerEnv, HostSelectionParallelTask) {
+  afg::FlowGraph g("par");
+  afg::TaskProperties props;
+  props.mode = afg::ComputeMode::kParallel;
+  props.num_processors = 3;
+  g.add_task("synth_source", "p", props);
+  const auto result =
+      run_host_selection(g, SiteId(0), directory_.predictor(SiteId(0)));
+  const auto& sel = result.begin()->second;
+  ASSERT_TRUE(sel.feasible());
+  EXPECT_EQ(sel.hosts.size(), 3u);
+  // Hosts are distinct.
+  auto hosts = sel.hosts;
+  std::sort(hosts.begin(), hosts.end());
+  EXPECT_EQ(std::unique(hosts.begin(), hosts.end()), hosts.end());
+}
+
+TEST_F(SchedulerEnv, HostSelectionInfeasibleWhenTooManyProcs) {
+  afg::FlowGraph g("par");
+  afg::TaskProperties props;
+  props.mode = afg::ComputeMode::kParallel;
+  props.num_processors = 100;  // more than any site has
+  g.add_task("synth_source", "p", props);
+  const auto result =
+      run_host_selection(g, SiteId(0), directory_.predictor(SiteId(0)));
+  EXPECT_FALSE(result.begin()->second.feasible());
+}
+
+// ------------------------------------------------------- site scheduler
+
+TEST_F(SchedulerEnv, ScheduleCoversAllTasks) {
+  SiteScheduler scheduler(SiteId(0), directory_);
+  const auto graph = chain3();
+  const auto table = scheduler.schedule(graph);
+  EXPECT_EQ(table.size(), graph.task_count());
+  for (const auto& node : graph.tasks()) {
+    EXPECT_TRUE(table.contains(node.id));
+  }
+}
+
+TEST_F(SchedulerEnv, ConsultsLocalPlusKNearest) {
+  SiteSchedulerConfig config;
+  config.k_nearest = 1;
+  SiteScheduler scheduler(SiteId(0), directory_, config);
+  (void)scheduler.schedule(chain3());
+  ASSERT_EQ(scheduler.consulted_sites().size(), 2u);
+  EXPECT_EQ(scheduler.consulted_sites()[0], SiteId(0));
+  // Site 1 is nearer to site 0 than site 2 in the random testbed
+  // (WAN latency grows with index distance).
+  EXPECT_EQ(scheduler.consulted_sites()[1], SiteId(1));
+}
+
+TEST_F(SchedulerEnv, KZeroIsLocalOnly) {
+  SiteSchedulerConfig config;
+  config.k_nearest = 0;
+  SiteScheduler scheduler(SiteId(0), directory_, config);
+  const auto table = scheduler.schedule(chain3());
+  for (const auto& row : table.rows()) {
+    EXPECT_EQ(row.site, SiteId(0));
+  }
+}
+
+TEST_F(SchedulerEnv, AssignedHostsAreEligible) {
+  SiteScheduler scheduler(SiteId(0), directory_);
+  const auto graph = sim::make_linear_solver_graph();
+  const auto table = scheduler.schedule(graph);
+  for (const auto& node : graph.tasks()) {
+    const auto& entry = table.entry(node.id);
+    for (const HostId h : entry.hosts) {
+      EXPECT_TRUE(is_eligible(*repositories_[0], node, h))
+          << "task " << node.label;
+    }
+  }
+}
+
+TEST_F(SchedulerEnv, ThrowsWhenNoFeasibleHost) {
+  afg::FlowGraph g("impossible");
+  afg::TaskProperties props;
+  props.mode = afg::ComputeMode::kParallel;
+  props.num_processors = 100;
+  g.add_task("synth_source", "p", props);
+  SiteScheduler scheduler(SiteId(0), directory_);
+  EXPECT_THROW((void)scheduler.schedule(g), SchedulingError);
+}
+
+TEST_F(SchedulerEnv, SchedulesDeterministically) {
+  SiteScheduler a(SiteId(0), directory_);
+  SiteScheduler b(SiteId(0), directory_);
+  const auto graph = sim::make_linear_solver_graph();
+  const auto ta = a.schedule(graph);
+  const auto tb = b.schedule(graph);
+  for (const auto& row : ta.rows()) {
+    EXPECT_EQ(row.hosts, tb.entry(row.task).hosts);
+    EXPECT_EQ(row.site, tb.entry(row.task).site);
+  }
+}
+
+TEST_F(SchedulerEnv, TransferAwareKeepsChainsTogether) {
+  // With heavy links, transfer-aware scheduling should co-locate a
+  // chain more than the transfer-blind ablation (or at least never use
+  // more sites).
+  common::Rng rng(5);
+  sim::SyntheticGraphParams params;
+  params.family = sim::GraphFamily::kChain;
+  params.size = 8;
+  params.min_transfer_mb = 50.0;
+  params.max_transfer_mb = 100.0;
+  const auto graph = sim::make_synthetic_graph(params, rng);
+
+  SiteSchedulerConfig aware;
+  aware.transfer_aware = true;
+  SiteSchedulerConfig blind;
+  blind.transfer_aware = false;
+  SiteScheduler s_aware(SiteId(0), directory_, aware);
+  SiteScheduler s_blind(SiteId(0), directory_, blind);
+  const auto sites_aware =
+      s_aware.schedule(graph).sites_involved().size();
+  const auto sites_blind =
+      s_blind.schedule(graph).sites_involved().size();
+  EXPECT_LE(sites_aware, sites_blind);
+}
+
+TEST_F(SchedulerEnv, HostSelectionExposesFullRanking) {
+  const auto graph = chain3();
+  const auto result =
+      run_host_selection(graph, SiteId(0), directory_.predictor(SiteId(0)));
+  for (const auto& [task, sel] : result) {
+    ASSERT_FALSE(sel.scored.empty());
+    // Ascending predictions; the pick is the head of the ranking.
+    for (std::size_t i = 1; i < sel.scored.size(); ++i) {
+      EXPECT_LE(sel.scored[i - 1].first, sel.scored[i].first);
+    }
+    EXPECT_EQ(sel.hosts.front(), sel.scored.front().second);
+  }
+}
+
+TEST_F(SchedulerEnv, QueueAwareSpreadsWideGraphs) {
+  common::Rng rng(77);
+  sim::SyntheticGraphParams params;
+  params.family = sim::GraphFamily::kIndependent;
+  params.size = 10;
+  params.min_transfer_mb = 0.01;
+  params.max_transfer_mb = 0.05;
+  const auto graph = sim::make_synthetic_graph(params, rng);
+
+  SiteSchedulerConfig plain;
+  SiteSchedulerConfig qa;
+  qa.queue_aware = true;
+  SiteScheduler s_plain(SiteId(0), directory_, plain);
+  SiteScheduler s_qa(SiteId(0), directory_, qa);
+  const auto hosts_plain = s_plain.schedule(graph).hosts_involved().size();
+  const auto hosts_qa = s_qa.schedule(graph).hosts_involved().size();
+  EXPECT_GT(hosts_qa, hosts_plain);
+}
+
+TEST_F(SchedulerEnv, QueueAwareKeepsChainsColocated) {
+  // A pure chain has no parallelism: queue awareness must not scatter
+  // it (the ECT model sees no contention).
+  common::Rng rng(78);
+  sim::SyntheticGraphParams params;
+  params.family = sim::GraphFamily::kChain;
+  params.size = 8;
+  params.min_transfer_mb = 20.0;
+  params.max_transfer_mb = 40.0;
+  const auto graph = sim::make_synthetic_graph(params, rng);
+
+  SiteSchedulerConfig qa;
+  qa.queue_aware = true;
+  SiteScheduler scheduler(SiteId(0), directory_, qa);
+  const auto table = scheduler.schedule(graph);
+  EXPECT_LE(table.hosts_involved().size(), 3u);
+}
+
+TEST_F(SchedulerEnv, QueueAwareStillHonoursEligibility) {
+  SiteSchedulerConfig qa;
+  qa.queue_aware = true;
+  SiteScheduler scheduler(SiteId(0), directory_, qa);
+  const auto graph = sim::make_linear_solver_graph();
+  const auto table = scheduler.schedule(graph);
+  for (const auto& node : graph.tasks()) {
+    for (const HostId h : table.entry(node.id).hosts) {
+      EXPECT_TRUE(is_eligible(*repositories_[0], node, h));
+    }
+  }
+}
+
+TEST_F(SchedulerEnv, HostTransferEstimates) {
+  const auto& repository = *repositories_[0];
+  const auto hosts = repository.resources().all_hosts();
+  ASSERT_GE(hosts.size(), 2u);
+  // Same host: free.
+  EXPECT_DOUBLE_EQ(
+      estimate_host_transfer(repository, hosts[0].host, hosts[0].host, 10.0),
+      0.0);
+  // Across hosts: positive and grows with size.
+  const auto a = hosts.front().host;
+  const auto b = hosts.back().host;
+  const double small = estimate_host_transfer(repository, a, b, 1.0);
+  const double large = estimate_host_transfer(repository, a, b, 100.0);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+  // Directory forwards the same estimate.
+  EXPECT_DOUBLE_EQ(directory_.host_transfer_time(a, b, 1.0), small);
+}
+
+// ------------------------------------------------------------------ qos
+
+TEST_F(SchedulerEnv, PredictedMakespanRespectsStructure) {
+  // A chain's predicted makespan is at least the sum of its per-task
+  // predictions (serial), a wide graph's less than the sum (parallel).
+  SiteSchedulerConfig qa;
+  qa.queue_aware = true;
+  SiteScheduler scheduler(SiteId(0), directory_, qa);
+
+  common::Rng rng(31);
+  sim::SyntheticGraphParams chain_params;
+  chain_params.family = sim::GraphFamily::kChain;
+  chain_params.size = 6;
+  const auto chain = sim::make_synthetic_graph(chain_params, rng);
+  const auto chain_table = scheduler.schedule(chain);
+  EXPECT_GE(predicted_makespan(chain, chain_table, directory_) + 1e-9,
+            chain_table.total_predicted());
+
+  sim::SyntheticGraphParams wide_params;
+  wide_params.family = sim::GraphFamily::kIndependent;
+  wide_params.size = 8;
+  const auto wide = sim::make_synthetic_graph(wide_params, rng);
+  SiteScheduler scheduler2(SiteId(0), directory_, qa);
+  const auto wide_table = scheduler2.schedule(wide);
+  EXPECT_LT(predicted_makespan(wide, wide_table, directory_),
+            wide_table.total_predicted());
+}
+
+TEST_F(SchedulerEnv, QosAdmitsGenerousDeadline) {
+  SiteScheduler scheduler(SiteId(0), directory_);
+  const auto graph = sim::make_linear_solver_graph();
+  const auto table = scheduler.schedule(graph);
+  const auto admission =
+      check_qos(graph, table, directory_, QosRequirement{1e6});
+  EXPECT_TRUE(admission.admitted);
+  EXPECT_GT(admission.predicted_makespan_s, 0.0);
+  EXPECT_GT(admission.slack_s, 0.0);
+}
+
+TEST_F(SchedulerEnv, QosRejectsImpossibleDeadline) {
+  SiteScheduler scheduler(SiteId(0), directory_);
+  const auto graph = sim::make_linear_solver_graph();
+  const auto table = scheduler.schedule(graph);
+  const auto admission =
+      check_qos(graph, table, directory_, QosRequirement{1e-6});
+  EXPECT_FALSE(admission.admitted);
+  EXPECT_LT(admission.slack_s, 0.0);
+}
+
+TEST_F(SchedulerEnv, QosBoundaryIsInclusive) {
+  SiteScheduler scheduler(SiteId(0), directory_);
+  const auto graph = sim::make_c3i_graph();
+  const auto table = scheduler.schedule(graph);
+  const double estimate = predicted_makespan(graph, table, directory_);
+  EXPECT_TRUE(
+      check_qos(graph, table, directory_, QosRequirement{estimate})
+          .admitted);
+}
+
+// ---------------------------------------------------- allocation table
+
+TEST(AllocationTableTest, AddReplaceLookup) {
+  AllocationTable table("app");
+  AllocationEntry e;
+  e.task = TaskId(0);
+  e.task_label = "a";
+  e.hosts = {HostId(3)};
+  e.site = SiteId(1);
+  e.predicted_s = 2.0;
+  table.add(e);
+  EXPECT_THROW(table.add(e), common::StateError);
+  EXPECT_EQ(table.entry(TaskId(0)).primary_host(), HostId(3));
+
+  e.hosts = {HostId(5)};
+  table.replace(e);
+  EXPECT_EQ(table.entry(TaskId(0)).primary_host(), HostId(5));
+
+  AllocationEntry other;
+  other.task = TaskId(9);
+  other.hosts = {HostId(1)};
+  EXPECT_THROW(table.replace(other), common::NotFoundError);
+  EXPECT_THROW((void)table.entry(TaskId(9)), common::NotFoundError);
+}
+
+TEST(AllocationTableTest, EmptyHostsRejected) {
+  AllocationTable table("app");
+  AllocationEntry e;
+  e.task = TaskId(0);
+  EXPECT_THROW(table.add(e), common::StateError);
+}
+
+TEST(AllocationTableTest, PortionsAndAggregates) {
+  AllocationTable table("app");
+  for (int i = 0; i < 4; ++i) {
+    AllocationEntry e;
+    e.task = TaskId(i);
+    e.task_label = "t" + std::to_string(i);
+    e.hosts = {HostId(i % 2)};
+    e.site = SiteId(i % 2);
+    e.predicted_s = 1.0;
+    table.add(e);
+  }
+  EXPECT_EQ(table.portion_for_host(HostId(0)).size(), 2u);
+  EXPECT_EQ(table.portion_for_host(HostId(1)).size(), 2u);
+  EXPECT_EQ(table.portion_for_host(HostId(9)).size(), 0u);
+  EXPECT_EQ(table.sites_involved().size(), 2u);
+  EXPECT_EQ(table.hosts_involved().size(), 2u);
+  EXPECT_DOUBLE_EQ(table.total_predicted(), 4.0);
+  // rows() ordered by task id.
+  const auto rows = table.rows();
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1].task, rows[i].task);
+  }
+}
+
+// ------------------------------------------------------------ baselines
+
+TEST_F(SchedulerEnv, RandomSchedulerCoversAndIsEligible) {
+  RandomScheduler scheduler(*repositories_[0], 99);
+  const auto graph = sim::make_linear_solver_graph();
+  const auto table = scheduler.schedule(graph);
+  EXPECT_EQ(table.size(), graph.task_count());
+  for (const auto& node : graph.tasks()) {
+    EXPECT_TRUE(
+        is_eligible(*repositories_[0], node, table.entry(node.id).hosts[0]));
+  }
+}
+
+TEST_F(SchedulerEnv, RoundRobinSpreadsLoad) {
+  RoundRobinScheduler scheduler(*repositories_[0]);
+  common::Rng rng(3);
+  sim::SyntheticGraphParams params;
+  params.family = sim::GraphFamily::kIndependent;
+  params.size = 9;  // 18 tasks
+  const auto graph = sim::make_synthetic_graph(params, rng);
+  const auto table = scheduler.schedule(graph);
+  // Round robin should touch many machines.
+  EXPECT_GE(table.hosts_involved().size(), 6u);
+}
+
+TEST_F(SchedulerEnv, LocalOnlyStaysLocal) {
+  LocalOnlyScheduler scheduler(*repositories_[0], SiteId(1));
+  const auto table = scheduler.schedule(chain3());
+  for (const auto& row : table.rows()) {
+    EXPECT_EQ(row.site, SiteId(1));
+  }
+}
+
+TEST_F(SchedulerEnv, MinMinCoversAllTasks) {
+  MinMinScheduler minmin(*repositories_[0], /*largest_first=*/false);
+  MinMinScheduler maxmin(*repositories_[0], /*largest_first=*/true);
+  const auto graph = sim::make_linear_solver_graph();
+  EXPECT_EQ(minmin.schedule(graph).size(), graph.task_count());
+  EXPECT_EQ(maxmin.schedule(graph).size(), graph.task_count());
+}
+
+TEST_F(SchedulerEnv, MinMinBalancesIndependentTasks) {
+  MinMinScheduler scheduler(*repositories_[0], false);
+  common::Rng rng(4);
+  sim::SyntheticGraphParams params;
+  params.family = sim::GraphFamily::kIndependent;
+  params.size = 12;
+  const auto graph = sim::make_synthetic_graph(params, rng);
+  const auto table = scheduler.schedule(graph);
+  // Completion-time tracking forces use of more than one machine.
+  EXPECT_GE(table.hosts_involved().size(), 3u);
+}
+
+TEST_F(SchedulerEnv, BaselinesThrowWhenImpossible) {
+  afg::FlowGraph g("impossible");
+  afg::TaskProperties props;
+  props.mode = afg::ComputeMode::kParallel;
+  props.num_processors = 100;
+  g.add_task("synth_source", "p", props);
+  RandomScheduler r(*repositories_[0], 1);
+  EXPECT_THROW((void)r.schedule(g), SchedulingError);
+  MinMinScheduler m(*repositories_[0], false);
+  EXPECT_THROW((void)m.schedule(g), SchedulingError);
+}
+
+// Parameterized sweep: every policy schedules every graph family.
+class PolicyFamilySweep
+    : public SchedulerEnv,
+      public ::testing::WithParamInterface<
+          std::tuple<int, sim::GraphFamily>> {};
+
+TEST_P(PolicyFamilySweep, SchedulesCleanly) {
+  const auto [policy, family] = GetParam();
+  common::Rng rng(42);
+  sim::SyntheticGraphParams params;
+  params.family = family;
+  params.size = 4;
+  params.width = 3;
+  const auto graph = sim::make_synthetic_graph(params, rng);
+
+  std::unique_ptr<Scheduler> scheduler;
+  switch (policy) {
+    case 0:
+      scheduler = std::make_unique<SiteScheduler>(SiteId(0), directory_);
+      break;
+    case 1:
+      scheduler = std::make_unique<RandomScheduler>(*repositories_[0], 5);
+      break;
+    case 2:
+      scheduler = std::make_unique<RoundRobinScheduler>(*repositories_[0]);
+      break;
+    case 3:
+      scheduler =
+          std::make_unique<MinMinScheduler>(*repositories_[0], false);
+      break;
+    case 4:
+      scheduler =
+          std::make_unique<LocalOnlyScheduler>(*repositories_[0], SiteId(0));
+      break;
+  }
+  const auto table = scheduler->schedule(graph);
+  EXPECT_EQ(table.size(), graph.task_count());
+  for (const auto& node : graph.tasks()) {
+    const auto& entry = table.entry(node.id);
+    EXPECT_FALSE(entry.hosts.empty());
+    EXPECT_GE(entry.predicted_s, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyFamilySweep,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(sim::GraphFamily::kChain,
+                                         sim::GraphFamily::kForkJoin,
+                                         sim::GraphFamily::kLayered,
+                                         sim::GraphFamily::kInTree,
+                                         sim::GraphFamily::kIndependent)));
+
+}  // namespace
+}  // namespace vdce::sched

@@ -1,0 +1,192 @@
+// Concurrency stress tests: wide fan-outs over real transports, engine
+// reuse across applications, broker key isolation, and DSM churn.
+// These guard the thread/protocol machinery against regressions that
+// unit tests at lower concurrency would miss.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "common/error.hpp"
+#include "dsm/dsm.hpp"
+#include "netsim/testbed.hpp"
+#include "runtime/engine.hpp"
+#include "scheduler/site_scheduler.hpp"
+#include "sim/workloads.hpp"
+#include "tasklib/registry.hpp"
+
+namespace vdce {
+namespace {
+
+using common::SiteId;
+
+class StressEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testbed_ = std::make_unique<netsim::VirtualTestbed>(
+        netsim::make_campus_testbed(55));
+    repository_ = std::make_unique<repo::SiteRepository>(SiteId(0));
+    tasklib::builtin_registry().install_defaults(repository_->tasks());
+    testbed_->populate_repository(*repository_, SiteId(0));
+    directory_.add_site(SiteId(0), repository_.get());
+  }
+
+  sched::AllocationTable schedule(const afg::FlowGraph& graph) {
+    sched::SiteSchedulerConfig config;
+    config.queue_aware = true;
+    sched::SiteScheduler scheduler(SiteId(0), directory_, config);
+    return scheduler.schedule(graph);
+  }
+
+  std::unique_ptr<netsim::VirtualTestbed> testbed_;
+  std::unique_ptr<repo::SiteRepository> repository_;
+  sched::RepositoryDirectory directory_;
+};
+
+TEST_F(StressEnv, WideFanOutOverTcp) {
+  // 1 source feeding 16 computes feeding reductions: 20+ concurrent
+  // machine threads with real sockets.
+  common::Rng rng(1);
+  sim::SyntheticGraphParams params;
+  params.family = sim::GraphFamily::kForkJoin;
+  params.size = 16;
+  params.min_transfer_mb = 0.001;
+  params.max_transfer_mb = 0.01;
+  const auto graph = sim::make_synthetic_graph(params, rng);
+  const auto allocation = schedule(graph);
+
+  rt::EngineConfig config;
+  config.transport = dm::TransportKind::kTcp;
+  rt::ExecutionEngine engine(tasklib::builtin_registry(), config);
+  const auto result = engine.execute(graph, allocation);
+  EXPECT_EQ(result.records.size(), graph.task_count());
+}
+
+TEST_F(StressEnv, DeepChainOverTcp) {
+  common::Rng rng(2);
+  sim::SyntheticGraphParams params;
+  params.family = sim::GraphFamily::kChain;
+  params.size = 24;
+  params.min_transfer_mb = 0.001;
+  params.max_transfer_mb = 0.01;
+  const auto graph = sim::make_synthetic_graph(params, rng);
+  const auto allocation = schedule(graph);
+
+  rt::EngineConfig config;
+  config.transport = dm::TransportKind::kTcp;
+  rt::ExecutionEngine engine(tasklib::builtin_registry(), config);
+  const auto result = engine.execute(graph, allocation);
+  EXPECT_EQ(result.records.size(), 24u);
+}
+
+TEST_F(StressEnv, EngineReuseAcrossManyApplications) {
+  // The same engine executes many applications back to back; app ids
+  // must isolate broker keys so no run sees a previous run's channels.
+  const auto graph = sim::make_c3i_graph(0.25);
+  const auto allocation = schedule(graph);
+  rt::ExecutionEngine engine(tasklib::builtin_registry());
+  common::AppId last_app;
+  for (int round = 0; round < 10; ++round) {
+    const auto result = engine.execute(graph, allocation);
+    EXPECT_EQ(result.records.size(), graph.task_count());
+    EXPECT_NE(result.app, last_app);
+    last_app = result.app;
+  }
+}
+
+TEST_F(StressEnv, ConcurrentEnginesDoNotInterfere) {
+  // Two engines (independent brokers) run different apps at once.
+  const auto g1 = sim::make_c3i_graph(0.25);
+  const auto g2 = sim::make_fourier_graph(0.25);
+  const auto a1 = schedule(g1);
+  const auto a2 = schedule(g2);
+
+  std::string e1_error, e2_error;
+  std::jthread t1([&] {
+    try {
+      rt::ExecutionEngine engine(tasklib::builtin_registry());
+      for (int i = 0; i < 5; ++i) (void)engine.execute(g1, a1);
+    } catch (const std::exception& e) {
+      e1_error = e.what();
+    }
+  });
+  std::jthread t2([&] {
+    try {
+      rt::ExecutionEngine engine(tasklib::builtin_registry());
+      for (int i = 0; i < 5; ++i) (void)engine.execute(g2, a2);
+    } catch (const std::exception& e) {
+      e2_error = e.what();
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_TRUE(e1_error.empty()) << e1_error;
+  EXPECT_TRUE(e2_error.empty()) << e2_error;
+}
+
+TEST(DsmStress, ManyVariablesManyNodes) {
+  dsm::DsmServer server;
+  constexpr int kNodes = 8;
+  constexpr int kRounds = 40;
+  std::vector<std::unique_ptr<dsm::DsmNode>> nodes;
+  for (int i = 0; i < kNodes; ++i) nodes.push_back(server.attach());
+
+  // Every node hammers its own variable and reads its neighbour's.
+  {
+    std::vector<std::jthread> threads;
+    for (int i = 0; i < kNodes; ++i) {
+      threads.emplace_back([&, i] {
+        const std::string mine = "var" + std::to_string(i);
+        const std::string theirs =
+            "var" + std::to_string((i + 1) % kNodes);
+        for (int round = 0; round < kRounds; ++round) {
+          nodes[i]->write(mine,
+                          tasklib::Payload::of_scalar(round));
+          try {
+            (void)nodes[i]->read(theirs);
+          } catch (const common::NotFoundError&) {
+            // neighbour has not written yet: acceptable
+          }
+        }
+      });
+    }
+  }
+  // Every variable holds its final round value.
+  auto viewer = server.attach();
+  for (int i = 0; i < kNodes; ++i) {
+    EXPECT_DOUBLE_EQ(
+        viewer->read("var" + std::to_string(i)).as_scalar(), kRounds - 1);
+  }
+}
+
+TEST(DsmStress, InterleavedLocksAcrossManyNodes) {
+  dsm::DsmServer server;
+  constexpr int kNodes = 6;
+  constexpr int kIncs = 25;
+  std::vector<std::unique_ptr<dsm::DsmNode>> nodes;
+  for (int i = 0; i < kNodes; ++i) nodes.push_back(server.attach());
+  nodes[0]->write("c0", tasklib::Payload::of_scalar(0.0));
+  nodes[0]->write("c1", tasklib::Payload::of_scalar(0.0));
+
+  {
+    std::vector<std::jthread> threads;
+    for (int i = 0; i < kNodes; ++i) {
+      threads.emplace_back([&, i] {
+        // Half the nodes use lock A / counter 0, half lock B / counter 1.
+        const std::string lock = i % 2 == 0 ? "A" : "B";
+        const std::string counter = i % 2 == 0 ? "c0" : "c1";
+        for (int round = 0; round < kIncs; ++round) {
+          nodes[i]->acquire(lock);
+          const double v = nodes[i]->read(counter).as_scalar();
+          nodes[i]->write(counter, tasklib::Payload::of_scalar(v + 1.0));
+          nodes[i]->release(lock);
+        }
+      });
+    }
+  }
+  EXPECT_DOUBLE_EQ(nodes[0]->read("c0").as_scalar(), 3.0 * kIncs);
+  EXPECT_DOUBLE_EQ(nodes[0]->read("c1").as_scalar(), 3.0 * kIncs);
+}
+
+}  // namespace
+}  // namespace vdce

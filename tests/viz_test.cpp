@@ -1,0 +1,137 @@
+// Tests for the visualization services: Gantt/application performance,
+// workload recorder, comparative visualization.
+#include <gtest/gtest.h>
+
+#include "sim/static_sim.hpp"
+#include "viz/comparative.hpp"
+#include "viz/gantt.hpp"
+#include "viz/workload_viz.hpp"
+
+namespace vdce::viz {
+namespace {
+
+using common::HostId;
+using common::SiteId;
+using common::TaskId;
+
+sim::SimResult sample_result() {
+  sim::SimResult r;
+  sim::SimTaskRecord a;
+  a.task = TaskId(0);
+  a.label = "first";
+  a.library_task = "synth_source";
+  a.host = HostId(1);
+  a.site = SiteId(0);
+  a.data_ready = 0.0;
+  a.start = 0.0;
+  a.finish = 2.0;
+  a.exec_s = 2.0;
+  r.records.push_back(a);
+  sim::SimTaskRecord b = a;
+  b.task = TaskId(1);
+  b.label = "second";
+  b.host = HostId(2);
+  b.data_ready = 2.0;
+  b.start = 2.5;
+  b.finish = 5.0;
+  b.exec_s = 2.5;
+  b.attempts = 2;
+  r.records.push_back(b);
+  r.makespan_s = 5.0;
+  return r;
+}
+
+TEST(GanttTest, RendersRowsPerTask) {
+  const auto text = render_gantt(sample_result(), 40);
+  EXPECT_NE(text.find("first"), std::string::npos);
+  EXPECT_NE(text.find("second"), std::string::npos);
+  EXPECT_NE(text.find("#"), std::string::npos);
+  EXPECT_NE(text.find("makespan 5.00"), std::string::npos);
+  // Rescheduled task marked.
+  EXPECT_NE(text.find("(x2)"), std::string::npos);
+}
+
+TEST(GanttTest, EmptyRun) {
+  EXPECT_EQ(render_gantt(sim::SimResult{}), "(empty run)\n");
+}
+
+TEST(GanttTest, CsvHasHeaderAndRows) {
+  const auto csv = to_csv(sample_result());
+  EXPECT_NE(csv.find("task,label,host"), std::string::npos);
+  // Header + 2 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("first"), std::string::npos);
+}
+
+TEST(RunTableTest, RendersRealRun) {
+  rt::RunResult run;
+  rt::TaskRunRecord rec;
+  rec.task = TaskId(0);
+  rec.label = "solver";
+  rec.library_task = "linear_solve";
+  rec.host = HostId(3);
+  rec.turnaround_s = 0.5;
+  rec.compute_s = 0.4;
+  rec.bytes_sent = 100;
+  rec.bytes_received = 200;
+  run.records.push_back(rec);
+  run.makespan_s = 0.5;
+  const auto table = render_run_table(run);
+  EXPECT_NE(table.find("solver"), std::string::npos);
+  EXPECT_NE(table.find("makespan"), std::string::npos);
+  const auto csv = to_csv(run);
+  EXPECT_NE(csv.find("linear_solve"), std::string::npos);
+}
+
+TEST(WorkloadRecorderTest, SnapshotsAndRenders) {
+  repo::SiteRepository repository(SiteId(0));
+  repo::HostStaticAttrs attrs;
+  attrs.host_name = "h";
+  attrs.total_memory_mb = 128.0;
+  attrs.site = SiteId(0);
+  attrs.group = common::GroupId(0);
+  const auto host = repository.resources().register_host(attrs);
+
+  WorkloadRecorder recorder;
+  for (int i = 0; i < 5; ++i) {
+    repo::HostDynamicAttrs dyn;
+    dyn.cpu_load = i;
+    dyn.available_memory_mb = 128.0 - i;
+    dyn.alive = i != 3;
+    repository.resources().update_dynamic(host, dyn);
+    recorder.snapshot(repository, i);
+  }
+  EXPECT_EQ(recorder.snapshots(), 5u);
+  const auto text = recorder.render();
+  EXPECT_NE(text.find("h0"), std::string::npos);
+  EXPECT_NE(text.find("X"), std::string::npos);  // the down sample
+  const auto csv = recorder.to_csv();
+  EXPECT_NE(csv.find("when,host,load"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);  // header + 5
+}
+
+TEST(ComparativeTest, RanksRuns) {
+  ComparativeViz viz;
+  auto fast = sample_result();
+  fast.makespan_s = 2.0;
+  auto slow = sample_result();
+  slow.makespan_s = 8.0;
+  viz.add_run("fast-config", fast);
+  viz.add_run("slow-config", slow);
+  EXPECT_EQ(viz.runs(), 2u);
+  EXPECT_EQ(viz.best(), "fast-config");
+  const auto text = viz.render();
+  EXPECT_NE(text.find("fast-config"), std::string::npos);
+  EXPECT_NE(text.find("4.00x"), std::string::npos);  // slow vs best
+  const auto csv = viz.to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(ComparativeTest, EmptyRender) {
+  ComparativeViz viz;
+  EXPECT_EQ(viz.render(), "(no runs)\n");
+  EXPECT_EQ(viz.best(), "");
+}
+
+}  // namespace
+}  // namespace vdce::viz
