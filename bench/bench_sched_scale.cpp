@@ -2,10 +2,15 @@
 //
 // Wall-clock cost of the Site Scheduler Algorithm (including the host
 // selection rounds at every consulted site) as the application and the
-// testbed grow.
+// testbed grow, plus the parallel fan-out sweeps: scheduling threads
+// (concurrent AFG multicast + parallel Predict scoring) and
+// PredictionCache hit rates under monitoring-update churn.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "bench/harness.hpp"
+#include "runtime/messages.hpp"
 #include "scheduler/site_scheduler.hpp"
 #include "sim/workloads.hpp"
 
@@ -59,6 +64,10 @@ void BM_ScheduleVsHostCount(benchmark::State& state) {
 }
 BENCHMARK(BM_ScheduleVsHostCount)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
+// Args: (k sites consulted, scheduling threads).  The benchmark loop
+// re-schedules the same graph, so after the first iteration the
+// PredictionCache is warm: the steady state measures the multicast
+// fan-out plus cached Predict lookups.
 void BM_ScheduleVsSitesConsulted(benchmark::State& state) {
   netsim::RandomTestbedParams params;
   params.num_sites = 8;
@@ -75,14 +84,24 @@ void BM_ScheduleVsSitesConsulted(benchmark::State& state) {
 
   sched::SiteScheduler scheduler(
       common::SiteId(0), v.directory,
-      {.k_nearest = static_cast<std::size_t>(state.range(0))});
+      {.k_nearest = static_cast<std::size_t>(state.range(0)),
+       .threads = static_cast<std::size_t>(state.range(1))});
   for (auto _ : state) {
     benchmark::DoNotOptimize(scheduler.schedule(graph));
   }
-  state.SetLabel("k=" + std::to_string(state.range(0)));
+  state.SetLabel("k=" + std::to_string(state.range(0)) +
+                 " threads=" + std::to_string(state.range(1)));
 }
-BENCHMARK(BM_ScheduleVsSitesConsulted)->Arg(0)->Arg(1)->Arg(3)->Arg(7);
+BENCHMARK(BM_ScheduleVsSitesConsulted)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({3, 1})
+    ->Args({7, 1})
+    ->Args({7, 2})
+    ->Args({7, 4})
+    ->Args({7, 8});
 
+// Args: (hosts per group, scoring threads).
 void BM_HostSelectionOnly(benchmark::State& state) {
   netsim::RandomTestbedParams params;
   params.num_sites = 1;
@@ -97,13 +116,76 @@ void BM_HostSelectionOnly(benchmark::State& state) {
   gp.width = 4;
   const auto graph = sim::make_synthetic_graph(gp, rng);
 
+  const auto threads = static_cast<std::size_t>(state.range(1));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        v.directory.host_selection(common::SiteId(0), graph));
+        v.directory.host_selection(common::SiteId(0), graph, threads));
   }
-  state.SetLabel(std::to_string(v.testbed->host_count()) + " hosts");
+  state.SetLabel(std::to_string(v.testbed->host_count()) + " hosts, " +
+                 std::to_string(threads) + " threads");
 }
-BENCHMARK(BM_HostSelectionOnly)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_HostSelectionOnly)
+    ->Args({4, 1})
+    ->Args({16, 1})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->Args({64, 8});
+
+// PredictionCache hit rate under monitoring churn.  Arg: how many local
+// hosts receive a workload update between consecutive schedule() calls
+// (every update bumps the epoch, invalidating the whole site's cached
+// predictions).  Counters report the end-of-run hit rate.
+void BM_ScheduleCacheChurn(benchmark::State& state) {
+  netsim::RandomTestbedParams params;
+  params.num_sites = 4;
+  params.groups_per_site = 2;
+  params.hosts_per_group = 4;
+  auto v = bench::bring_up(netsim::make_random_testbed(params, 15));
+
+  common::Rng rng(5);
+  sim::SyntheticGraphParams gp;
+  gp.family = sim::GraphFamily::kLayered;
+  gp.size = 6;
+  gp.width = 5;
+  const auto graph = sim::make_synthetic_graph(gp, rng);
+
+  const auto updates = static_cast<std::size_t>(state.range(0));
+  const auto local_hosts =
+      v.repositories[0]->resources().hosts_in_site(common::SiteId(0));
+
+  sched::SiteScheduler scheduler(common::SiteId(0), v.directory,
+                                 {.k_nearest = 3, .threads = 4});
+  double t = 100.0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < updates && i < local_hosts.size(); ++i) {
+      rt::WorkloadUpdate update;
+      update.host = local_hosts[i].host;
+      update.cpu_load = rng.uniform(0.0, 2.0);
+      update.available_memory_mb =
+          local_hosts[i].static_attrs.total_memory_mb;
+      update.when = (t += 1.0);
+      v.site_managers[0]->handle_workload(update);
+    }
+    benchmark::DoNotOptimize(scheduler.schedule(graph));
+  }
+
+  predict::PredictionCacheStats totals;
+  for (const auto& sm : v.site_managers) {
+    const auto s = sm->prediction_cache().stats();
+    totals.lookups += s.lookups;
+    totals.hits += s.hits;
+    totals.invalidations += s.invalidations;
+  }
+  state.counters["hit_rate"] =
+      totals.lookups == 0
+          ? 0.0
+          : static_cast<double>(totals.hits) /
+                static_cast<double>(totals.lookups);
+  state.counters["invalidations"] = static_cast<double>(totals.invalidations);
+  state.SetLabel(std::to_string(updates) + " updates/schedule");
+}
+BENCHMARK(BM_ScheduleCacheChurn)->Arg(0)->Arg(1)->Arg(8);
 
 }  // namespace
 

@@ -12,7 +12,9 @@
 //   props <label> [mode=parallel] [procs=N] [arch=A] [os=O] [size=S]
 //   submit                      validate (editor run mode)
 //   qos <deadline_s>            admission check against a deadline
-//   schedule [k] [qa]           run the Application Scheduler
+//   schedule [k] [qa] [tN]      run the Application Scheduler
+//                               (tN = N scheduling threads; the
+//                               allocation is identical for every N)
 //   run                         execute on the runtime; show the table
 //   show <label>                print a task's output payload summary
 //   save <path> / load <path>   store / reload the AFG
@@ -185,6 +187,8 @@ bool handle(ConsoleState& state, const std::string& line) {
     for (std::size_t i = 1; i < args.size(); ++i) {
       if (args[i] == "qa") {
         config.queue_aware = true;
+      } else if (args[i].size() > 1 && args[i][0] == 't') {
+        config.threads = common::parse_uint(args[i].substr(1), "threads");
       } else {
         config.k_nearest = common::parse_uint(args[i], "k");
       }

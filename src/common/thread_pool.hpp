@@ -1,0 +1,87 @@
+// Shared fixed-size thread pool: the one sanctioned fan-out primitive.
+//
+// The runtime modules used to spin up ad-hoc std::jthread batches for
+// every parallel section (datamgr transfers, engine machines, dsm
+// service).  Scheduling adds hot-path parallelism (the Figure-4 AFG
+// multicast and Predict scoring), which needs reusable workers instead
+// of per-call thread churn.  This pool provides:
+//
+//   * submit(fn)            -- run one job, get a std::future;
+//   * parallel_for(...)     -- grain-size-chunked index loop where the
+//                              CALLER also executes chunks, so nesting a
+//                              parallel_for inside a pool job can never
+//                              deadlock (queued helpers are optional:
+//                              a helper that starts late finds no work
+//                              left and returns immediately).
+//
+// parallel_for makes no ordering promise: the body must write results
+// by index (or otherwise commute) so that the outcome is identical to
+// the serial loop -- parallelism changes wall-clock, never results.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/queue.hpp"
+
+namespace vdce::common {
+
+/// Fixed-size worker pool over a closable MessageQueue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Closes the queue and joins the workers; queued jobs still run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of pool workers (excludes callers participating in
+  /// parallel_for).
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// The process-wide pool, sized to the hardware.  Modules share it
+  /// instead of sizing private pools against each other.
+  static ThreadPool& shared();
+
+  /// Runs `fn` on a pool worker; the future carries its result or
+  /// exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Calls `body(i)` for every i in [begin, end), in chunks of `grain`
+  /// indices.  At most `max_helpers` pool workers assist the calling
+  /// thread; with 0 helpers (or a range no bigger than one grain) the
+  /// loop runs serially inline.  Returns when every index has been
+  /// processed; the first exception thrown by any chunk is rethrown
+  /// (remaining chunks still run).  Safe to call from inside a pool job.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    std::function<void(std::size_t)> body,
+                    std::size_t max_helpers);
+
+ private:
+  void enqueue(std::function<void()> job);
+
+  MessageQueue<std::function<void()>> jobs_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace vdce::common

@@ -8,6 +8,7 @@ LoadForecaster::LoadForecaster(std::size_t window, ForecastMethod method,
 
 void LoadForecaster::observe(HostId host, double load) {
   std::lock_guard lk(mu_);
+  version_.fetch_add(1, std::memory_order_release);
   auto it = windows_.find(host);
   if (it == windows_.end()) {
     it = windows_.emplace(host, common::SlidingWindowStats(window_)).first;
@@ -30,6 +31,7 @@ std::size_t LoadForecaster::count(HostId host) const {
 
 void LoadForecaster::forget(HostId host) {
   std::lock_guard lk(mu_);
+  version_.fetch_add(1, std::memory_order_release);
   windows_.erase(host);
 }
 

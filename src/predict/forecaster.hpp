@@ -8,6 +8,8 @@
 // monitoring pipeline, and produces the load figure Predict() consumes.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -43,10 +45,18 @@ class LoadForecaster {
 
   [[nodiscard]] ForecastMethod method() const { return method_; }
 
+  /// Monotonic counter bumped by every observe()/forget().  Feeds the
+  /// PredictionCache epoch so predictions cached against an older
+  /// forecast are never served.
+  [[nodiscard]] std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
  private:
   std::size_t window_;
   ForecastMethod method_;
   double ewma_alpha_;
+  std::atomic<std::uint64_t> version_{0};
   mutable std::mutex mu_;
   std::unordered_map<HostId, common::SlidingWindowStats> windows_;
 };

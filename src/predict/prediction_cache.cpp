@@ -1,0 +1,103 @@
+#include "predict/prediction_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace vdce::predict {
+
+PredictionCache::PredictionCache(std::size_t shards,
+                                 std::size_t capacity_per_shard)
+    : capacity_per_shard_(std::max<std::size_t>(1, capacity_per_shard)) {
+  const std::size_t n = std::max<std::size_t>(1, shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::size_t PredictionCache::KeyHash::operator()(const Key& k) const {
+  std::size_t h = std::hash<std::string_view>{}(k.task);
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= std::hash<std::uint64_t>{}(v) + 0x9E3779B97F4A7C15ull + (h << 6) +
+         (h >> 2);
+  };
+  mix(k.host);
+  mix(std::bit_cast<std::uint64_t>(k.input_size));
+  return h;
+}
+
+PredictionCache::Shard& PredictionCache::shard_for(const Key& key) {
+  return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+std::optional<Prediction> PredictionCache::find(std::string_view task,
+                                                common::HostId host,
+                                                double input_size,
+                                                Epoch epoch) {
+  Key key{std::string(task), host.value(), input_size};
+  Shard& shard = shard_for(key);
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lk(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (it->second.epoch != epoch) {
+    // Written before a monitoring/forecaster/repository update: the
+    // load figures behind it are stale, so it must not be served.
+    shard.entries.erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.prediction;
+}
+
+void PredictionCache::put(std::string_view task, common::HostId host,
+                          double input_size, Epoch epoch,
+                          const Prediction& prediction) {
+  Key key{std::string(task), host.value(), input_size};
+  Shard& shard = shard_for(key);
+  std::lock_guard lk(shard.mu);
+  if (!shard.entries.contains(key) &&
+      shard.entries.size() >= capacity_per_shard_) {
+    evictions_.fetch_add(shard.entries.size(), std::memory_order_relaxed);
+    shard.entries.clear();
+  }
+  shard.entries[std::move(key)] = Entry{epoch, prediction};
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PredictionCacheStats PredictionCache::stats() const {
+  PredictionCacheStats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PredictionCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lk(shard->mu);
+    shard->entries.clear();
+  }
+}
+
+std::size_t PredictionCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lk(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+}  // namespace vdce::predict

@@ -1,0 +1,118 @@
+// Sharded cache of Predict(task, R) evaluations.
+//
+// The scheduling hot path evaluates the same (task, host, input-size)
+// triple over and over: every consulted site scores every eligible host
+// for every AFG node, and consecutive schedule() calls re-score the
+// same testbed.  Each evaluation walks string-keyed repository maps
+// under their locks, so memoising the finished Prediction is the
+// cheapest large win (Jupiter caches per-node profiling data for the
+// same reason).
+//
+// Staleness is handled by *epochs*, not by explicit invalidation hooks:
+// the repository databases and the load forecaster each keep a
+// monotonic version counter bumped on every mutation that can change a
+// prediction (monitoring updates, liveness flips, trial-run weights,
+// new forecaster observations).  The predictor sums them into the
+// lookup epoch; an entry written under an older epoch can never be
+// returned, so stale loads never leak into placements.
+//
+// Thread-safe: the table is split into shards, each behind its own
+// mutex, so the parallel multicast and the parallel Predict scoring
+// loop can hit the cache from many threads without serialising on one
+// lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "predict/predictor.hpp"
+
+namespace vdce::predict {
+
+/// Monotonic snapshot of the cache counters.  Every lookup is exactly
+/// one hit or one miss; a miss caused by an entry written under an
+/// older epoch additionally counts as an invalidation, so
+///   lookups == hits + misses   and   invalidations <= misses.
+struct PredictionCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Thread-safe sharded memo table for Predict() results.
+class PredictionCache {
+ public:
+  using Epoch = std::uint64_t;
+
+  /// `shards` independent lock domains, each holding at most
+  /// `capacity_per_shard` entries (a full shard is dropped wholesale --
+  /// the cache is advisory, correctness never depends on residency).
+  explicit PredictionCache(std::size_t shards = 16,
+                           std::size_t capacity_per_shard = 4096);
+
+  /// The cached prediction for (task, host, input_size) if present and
+  /// written under exactly `epoch`; nullopt (and a recorded miss)
+  /// otherwise.
+  [[nodiscard]] std::optional<Prediction> find(std::string_view task,
+                                               common::HostId host,
+                                               double input_size, Epoch epoch);
+
+  /// Memoises a freshly computed prediction under `epoch`.
+  void put(std::string_view task, common::HostId host, double input_size,
+           Epoch epoch, const Prediction& prediction);
+
+  [[nodiscard]] PredictionCacheStats stats() const;
+
+  /// Drops every entry (counters are kept).
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Key {
+    std::string task;
+    std::uint32_t host = 0;
+    double input_size = 0.0;
+
+    [[nodiscard]] bool operator==(const Key& other) const {
+      return host == other.host && input_size == other.input_size &&
+             task == other.task;
+    }
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const;
+  };
+  struct Entry {
+    Epoch epoch = 0;
+    Prediction prediction;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Key, Entry, KeyHash> entries;
+  };
+
+  [[nodiscard]] Shard& shard_for(const Key& key);
+
+  std::size_t capacity_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace vdce::predict

@@ -1,24 +1,21 @@
 #include "predict/predictor.hpp"
 
 #include "common/error.hpp"
+#include "predict/prediction_cache.hpp"
 
 namespace vdce::predict {
 
-Prediction PerformancePredictor::predict_detailed(
-    const std::string& task_name, double input_size, HostId host) const {
-  common::expects(input_size > 0.0, "input size must be positive");
-  const repo::TaskPerformanceRecord task = repo_->tasks().get(task_name);
-  const repo::HostRecord machine = repo_->resources().get(host);
-
+Prediction PerformancePredictor::evaluate(
+    const repo::TaskPerformanceRecord& task, double weight,
+    double input_size, const repo::HostRecord& machine) const {
   Prediction p;
-  p.weight = repo_->tasks().power_weight(task_name, host,
-                                         machine.static_attrs.arch);
+  p.weight = weight;
   p.dedicated_s = task.base_time_s * input_size / p.weight;
 
   // CPU_load(R_j): forecast from the monitoring window if available,
   // else the most recent monitored value in the repository.
   std::optional<double> forecast;
-  if (forecaster_ != nullptr) forecast = forecaster_->forecast(host);
+  if (forecaster_ != nullptr) forecast = forecaster_->forecast(machine.host);
   p.load = forecast.value_or(machine.dynamic_attrs.cpu_load);
 
   // Mem_Req(task_i) vs Memory_Avail(R_j): thrashing multiplier mirrors
@@ -31,6 +28,58 @@ Prediction PerformancePredictor::predict_detailed(
   }
 
   p.time_s = p.dedicated_s * (1.0 + p.load) * p.memory_penalty;
+  return p;
+}
+
+std::uint64_t PerformancePredictor::epoch() const {
+  return repo_->resources().version() + repo_->tasks().version() +
+         (forecaster_ != nullptr ? forecaster_->version() : 0);
+}
+
+Prediction PerformancePredictor::predict_detailed(
+    const std::string& task_name, double input_size, HostId host) const {
+  common::expects(input_size > 0.0, "input size must be positive");
+  std::uint64_t at = 0;
+  if (cache_ != nullptr) {
+    at = epoch();
+    if (const auto hit = cache_->find(task_name, host, input_size, at)) {
+      return *hit;
+    }
+  }
+  const repo::TaskPerformanceRecord task = repo_->tasks().get(task_name);
+  const repo::HostRecord machine = repo_->resources().get(host);
+  const double weight = repo_->tasks().power_weight(
+      task_name, host, machine.static_attrs.arch);
+  const Prediction p = evaluate(task, weight, input_size, machine);
+  if (cache_ != nullptr) cache_->put(task_name, host, input_size, at, p);
+  return p;
+}
+
+PreparedTask PerformancePredictor::prepare(
+    const std::string& task_name) const {
+  PreparedTask out;
+  out.name = task_name;
+  out.record = repo_->tasks().get(task_name);
+  out.weights = repo_->tasks().weight_table(task_name);
+  return out;
+}
+
+Prediction PerformancePredictor::predict_detailed(
+    const PreparedTask& task, double input_size,
+    const repo::HostRecord& host) const {
+  common::expects(input_size > 0.0, "input size must be positive");
+  std::uint64_t at = 0;
+  if (cache_ != nullptr) {
+    at = epoch();
+    if (const auto hit =
+            cache_->find(task.name, host.host, input_size, at)) {
+      return *hit;
+    }
+  }
+  const double weight =
+      task.weights.resolve(host.host, host.static_attrs.arch);
+  const Prediction p = evaluate(task.record, weight, input_size, host);
+  if (cache_ != nullptr) cache_->put(task.name, host.host, input_size, at, p);
   return p;
 }
 

@@ -13,8 +13,17 @@
 // resource-performance databases); the current load is forecast from the
 // monitoring window when a LoadForecaster is attached, else the
 // repository's most recent measurement is used.
+//
+// Two hot-path accelerations sit on top of the plain evaluation:
+//   * an optional PredictionCache memoises finished predictions under
+//     an epoch derived from the repository/forecaster version counters
+//     (see prediction_cache.hpp), and
+//   * prepare() snapshots one task's record and weight table so a loop
+//     scoring many hosts pays the string-keyed database lookups once
+//     per graph instead of once per (task, host) pair.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -27,6 +36,8 @@ namespace vdce::predict {
 using common::Duration;
 using common::HostId;
 
+class PredictionCache;
+
 /// Breakdown of one prediction (for the visualization services and the
 /// prediction-accuracy experiments).
 struct Prediction {
@@ -37,14 +48,23 @@ struct Prediction {
   double memory_penalty = 1.0; // multiplier applied for memory pressure
 };
 
+/// One task's prefetched prediction inputs: the performance record and
+/// the full weight table, copied out of the databases in one pass.
+struct PreparedTask {
+  std::string name;
+  repo::TaskPerformanceRecord record;
+  repo::TaskWeightTable weights;
+};
+
 /// Predict(task, R) evaluator bound to one site repository.
 class PerformancePredictor {
  public:
-  /// `forecaster` may be null (fall back to the repository's last
-  /// monitored load); both references must outlive the predictor.
+  /// `forecaster` and `cache` may be null (no forecast fallback / no
+  /// memoisation); all referenced objects must outlive the predictor.
   explicit PerformancePredictor(const repo::SiteRepository& repository,
-                                const LoadForecaster* forecaster = nullptr)
-      : repo_(&repository), forecaster_(forecaster) {}
+                                const LoadForecaster* forecaster = nullptr,
+                                PredictionCache* cache = nullptr)
+      : repo_(&repository), forecaster_(forecaster), cache_(cache) {}
 
   /// Full prediction with its breakdown.  Throws NotFoundError for an
   /// unknown task or host.
@@ -58,13 +78,35 @@ class PerformancePredictor {
     return predict_detailed(task_name, input_size, host).time_s;
   }
 
+  /// Snapshots `task_name`'s record and weights for repeated scoring.
+  /// Throws NotFoundError for an unknown task.
+  [[nodiscard]] PreparedTask prepare(const std::string& task_name) const;
+
+  /// Predict() against a prepared task and an already-fetched host
+  /// record: no string-keyed database lookups on this path.
+  [[nodiscard]] Prediction predict_detailed(const PreparedTask& task,
+                                            double input_size,
+                                            const repo::HostRecord& host)
+      const;
+
+  /// The cache epoch for the current repository + forecaster state (the
+  /// sum of their version counters; monotonic).
+  [[nodiscard]] std::uint64_t epoch() const;
+
   [[nodiscard]] const repo::SiteRepository& repository() const {
     return *repo_;
   }
 
+  [[nodiscard]] PredictionCache* cache() const { return cache_; }
+
  private:
+  [[nodiscard]] Prediction evaluate(const repo::TaskPerformanceRecord& task,
+                                    double weight, double input_size,
+                                    const repo::HostRecord& machine) const;
+
   const repo::SiteRepository* repo_;
   const LoadForecaster* forecaster_;
+  PredictionCache* cache_;
 };
 
 }  // namespace vdce::predict

@@ -8,6 +8,7 @@ namespace vdce::repo {
 
 HostId ResourcePerformanceDb::register_host(const HostStaticAttrs& attrs) {
   std::lock_guard lk(mu_);
+  version_.fetch_add(1, std::memory_order_release);
   if (by_name_.contains(attrs.host_name)) {
     throw common::StateError("host already registered: " + attrs.host_name);
   }
@@ -23,6 +24,7 @@ HostId ResourcePerformanceDb::register_host(const HostStaticAttrs& attrs) {
 
 void ResourcePerformanceDb::remove_host(HostId host) {
   std::lock_guard lk(mu_);
+  version_.fetch_add(1, std::memory_order_release);
   const auto it = hosts_.find(host);
   if (it == hosts_.end()) throw common::NotFoundError("unknown host id");
   by_name_.erase(it->second.static_attrs.host_name);
@@ -32,6 +34,7 @@ void ResourcePerformanceDb::remove_host(HostId host) {
 void ResourcePerformanceDb::update_dynamic(HostId host,
                                            const HostDynamicAttrs& dyn) {
   std::lock_guard lk(mu_);
+  version_.fetch_add(1, std::memory_order_release);
   const auto it = hosts_.find(host);
   if (it == hosts_.end()) throw common::NotFoundError("unknown host id");
   it->second.dynamic_attrs = dyn;
@@ -40,6 +43,7 @@ void ResourcePerformanceDb::update_dynamic(HostId host,
 void ResourcePerformanceDb::set_alive(HostId host, bool alive,
                                       TimePoint when) {
   std::lock_guard lk(mu_);
+  version_.fetch_add(1, std::memory_order_release);
   const auto it = hosts_.find(host);
   if (it == hosts_.end()) throw common::NotFoundError("unknown host id");
   it->second.dynamic_attrs.alive = alive;
@@ -140,6 +144,7 @@ std::size_t ResourcePerformanceDb::size() const {
 
 void ResourcePerformanceDb::restore(const HostRecord& record) {
   std::lock_guard lk(mu_);
+  version_.fetch_add(1, std::memory_order_release);
   hosts_[record.host] = record;
   by_name_[record.static_attrs.host_name] = record.host;
   next_id_ = std::max(next_id_, record.host.value() + 1);

@@ -12,6 +12,7 @@
 // scheduling until they come back.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -66,6 +67,15 @@ class ResourcePerformanceDb {
   /// Restores a persisted record verbatim (used by repository load).
   void restore(const HostRecord& record);
 
+  /// Monotonic counter bumped by every host mutation that can change a
+  /// Predict() result (registration, removal, dynamic update, liveness,
+  /// restore).  Feeds the PredictionCache epoch so cached predictions
+  /// never outlive the monitoring data behind them.  Network-link
+  /// updates do not bump it: Predict() reads host attributes only.
+  [[nodiscard]] std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
  private:
   [[nodiscard]] static std::uint64_t pair_key(std::uint32_t a,
                                               std::uint32_t b) {
@@ -74,6 +84,7 @@ class ResourcePerformanceDb {
   }
 
   mutable std::mutex mu_;
+  std::atomic<std::uint64_t> version_{0};
   std::unordered_map<HostId, HostRecord> hosts_;
   std::unordered_map<std::string, HostId> by_name_;
   std::unordered_map<std::uint64_t, NetworkAttrs> group_links_;

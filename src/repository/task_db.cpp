@@ -8,6 +8,7 @@ namespace vdce::repo {
 
 void TaskPerformanceDb::register_task(const TaskPerformanceRecord& record) {
   std::lock_guard lk(mu_);
+  version_.fetch_add(1, std::memory_order_release);
   tasks_[record.task_name] = record;
 }
 
@@ -52,6 +53,7 @@ void TaskPerformanceDb::set_power_weight(const std::string& task_name,
                                          HostId host, double weight) {
   common::expects(weight > 0.0, "power weight must be positive");
   std::lock_guard lk(mu_);
+  version_.fetch_add(1, std::memory_order_release);
   host_weights_[task_name][host] = weight;
 }
 
@@ -59,6 +61,7 @@ void TaskPerformanceDb::set_arch_weight(const std::string& task_name,
                                         ArchType arch, double weight) {
   common::expects(weight > 0.0, "power weight must be positive");
   std::lock_guard lk(mu_);
+  version_.fetch_add(1, std::memory_order_release);
   arch_weights_[task_name][static_cast<int>(arch)] = weight;
 }
 
@@ -79,6 +82,21 @@ double TaskPerformanceDb::power_weight(const std::string& task_name,
     }
   }
   return 1.0;
+}
+
+TaskWeightTable TaskPerformanceDb::weight_table(
+    const std::string& task_name) const {
+  std::lock_guard lk(mu_);
+  TaskWeightTable out;
+  if (const auto ht = host_weights_.find(task_name);
+      ht != host_weights_.end()) {
+    out.host_weights = ht->second;
+  }
+  if (const auto at = arch_weights_.find(task_name);
+      at != arch_weights_.end()) {
+    out.arch_weights = at->second;
+  }
+  return out;
 }
 
 void TaskPerformanceDb::record_measurement(const std::string& task_name,

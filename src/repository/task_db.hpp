@@ -13,6 +13,7 @@
 // after every run.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -22,6 +23,28 @@
 #include "repository/types.hpp"
 
 namespace vdce::repo {
+
+/// Snapshot of every computing-power weight registered for one task:
+/// host-specific trial-run weights plus per-architecture fallbacks.
+/// Lets a hot loop resolve weights without re-walking the string-keyed
+/// database maps under their lock for every (task, host) pair.
+struct TaskWeightTable {
+  std::unordered_map<HostId, double> host_weights;
+  std::unordered_map<int, double> arch_weights;
+
+  /// Same resolution order as TaskPerformanceDb::power_weight:
+  /// host-specific first, then architecture fallback, then 1.0.
+  [[nodiscard]] double resolve(HostId host, ArchType arch) const {
+    if (const auto hw = host_weights.find(host); hw != host_weights.end()) {
+      return hw->second;
+    }
+    if (const auto aw = arch_weights.find(static_cast<int>(arch));
+        aw != arch_weights.end()) {
+      return aw->second;
+    }
+    return 1.0;
+  }
+};
 
 /// Thread-safe store of task performance characteristics.
 class TaskPerformanceDb {
@@ -56,6 +79,19 @@ class TaskPerformanceDb {
   [[nodiscard]] double power_weight(const std::string& task_name, HostId host,
                                     ArchType arch) const;
 
+  /// One-shot snapshot of all of a task's weights (for per-graph
+  /// prefetching in the scheduling hot path).
+  [[nodiscard]] TaskWeightTable weight_table(
+      const std::string& task_name) const;
+
+  /// Monotonic counter bumped by every mutation that can change a
+  /// Predict() result (task registration, weight changes).  Feeds the
+  /// PredictionCache epoch.  record_measurement() does not bump it:
+  /// the measured history is not a Predict() input.
+  [[nodiscard]] std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
   /// Appends a newly measured execution time ("After an application
   /// execution is completed, the newly measured execution time of each
   /// application task is stored in the task-performance database").
@@ -71,6 +107,7 @@ class TaskPerformanceDb {
 
  private:
   mutable std::mutex mu_;
+  std::atomic<std::uint64_t> version_{0};
   std::unordered_map<std::string, TaskPerformanceRecord> tasks_;
   // Key: task name -> host id -> weight.
   std::unordered_map<std::string, std::unordered_map<HostId, double>>

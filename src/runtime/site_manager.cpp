@@ -6,7 +6,10 @@ namespace vdce::rt {
 
 SiteManager::SiteManager(SiteId site, repo::SiteRepository& repository,
                          predict::LoadForecaster& forecaster)
-    : site_(site), repository_(&repository), forecaster_(&forecaster) {}
+    : site_(site),
+      repository_(&repository),
+      forecaster_(&forecaster),
+      predictor_(repository, &forecaster, &cache_) {}
 
 void SiteManager::handle_workload(const WorkloadUpdate& update) {
   ++stats_.workload_updates;
@@ -52,10 +55,9 @@ repo::UserAccount SiteManager::login(const std::string& user,
 }
 
 sched::HostSelectionMap SiteManager::host_selection_request(
-    const afg::FlowGraph& graph) {
-  ++stats_.host_selection_requests;
-  const predict::PerformancePredictor predictor(*repository_, forecaster_);
-  return sched::run_host_selection(graph, site_, predictor);
+    const afg::FlowGraph& graph, std::size_t threads) {
+  stats_.host_selection_requests.fetch_add(1, std::memory_order_relaxed);
+  return sched::run_host_selection(graph, site_, predictor_, threads);
 }
 
 std::map<HostId, std::vector<sched::AllocationEntry>>

@@ -15,11 +15,13 @@
 //     the Group Managers deliver to Application Controllers.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "predict/forecaster.hpp"
+#include "predict/prediction_cache.hpp"
 #include "predict/predictor.hpp"
 #include "repository/repository.hpp"
 #include "runtime/messages.hpp"
@@ -29,12 +31,15 @@
 namespace vdce::rt {
 
 /// Counters for the control-plane experiments.
+/// `host_selection_requests` is atomic: the Site Scheduler's parallel
+/// AFG multicast reaches several managers (and, with k_nearest = 0
+/// plus retries, the same manager) from pool threads.
 struct SiteManagerStats {
   std::size_t workload_updates = 0;
   std::size_t liveness_changes = 0;
   std::size_t network_measurements = 0;
   std::size_t task_times_recorded = 0;
-  std::size_t host_selection_requests = 0;
+  std::atomic<std::size_t> host_selection_requests{0};
   std::size_t allocation_rows_distributed = 0;
   std::size_t logins = 0;
 };
@@ -73,9 +78,19 @@ class SiteManager {
 
   // -- inter-site coordination -----------------------------------------
   /// Answers a (local or remote) Application Scheduler's multicast: runs
-  /// the Host Selection Algorithm on this site's repository.
+  /// the Host Selection Algorithm on this site's repository, scoring
+  /// with up to `threads`-way parallelism.  Thread-safe; predictions
+  /// are memoised in this manager's PredictionCache (repository and
+  /// forecaster updates handled by this manager invalidate it through
+  /// the epoch counters).
   [[nodiscard]] sched::HostSelectionMap host_selection_request(
-      const afg::FlowGraph& graph);
+      const afg::FlowGraph& graph, std::size_t threads = 1);
+
+  /// The Predict() memo table behind host_selection_request (for the
+  /// cache-hit experiments).
+  [[nodiscard]] const predict::PredictionCache& prediction_cache() const {
+    return cache_;
+  }
 
   // -- allocation distribution ------------------------------------------
   /// Splits the allocation table into per-host portions ("sends ...
@@ -90,6 +105,8 @@ class SiteManager {
   SiteId site_;
   repo::SiteRepository* repository_;
   predict::LoadForecaster* forecaster_;
+  predict::PredictionCache cache_;
+  predict::PerformancePredictor predictor_;
   SiteManagerStats stats_;
 };
 

@@ -28,7 +28,7 @@ std::vector<SiteId> SiteManagerDirectory::sites() const {
 
 Duration SiteManagerDirectory::site_distance(SiteId a, SiteId b) const {
   if (a == b) return 0.0;
-  ++stats_.distance_queries;
+  stats_->distance_queries.fetch_add(1, std::memory_order_relaxed);
   common::expects(!managers_.empty(), "directory has no sites");
   const auto link = managers_.begin()
                         ->second->repository()
@@ -41,7 +41,7 @@ Duration SiteManagerDirectory::site_distance(SiteId a, SiteId b) const {
 Duration SiteManagerDirectory::transfer_time(SiteId a, SiteId b,
                                              double mb) const {
   if (a == b) return 0.0;
-  ++stats_.transfer_queries;
+  stats_->transfer_queries.fetch_add(1, std::memory_order_relaxed);
   common::expects(!managers_.empty(), "directory has no sites");
   const auto link = managers_.begin()
                         ->second->repository()
@@ -52,9 +52,9 @@ Duration SiteManagerDirectory::transfer_time(SiteId a, SiteId b,
 }
 
 sched::HostSelectionMap SiteManagerDirectory::host_selection(
-    SiteId site, const afg::FlowGraph& graph) {
-  ++stats_.afg_multicasts;
-  return manager(site).host_selection_request(graph);
+    SiteId site, const afg::FlowGraph& graph, std::size_t threads) {
+  stats_->afg_multicasts.fetch_add(1, std::memory_order_relaxed);
+  return manager(site).host_selection_request(graph, threads);
 }
 
 Duration SiteManagerDirectory::host_transfer_time(HostId from, HostId to,

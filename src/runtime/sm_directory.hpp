@@ -10,18 +10,21 @@
 // coordination traffic.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <memory>
 
 #include "runtime/site_manager.hpp"
 #include "scheduler/directory.hpp"
 
 namespace vdce::rt {
 
-/// Message counters of the scheduling control plane.
+/// Message counters of the scheduling control plane.  Atomic because
+/// the Site Scheduler multicasts to the consulted sites concurrently.
 struct DirectoryStats {
-  std::size_t afg_multicasts = 0;
-  std::size_t distance_queries = 0;
-  std::size_t transfer_queries = 0;
+  std::atomic<std::size_t> afg_multicasts{0};
+  std::atomic<std::size_t> distance_queries{0};
+  std::atomic<std::size_t> transfer_queries{0};
 };
 
 /// Directory backed by (in-process) Site Manager endpoints.
@@ -37,19 +40,21 @@ class SiteManagerDirectory final : public sched::SiteDirectory {
   [[nodiscard]] Duration transfer_time(SiteId a, SiteId b,
                                        double mb) const override;
   [[nodiscard]] sched::HostSelectionMap host_selection(
-      SiteId site, const afg::FlowGraph& graph) override;
+      SiteId site, const afg::FlowGraph& graph,
+      std::size_t threads = 1) override;
   [[nodiscard]] Duration base_time(
       const std::string& library_task) const override;
   [[nodiscard]] Duration host_transfer_time(HostId from, HostId to,
                                             double mb) const override;
 
-  [[nodiscard]] const DirectoryStats& stats() const { return stats_; }
+  [[nodiscard]] const DirectoryStats& stats() const { return *stats_; }
 
  private:
   [[nodiscard]] SiteManager& manager(SiteId site) const;
 
   std::map<SiteId, SiteManager*> managers_;
-  mutable DirectoryStats stats_;
+  // Behind a pointer so the directory stays movable despite the atomics.
+  std::unique_ptr<DirectoryStats> stats_ = std::make_unique<DirectoryStats>();
 };
 
 }  // namespace vdce::rt

@@ -11,9 +11,11 @@ void RepositoryDirectory::add_site(SiteId site,
   if (sites_.contains(site)) {
     throw common::StateError("site already registered in directory");
   }
-  sites_.emplace(
-      site, Entry{repository,
-                  predict::PerformancePredictor(*repository, forecaster)});
+  auto cache = std::make_unique<predict::PredictionCache>();
+  predict::PerformancePredictor predictor(*repository, forecaster,
+                                          cache.get());
+  sites_.emplace(site,
+                 Entry{repository, std::move(cache), std::move(predictor)});
 }
 
 std::vector<SiteId> RepositoryDirectory::sites() const {
@@ -57,8 +59,8 @@ Duration RepositoryDirectory::transfer_time(SiteId a, SiteId b,
 }
 
 HostSelectionMap RepositoryDirectory::host_selection(
-    SiteId site, const afg::FlowGraph& graph) {
-  return run_host_selection(graph, site, entry(site).predictor);
+    SiteId site, const afg::FlowGraph& graph, std::size_t threads) {
+  return run_host_selection(graph, site, entry(site).predictor, threads);
 }
 
 Duration estimate_host_transfer(const repo::SiteRepository& repository,
@@ -112,6 +114,11 @@ Duration RepositoryDirectory::base_time(
 const predict::PerformancePredictor& RepositoryDirectory::predictor(
     SiteId site) const {
   return entry(site).predictor;
+}
+
+const predict::PredictionCache& RepositoryDirectory::prediction_cache(
+    SiteId site) const {
+  return *entry(site).cache;
 }
 
 }  // namespace vdce::sched

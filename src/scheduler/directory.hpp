@@ -15,9 +15,11 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "afg/graph.hpp"
+#include "predict/prediction_cache.hpp"
 #include "predict/predictor.hpp"
 #include "scheduler/host_selection.hpp"
 
@@ -41,9 +43,12 @@ class SiteDirectory {
                                                double mb) const = 0;
 
   /// "Multicast the AFG" to a site: runs the Host Selection Algorithm
-  /// there and returns the (machine, prediction) pairs.
+  /// there and returns the (machine, prediction) pairs.  `threads` is
+  /// the scoring parallelism the answering site may use (1 = serial).
+  /// Must be safe to call concurrently for different sites (the Site
+  /// Scheduler fans the multicast out on the shared thread pool).
   [[nodiscard]] virtual HostSelectionMap host_selection(
-      SiteId site, const afg::FlowGraph& graph) = 0;
+      SiteId site, const afg::FlowGraph& graph, std::size_t threads = 1) = 0;
 
   /// Base-processor execution time for unit input of a library task
   /// (the level computation's cost source).  Throws NotFoundError for
@@ -77,7 +82,8 @@ class RepositoryDirectory final : public SiteDirectory {
   [[nodiscard]] Duration transfer_time(SiteId a, SiteId b,
                                        double mb) const override;
   [[nodiscard]] HostSelectionMap host_selection(
-      SiteId site, const afg::FlowGraph& graph) override;
+      SiteId site, const afg::FlowGraph& graph,
+      std::size_t threads = 1) override;
   [[nodiscard]] Duration base_time(
       const std::string& library_task) const override;
   [[nodiscard]] Duration host_transfer_time(HostId from, HostId to,
@@ -87,9 +93,14 @@ class RepositoryDirectory final : public SiteDirectory {
   [[nodiscard]] const predict::PerformancePredictor& predictor(
       SiteId site) const;
 
+  /// The prediction cache bound to one site (for hit-rate reporting).
+  [[nodiscard]] const predict::PredictionCache& prediction_cache(
+      SiteId site) const;
+
  private:
   struct Entry {
     const repo::SiteRepository* repository;
+    std::unique_ptr<predict::PredictionCache> cache;
     predict::PerformancePredictor predictor;
   };
   [[nodiscard]] const Entry& entry(SiteId site) const;

@@ -2,10 +2,8 @@
 
 namespace vdce::sched {
 
-namespace {
-
-bool matches(const repo::HostRecord& host, const afg::TaskNode& node,
-             const repo::SiteRepository& repository) {
+bool host_matches(const repo::HostRecord& host, const afg::TaskNode& node,
+                  const repo::SiteRepository& repository) {
   if (!host.dynamic_attrs.alive) return false;
   if (node.props.preferred_arch &&
       host.static_attrs.arch != *node.props.preferred_arch) {
@@ -18,15 +16,13 @@ bool matches(const repo::HostRecord& host, const afg::TaskNode& node,
   return repository.constraints().can_run(node.library_task, host.host);
 }
 
-}  // namespace
-
 std::vector<common::HostId> eligible_hosts(
     const repo::SiteRepository& repository, const afg::TaskNode& node,
     common::SiteId site) {
   std::vector<common::HostId> out;
   for (const repo::HostRecord& host : repository.resources().all_hosts()) {
     if (site.valid() && host.static_attrs.site != site) continue;
-    if (matches(host, node, repository)) out.push_back(host.host);
+    if (host_matches(host, node, repository)) out.push_back(host.host);
   }
   return out;
 }
@@ -35,7 +31,7 @@ bool is_eligible(const repo::SiteRepository& repository,
                  const afg::TaskNode& node, common::HostId host) {
   const auto rec = repository.resources().find(host);
   if (!rec) return false;
-  return matches(*rec, node, repository);
+  return host_matches(*rec, node, repository);
 }
 
 }  // namespace vdce::sched

@@ -28,4 +28,11 @@ namespace vdce::sched {
                                const afg::TaskNode& node,
                                common::HostId host);
 
+/// The eligibility predicate against an already-fetched host record
+/// (lets a caller filter a single resource-database snapshot instead of
+/// re-reading the database per task).  Ignores the record's site.
+[[nodiscard]] bool host_matches(const repo::HostRecord& host,
+                                const afg::TaskNode& node,
+                                const repo::SiteRepository& repository);
+
 }  // namespace vdce::sched

@@ -1,38 +1,78 @@
 #include "scheduler/host_selection.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
+#include "common/thread_pool.hpp"
 #include "scheduler/eligibility.hpp"
 
 namespace vdce::sched {
 
+namespace {
+
+// Minimum candidate hosts per parallel chunk: below this, scoring one
+// host is far cheaper than handing the chunk to a pool worker.
+constexpr std::size_t kScoringGrain = 16;
+
+}  // namespace
+
 HostSelectionMap run_host_selection(
     const afg::FlowGraph& graph, common::SiteId site,
-    const predict::PerformancePredictor& predictor) {
+    const predict::PerformancePredictor& predictor, std::size_t threads) {
   const repo::SiteRepository& repository = predictor.repository();
   HostSelectionMap out;
   out.reserve(graph.task_count());
 
+  // One resource-database snapshot for the whole graph (already sorted
+  // by host id) instead of a locked full-table walk per task.
+  const std::vector<repo::HostRecord> site_hosts =
+      site.valid() ? repository.resources().hosts_in_site(site)
+                   : repository.resources().all_hosts();
+
+  // Per-graph prefetch of each distinct library task's record and
+  // weight table: the scoring loop below stops paying string-keyed
+  // repository lookups per (task, host) pair.
+  std::unordered_map<std::string, predict::PreparedTask> prepared;
+
+  const std::size_t helpers = threads > 1 ? threads - 1 : 0;
+  common::ThreadPool& pool = common::ThreadPool::shared();
+
+  std::vector<const repo::HostRecord*> candidates;
+  candidates.reserve(site_hosts.size());
   for (const afg::TaskNode& node : graph.tasks()) {
-    const auto candidates = eligible_hosts(repository, node, site);
+    candidates.clear();
+    for (const repo::HostRecord& host : site_hosts) {
+      if (host_matches(host, node, repository)) candidates.push_back(&host);
+    }
     HostSelection selection;
 
     if (!candidates.empty()) {
-      // Evaluate Predict(task_i, R) for every eligible resource.
-      std::vector<std::pair<Duration, HostId>> scored;
-      scored.reserve(candidates.size());
-      for (const HostId host : candidates) {
-        scored.emplace_back(
-            predictor.predict(node.library_task, node.props.input_size, host),
-            host);
-      }
+      auto [it, inserted] = prepared.try_emplace(node.library_task);
+      if (inserted) it->second = predictor.prepare(node.library_task);
+      const predict::PreparedTask& task = it->second;
+
+      // Evaluate Predict(task_i, R) for every eligible resource.  Each
+      // result is written by index, so the scored vector is identical
+      // to the serial loop's regardless of execution order.
+      std::vector<std::pair<Duration, HostId>> scored(candidates.size());
+      pool.parallel_for(
+          0, candidates.size(), kScoringGrain,
+          [&](std::size_t i) {
+            scored[i] = {
+                predictor
+                    .predict_detailed(task, node.props.input_size,
+                                      *candidates[i])
+                    .time_s,
+                candidates[i]->host};
+          },
+          helpers);
       std::sort(scored.begin(), scored.end());
-      selection.scored = scored;
 
       const unsigned want = node.props.mode == afg::ComputeMode::kParallel
                                 ? node.props.num_processors
                                 : 1u;
       if (scored.size() >= want) {
+        selection.hosts.reserve(want);
         for (unsigned i = 0; i < want; ++i) {
           selection.hosts.push_back(scored[i].second);
         }
@@ -42,6 +82,7 @@ HostSelectionMap run_host_selection(
             scored[want - 1].first / static_cast<double>(want);
       }
       // else: the site cannot offer enough machines -> infeasible.
+      selection.scored = std::move(scored);
     }
     out.emplace(node.id, std::move(selection));
   }

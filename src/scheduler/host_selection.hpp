@@ -16,6 +16,7 @@
 // inter-site communication overhead for parallel tasks is removed".
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -51,8 +52,13 @@ using HostSelectionMap = std::unordered_map<TaskId, HostSelection>;
 /// with the smallest predicted times; its reported prediction is the
 /// slowest selected host's time divided by p (linear speedup bounded by
 /// the weakest machine, intra-site communication subsumed in the LAN).
+///
+/// `threads` > 1 scores the eligible hosts of each task on the shared
+/// thread pool (the calling thread plus up to threads-1 helpers) when
+/// there are enough candidates to cover the grain; results are written
+/// by index, so the output is identical to the serial evaluation.
 [[nodiscard]] HostSelectionMap run_host_selection(
     const afg::FlowGraph& graph, common::SiteId site,
-    const predict::PerformancePredictor& predictor);
+    const predict::PerformancePredictor& predictor, std::size_t threads = 1);
 
 }  // namespace vdce::sched

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
-#include <unordered_set>
+#include <queue>
+
+#include "common/thread_pool.hpp"
 
 namespace vdce::sched {
 
@@ -12,18 +13,27 @@ SiteScheduler::SiteScheduler(SiteId local_site, SiteDirectory& directory,
     : local_site_(local_site), directory_(&directory), config_(config) {}
 
 std::vector<SiteId> SiteScheduler::select_nearest_sites() const {
-  // Step 2: the k nearest remote sites by WAN distance.
+  // Step 2: the k nearest remote sites by WAN distance.  Only k of N
+  // sites survive, so a partial sort suffices.
+  const std::vector<SiteId> all = directory_->sites();
   std::vector<SiteId> remotes;
-  for (const SiteId s : directory_->sites()) {
+  remotes.reserve(all.size());
+  for (const SiteId s : all) {
     if (s != local_site_) remotes.push_back(s);
   }
-  std::sort(remotes.begin(), remotes.end(), [&](SiteId a, SiteId b) {
-    const Duration da = directory_->site_distance(local_site_, a);
-    const Duration db = directory_->site_distance(local_site_, b);
-    if (da != db) return da < db;
-    return a < b;
-  });
-  if (remotes.size() > config_.k_nearest) remotes.resize(config_.k_nearest);
+  const std::size_t k = std::min(config_.k_nearest, remotes.size());
+  std::partial_sort(remotes.begin(),
+                    remotes.begin() + static_cast<std::ptrdiff_t>(k),
+                    remotes.end(),
+                    [&](SiteId a, SiteId b) {
+                      const Duration da =
+                          directory_->site_distance(local_site_, a);
+                      const Duration db =
+                          directory_->site_distance(local_site_, b);
+                      if (da != db) return da < db;
+                      return a < b;
+                    });
+  remotes.resize(k);
   return remotes;
 }
 
@@ -35,10 +45,19 @@ AllocationTable SiteScheduler::schedule(const afg::FlowGraph& graph) {
   consulted_.push_back(local_site_);
   for (const SiteId s : select_nearest_sites()) consulted_.push_back(s);
 
-  std::map<SiteId, HostSelectionMap> offers;
-  for (const SiteId s : consulted_) {
-    offers.emplace(s, directory_->host_selection(s, graph));
-  }
+  // Steps 3-5: the AFG multicast.  Each consulted site's Host Selection
+  // round is independent, so the rounds fan out across the shared pool
+  // (the calling thread participates); answers land by index, which
+  // keeps the gathered offers identical to the serial consultation.
+  const std::size_t helpers = config_.threads > 1 ? config_.threads - 1 : 0;
+  std::vector<HostSelectionMap> offers(consulted_.size());
+  common::ThreadPool::shared().parallel_for(
+      0, consulted_.size(), 1,
+      [&](std::size_t i) {
+        offers[i] =
+            directory_->host_selection(consulted_[i], graph, config_.threads);
+      },
+      helpers);
 
   // Levels from base-processor computation costs (Section 2.2), fixed
   // before the scheduling loop runs.
@@ -79,8 +98,13 @@ AllocationTable SiteScheduler::schedule(const afg::FlowGraph& graph) {
   for (const afg::TaskNode& n : graph.tasks()) {
     unscheduled_parents[n.id] = graph.parents(n.id).size();
   }
-  std::vector<TaskId> ready;
-  for (const TaskId id : graph.entry_tasks()) ready.push_back(id);
+  // Priority heap over the ready set: `better` is a strict total order
+  // (every policy tie-breaks on the task id), so popping the heap top
+  // selects exactly the task the old linear min-scan picked, in O(log n).
+  const auto heap_after = [&](TaskId a, TaskId b) { return better(b, a); };
+  std::priority_queue<TaskId, std::vector<TaskId>, decltype(heap_after)>
+      ready(heap_after);
+  for (const TaskId id : graph.entry_tasks()) ready.push(id);
 
   AllocationTable table(graph.name());
   // Queue-aware extension: estimated-completion-time bookkeeping.
@@ -93,11 +117,8 @@ AllocationTable SiteScheduler::schedule(const afg::FlowGraph& graph) {
 
   // Step 7: schedule ready tasks in priority order.
   while (!ready.empty()) {
-    const auto it = std::min_element(
-        ready.begin(), ready.end(),
-        [&](TaskId a, TaskId b) { return better(a, b); });
-    const TaskId task = *it;
-    ready.erase(it);
+    const TaskId task = ready.top();
+    ready.pop();
     const afg::TaskNode& node = graph.task(task);
 
     // Does the task consume input files from its parents?
@@ -117,8 +138,9 @@ AllocationTable SiteScheduler::schedule(const afg::FlowGraph& graph) {
 
     const bool parallel = node.props.mode == afg::ComputeMode::kParallel;
 
-    for (const SiteId s : consulted_) {
-      const HostSelection& offer = offers.at(s).at(task);
+    for (std::size_t si = 0; si < consulted_.size(); ++si) {
+      const SiteId s = consulted_[si];
+      const HostSelection& offer = offers[si].at(task);
       if (!offer.feasible()) continue;
 
       Duration transfer_cost = 0.0;
@@ -211,7 +233,7 @@ AllocationTable SiteScheduler::schedule(const afg::FlowGraph& graph) {
 
     // Release children whose parents are now all scheduled.
     for (const TaskId child : graph.children(task)) {
-      if (--unscheduled_parents[child] == 0) ready.push_back(child);
+      if (--unscheduled_parents[child] == 0) ready.push(child);
     }
   }
 

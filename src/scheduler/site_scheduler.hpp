@@ -52,6 +52,13 @@ struct SiteSchedulerConfig {
   /// machine.  The paper's algorithm (Figure 4/5) is queue-blind; this
   /// is the "not difficult to extend" direction it gestures at.
   bool queue_aware = false;
+  /// Scheduling-side parallelism: the calling thread plus up to
+  /// threads-1 workers of the shared pool run the Figure-4 multicast
+  /// concurrently (one Host Selection round per consulted site) and
+  /// parallelise Predict scoring inside each round.  1 = fully serial.
+  /// The allocation produced is bit-identical for every value --
+  /// parallelism changes wall-clock, never placements.
+  std::size_t threads = 1;
 };
 
 /// The distributed application-level scheduler of one VDCE site.
