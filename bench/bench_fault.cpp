@@ -1,0 +1,199 @@
+// E15: runtime fault tolerance (D9) — makespan vs injected failure rate
+// on the *live* execution engine (real threads + channels), not the
+// dynamic simulator.
+//
+//   (a) k allocated hosts dead at startup: every affected task is
+//       refused by its fault guard, re-placed through
+//       SiteScheduler::reschedule and retried inside the gang;
+//   (b) transient task-error rate sweep: failed tasks (and the
+//       consumers their channel teardown takes down) are recovered
+//       post-gang with channel re-setup and input replay.
+#include <atomic>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <set>
+
+#include "bench/harness.hpp"
+#include "runtime/engine.hpp"
+#include "scheduler/site_scheduler.hpp"
+
+namespace {
+
+using namespace vdce;
+using common::HostId;
+using common::SiteId;
+using common::TaskId;
+
+constexpr int kPairs = 12;
+constexpr int kReps = 5;
+
+/// kPairs independent source -> sink pipelines: wide enough that k
+/// distinct dead hosts each hit a different task.
+afg::FlowGraph pair_graph() {
+  afg::FlowGraph g("fault-sweep");
+  for (int i = 0; i < kPairs; ++i) {
+    const auto src = g.add_task("synth_source", "src" + std::to_string(i));
+    const auto sink = g.add_task("synth_sink", "snk" + std::to_string(i));
+    g.add_link(src, sink, 0.1);
+  }
+  return g;
+}
+
+/// Distinct primary hosts of the allocation, in task order.
+std::vector<HostId> distinct_primaries(
+    const sched::AllocationTable& allocation) {
+  std::vector<HostId> hosts;
+  std::set<HostId> seen;
+  for (const auto& row : allocation.rows()) {
+    if (seen.insert(row.primary_host()).second) {
+      hosts.push_back(row.primary_host());
+    }
+  }
+  return hosts;
+}
+
+void dead_host_sweep() {
+  bench::banner("E15a",
+                "live-engine makespan vs dead allocated hosts (D9)");
+  bench::header(
+      "dead_hosts,mean_makespan_ms,inflation,recovered,reschedules");
+
+  double baseline = 0.0;
+  for (int dead = 0; dead <= 4; ++dead) {
+    double makespan_ms = 0.0;
+    std::size_t recovered = 0;
+    std::size_t reschedules = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto v = bench::bring_up(netsim::make_campus_testbed(13));
+      const auto graph = pair_graph();
+      // Queue-aware so the 12 pipelines spread over distinct hosts and
+      // each dead host hits a bounded slice of the application.
+      sched::SiteScheduler scheduler(SiteId(0), v.directory,
+                                     {.queue_aware = true});
+      auto allocation = scheduler.schedule(graph);
+
+      const auto primaries = distinct_primaries(allocation);
+      for (int k = 0; k < dead && k < static_cast<int>(primaries.size());
+           ++k) {
+        v.testbed->fail_host(primaries[k], 50.0, 1e6);
+      }
+      v.testbed->set_live_time(60.0);
+
+      rt::FaultTolerance ft;
+      ft.host_alive = v.testbed->liveness_probe();
+      ft.reschedule = [&](const afg::TaskNode& node,
+                          const std::vector<HostId>& excluded) {
+        return scheduler.reschedule(graph, allocation, node.id, excluded);
+      };
+      ft.on_failure = [&](const rt::RescheduleRequest& request) {
+        for (auto& cm : v.control_managers) {
+          cm->report_task_failure(request);
+        }
+      };
+
+      rt::ExecutionEngine engine(tasklib::builtin_registry());
+      const auto result =
+          engine.execute(graph, allocation, nullptr, nullptr, &ft);
+      makespan_ms += result.makespan_s * 1e3;
+      recovered += result.failures_recovered;
+      reschedules += result.reschedules;
+    }
+    makespan_ms /= kReps;
+    if (dead == 0) baseline = makespan_ms;
+    std::cout << dead << "," << std::fixed << std::setprecision(2)
+              << makespan_ms << "," << std::setprecision(2)
+              << makespan_ms / baseline << "," << std::setprecision(1)
+              << static_cast<double>(recovered) / kReps << ","
+              << static_cast<double>(reschedules) / kReps << "\n";
+  }
+  std::cout << "shape check: every run completes; recovered == tasks "
+               "resident on dead hosts; cost is backoff-dominated (one "
+               "10 ms round per reschedule wave, a second when the "
+               "replacement is dead too -- reschedules > recovered), "
+               "not proportional to application size.\n";
+}
+
+void transient_error_sweep() {
+  bench::banner("E15b",
+                "live-engine makespan vs transient task-error rate (D9)");
+  bench::header("flaky_sources,mean_makespan_ms,inflation,recovered");
+
+  constexpr int kHosts = 8;
+  double baseline = 0.0;
+  for (const int flaky : {0, 2, 4, 8}) {
+    double makespan_ms = 0.0;
+    std::size_t recovered = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      tasklib::TaskRegistry registry;
+      tasklib::register_builtin_tasks(registry);
+      for (int i = 0; i < flaky; ++i) {
+        tasklib::LibraryEntry entry =
+            tasklib::builtin_registry().get("synth_source");
+        entry.name = "flaky_source_" + std::to_string(i);
+        auto calls = std::make_shared<std::atomic<int>>(0);
+        entry.fn = [calls, inner = entry.fn](
+                       const std::vector<tasklib::Payload>& in,
+                       const tasklib::TaskContext& ctx) {
+          if (calls->fetch_add(1) == 0) {
+            throw common::StateError("transient fault");
+          }
+          return inner(in, ctx);
+        };
+        registry.add(std::move(entry));
+      }
+
+      afg::FlowGraph g("flaky-sweep");
+      sched::AllocationTable allocation("flaky-sweep");
+      for (int i = 0; i < kPairs; ++i) {
+        const std::string lib = i < flaky
+                                    ? "flaky_source_" + std::to_string(i)
+                                    : "synth_source";
+        const auto src = g.add_task(lib, "src" + std::to_string(i));
+        const auto sink =
+            g.add_task("synth_sink", "snk" + std::to_string(i));
+        g.add_link(src, sink, 0.1);
+        for (const TaskId task : {src, sink}) {
+          sched::AllocationEntry row;
+          row.task = task;
+          row.task_label = g.task(task).label;
+          row.library_task = g.task(task).library_task;
+          row.hosts = {HostId(task.value() % kHosts)};
+          row.site = SiteId(0);
+          allocation.add(row);
+        }
+      }
+
+      rt::FaultTolerance ft;
+      ft.reschedule = [](const afg::TaskNode&, const std::vector<HostId>&)
+          -> std::optional<sched::AllocationEntry> { return std::nullopt; };
+
+      rt::EngineConfig config;
+      config.retry_backoff_s = 0.001;
+      rt::ExecutionEngine engine(registry, config);
+      const auto result =
+          engine.execute(g, allocation, nullptr, nullptr, &ft);
+      makespan_ms += result.makespan_s * 1e3;
+      recovered += result.failures_recovered;
+    }
+    makespan_ms /= kReps;
+    if (flaky == 0) baseline = makespan_ms;
+    std::cout << flaky << "/" << kPairs << "," << std::fixed
+              << std::setprecision(2) << makespan_ms << ","
+              << std::setprecision(2) << makespan_ms / baseline << ","
+              << std::setprecision(1)
+              << static_cast<double>(recovered) / kReps << "\n";
+  }
+  std::cout << "shape check: recovered == 2x flaky sources (each failure "
+               "takes its consumer's receive down too); makespan grows "
+               "with the serial post-gang recovery pass but every run "
+               "completes.\n";
+}
+
+}  // namespace
+
+int main() {
+  dead_host_sweep();
+  transient_error_sweep();
+  return 0;
+}

@@ -22,12 +22,19 @@ class LazyAcceptChannel final : public Channel {
   }
 
   std::optional<std::vector<std::byte>> receive() override {
-    ensure_accepted();
+    ensure_accepted(0.0);
     return inner_ ? inner_->receive() : std::nullopt;
+  }
+
+  std::optional<std::vector<std::byte>> receive_for(
+      double timeout_s) override {
+    ensure_accepted(timeout_s);
+    return inner_ ? inner_->receive_for(timeout_s) : std::nullopt;
   }
 
   void close() override {
     std::lock_guard lk(mu_);
+    closed_ = true;
     if (listener_) listener_->close();
     if (inner_) inner_->close();
   }
@@ -35,19 +42,24 @@ class LazyAcceptChannel final : public Channel {
   std::size_t bytes_sent() const override { return 0; }
 
  private:
-  void ensure_accepted() {
+  void ensure_accepted(double timeout_s) {
     std::lock_guard lk(mu_);
     if (inner_ || !listener_) return;
     try {
-      inner_ = listener_->accept();
+      inner_ = timeout_s > 0.0 ? listener_->accept_for(timeout_s)
+                               : listener_->accept();
     } catch (const common::TransportError&) {
+      listener_.reset();
       // Listener was closed before a producer connected: orderly EOF.
-      inner_.reset();
+      // An accept timeout, by contrast, is a real receive failure.
+      if (closed_) return;
+      throw;
     }
     listener_.reset();
   }
 
   std::mutex mu_;
+  bool closed_ = false;
   std::unique_ptr<TcpListener> listener_;
   std::unique_ptr<TcpChannel> inner_;
 };

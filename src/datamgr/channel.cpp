@@ -56,6 +56,18 @@ class InProcReceiver final : public Channel {
 
   std::optional<Message> receive() override { return core_->queue.pop(); }
 
+  std::optional<Message> receive_for(double timeout_s) override {
+    if (timeout_s <= 0.0) return receive();
+    auto msg = core_->queue.pop_for(std::chrono::duration<double>(timeout_s));
+    if (msg) return msg;
+    // pop_for returns nullopt both on timeout and on an orderly close;
+    // only the former is an error.
+    if (auto late = core_->queue.try_pop()) return late;
+    if (core_->queue.closed()) return std::nullopt;
+    throw common::TransportError("in-process receive timed out after " +
+                                 std::to_string(timeout_s) + "s");
+  }
+
   void close() override { core_->queue.close(); }
 
   std::size_t bytes_sent() const override { return core_->bytes_sent; }

@@ -32,6 +32,18 @@ class Channel {
   /// and drained.
   [[nodiscard]] virtual std::optional<std::vector<std::byte>> receive() = 0;
 
+  /// Like receive(), but gives up after `timeout_s` seconds, throwing
+  /// TransportError — the guard that keeps a machine thread from
+  /// hanging forever on a dead peer.  Both shipped transports (the
+  /// in-process queue and the TCP loopback) honour the timeout; the
+  /// base default falls back to the blocking receive() for third-party
+  /// channels that have not implemented it.  `timeout_s <= 0` blocks.
+  [[nodiscard]] virtual std::optional<std::vector<std::byte>> receive_for(
+      double timeout_s) {
+    (void)timeout_s;
+    return receive();
+  }
+
   /// Closes the channel; pending receives drain, then return nullopt.
   virtual void close() = 0;
 

@@ -55,7 +55,9 @@ tasklib::Payload DataManager::run(const tasklib::TaskRegistry& registry,
     for (std::size_t i = 0; i < inputs_.size(); ++i) {
       receive_threads.emplace_back([this, i, &received, &errors] {
         try {
-          auto msg = inputs_[i].receive();
+          auto msg = recv_timeout_s_ > 0.0
+                         ? inputs_[i].receive_for(recv_timeout_s_)
+                         : inputs_[i].receive();
           if (!msg) {
             errors[i] = "input channel closed before delivering data";
             return;

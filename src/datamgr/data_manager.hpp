@@ -74,6 +74,14 @@ class DataManager {
   /// Closes every channel (idempotent).
   void teardown();
 
+  /// Arms a receive-side timeout for run(): a peer that neither
+  /// delivers nor closes within `seconds` fails the receive with a
+  /// TransportError instead of hanging this machine thread forever
+  /// (the Control Manager's retry loop then re-places the task).
+  /// `seconds <= 0` (the default) blocks indefinitely.
+  void set_recv_timeout(double seconds) { recv_timeout_s_ = seconds; }
+  [[nodiscard]] double recv_timeout() const { return recv_timeout_s_; }
+
   [[nodiscard]] const ExecutionStats& stats() const { return stats_; }
   [[nodiscard]] MpLibrary library() const { return library_; }
 
@@ -82,6 +90,7 @@ class DataManager {
   MpLibrary library_;
   TaskWiring wiring_;
   bool is_set_up_ = false;
+  double recv_timeout_s_ = 0.0;
   std::vector<MessageEndpoint> inputs_;   // one per parent, same order
   std::vector<MessageEndpoint> outputs_;  // one per child, same order
   ExecutionStats stats_;

@@ -87,7 +87,20 @@ void MessageEndpoint::send(int tag, std::span<const std::byte> data) {
 }
 
 std::optional<TaggedMessage> MessageEndpoint::receive() {
-  auto frame = channel_->receive();
+  return receive_impl(0.0);
+}
+
+std::optional<TaggedMessage> MessageEndpoint::receive_for(double timeout_s) {
+  return receive_impl(timeout_s);
+}
+
+std::optional<TaggedMessage> MessageEndpoint::receive_impl(
+    double timeout_s) {
+  const auto next_frame = [&] {
+    return timeout_s > 0.0 ? channel_->receive_for(timeout_s)
+                           : channel_->receive();
+  };
+  auto frame = next_frame();
   if (!frame) return std::nullopt;
   WireReader r(*frame);
   const auto magic = static_cast<MpLibrary>(r.read_u8());
@@ -110,7 +123,7 @@ std::optional<TaggedMessage> MessageEndpoint::receive() {
       const std::uint64_t total = r.read_u64();
       msg.data.reserve(total);
       for (std::uint32_t i = 0; i < nfrag; ++i) {
-        auto frag = channel_->receive();
+        auto frag = next_frame();
         if (!frag) {
           throw TransportError("pvm message truncated: missing fragment");
         }

@@ -57,11 +57,18 @@ class MessageEndpoint {
   /// fragment).
   [[nodiscard]] std::optional<TaggedMessage> receive();
 
+  /// Like receive(), but each underlying frame read gives up after
+  /// `timeout_s` seconds with a TransportError (the Data Manager's
+  /// dead-peer guard).  `timeout_s <= 0` blocks.
+  [[nodiscard]] std::optional<TaggedMessage> receive_for(double timeout_s);
+
   void close() { channel_->close(); }
 
   [[nodiscard]] MpLibrary library() const { return library_; }
 
  private:
+  [[nodiscard]] std::optional<TaggedMessage> receive_impl(double timeout_s);
+
   MpLibrary library_;
   std::shared_ptr<Channel> channel_;
   std::uint32_t communicator_;

@@ -3,12 +3,15 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <thread>
 
 #include "common/error.hpp"
@@ -36,13 +39,20 @@ void send_all(int fd, const std::byte* data, std::size_t n) {
 }
 
 /// Reads exactly n bytes; returns false on orderly EOF at a message
-/// boundary (off == 0), throws on mid-message EOF or errors.
-bool recv_all(int fd, std::byte* data, std::size_t n) {
+/// boundary (off == 0), throws on mid-message EOF or errors.  A
+/// positive `timeout_s` arms SO_RCVTIMEO for the duration of the read;
+/// hitting it throws TransportError.
+bool recv_all(int fd, std::byte* data, std::size_t n,
+              double timeout_s = 0.0) {
   std::size_t off = 0;
   while (off < n) {
     const ssize_t r = ::recv(fd, data + off, n - off, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (timeout_s > 0.0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        throw TransportError("tcp receive timed out after " +
+                             std::to_string(timeout_s) + "s");
+      }
       fail("tcp recv");
     }
     if (r == 0) {
@@ -52,6 +62,18 @@ bool recv_all(int fd, std::byte* data, std::size_t n) {
     off += static_cast<std::size_t>(r);
   }
   return true;
+}
+
+/// Sets (timeout_s > 0) or clears (timeout_s == 0) SO_RCVTIMEO.
+void set_recv_deadline(int fd, double timeout_s) {
+  timeval tv{};
+  if (timeout_s > 0.0) {
+    tv.tv_sec = static_cast<time_t>(timeout_s);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_s - std::floor(timeout_s)) * 1e6);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 }  // namespace
@@ -71,6 +93,15 @@ TcpChannel::~TcpChannel() {
 
 void TcpChannel::send(std::span<const std::byte> message) {
   if (fd_ < 0 || shut_) throw TransportError("send on closed tcp channel");
+  // The 4-byte length header cannot represent more than 4 GiB - 1; a
+  // plain cast would silently truncate and desynchronise the frame
+  // stream for every later message.  Reject instead.
+  if (message.size() > max_message_bytes_) {
+    throw TransportError(
+        "tcp message of " + std::to_string(message.size()) +
+        " bytes exceeds the frame limit of " +
+        std::to_string(max_message_bytes_) + " bytes");
+  }
   std::byte header[4];
   const auto n = static_cast<std::uint32_t>(message.size());
   header[0] = std::byte{static_cast<std::uint8_t>(n >> 24)};
@@ -83,18 +114,51 @@ void TcpChannel::send(std::span<const std::byte> message) {
 }
 
 std::optional<std::vector<std::byte>> TcpChannel::receive() {
+  return receive_impl(0.0);
+}
+
+std::optional<std::vector<std::byte>> TcpChannel::receive_for(
+    double timeout_s) {
+  return receive_impl(timeout_s);
+}
+
+std::optional<std::vector<std::byte>> TcpChannel::receive_impl(
+    double timeout_s) {
   if (fd_ < 0) return std::nullopt;
+  if (timeout_s > 0.0) set_recv_deadline(fd_, timeout_s);
+  struct DeadlineReset {
+    int fd;
+    bool armed;
+    ~DeadlineReset() {
+      if (armed) set_recv_deadline(fd, 0.0);
+    }
+  } reset{fd_, timeout_s > 0.0};
   std::byte header[4];
-  if (!recv_all(fd_, header, 4)) return std::nullopt;
+  if (!recv_all(fd_, header, 4, timeout_s)) return std::nullopt;
   std::uint32_t n = 0;
   for (int i = 0; i < 4; ++i) {
     n = (n << 8) | static_cast<std::uint8_t>(header[i]);
   }
+  // Bounds-check the decoded length before allocating: a corrupt or
+  // hostile header must not provoke a giant allocation.
+  if (n > max_message_bytes_) {
+    throw TransportError(
+        "tcp frame header claims " + std::to_string(n) +
+        " bytes, above the frame limit of " +
+        std::to_string(max_message_bytes_) + " bytes (corrupt stream?)");
+  }
   std::vector<std::byte> body(n);
-  if (n > 0 && !recv_all(fd_, body.data(), n)) {
+  if (n > 0 && !recv_all(fd_, body.data(), n, timeout_s)) {
     throw TransportError("tcp peer closed mid-message");
   }
   return body;
+}
+
+void TcpChannel::set_max_message_bytes(std::size_t limit) {
+  common::expects(limit > 0 &&
+                      limit <= std::numeric_limits<std::uint32_t>::max(),
+                  "frame limit must fit the 4-byte length header");
+  max_message_bytes_ = limit;
 }
 
 void TcpChannel::close() {
@@ -137,6 +201,25 @@ std::unique_ptr<TcpChannel> TcpListener::accept() {
     if (conn >= 0) return std::make_unique<TcpChannel>(conn);
     if (errno == EINTR) continue;
     fail("tcp accept");
+  }
+}
+
+std::unique_ptr<TcpChannel> TcpListener::accept_for(double timeout_s) {
+  if (timeout_s <= 0.0) return accept();
+  if (fd_ < 0) throw TransportError("accept on closed listener");
+  pollfd pfd{fd_, POLLIN, 0};
+  const int timeout_ms = static_cast<int>(timeout_s * 1e3);
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : 1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      fail("tcp accept poll");
+    }
+    if (ready == 0) {
+      throw TransportError("tcp accept timed out after " +
+                           std::to_string(timeout_s) + "s");
+    }
+    return accept();
   }
 }
 

@@ -17,6 +17,15 @@ namespace vdce::dm {
 /// A channel over a connected TCP socket (owns the fd).
 class TcpChannel final : public Channel {
  public:
+  /// Largest frame either direction accepts by default.  The 4-byte
+  /// length header caps frames at 4 GiB - 1 anyway; anything above this
+  /// limit is rejected outright — on send so an oversized message can
+  /// never be silently truncated into a corrupt frame stream, and on
+  /// receive so a corrupt or hostile length header cannot trigger a
+  /// multi-gigabyte allocation before the body arrives.
+  static constexpr std::size_t kDefaultMaxMessageBytes =
+      std::size_t{1} << 30;  // 1 GiB
+
   /// Takes ownership of a connected socket fd.
   explicit TcpChannel(int fd);
   ~TcpChannel() override;
@@ -26,13 +35,23 @@ class TcpChannel final : public Channel {
 
   void send(std::span<const std::byte> message) override;
   [[nodiscard]] std::optional<std::vector<std::byte>> receive() override;
+  [[nodiscard]] std::optional<std::vector<std::byte>> receive_for(
+      double timeout_s) override;
   void close() override;
   [[nodiscard]] std::size_t bytes_sent() const override;
 
+  /// Tightens (or loosens, up to 4 GiB - 1) the per-message frame
+  /// limit; both peers of a channel must agree.  Mostly for tests.
+  void set_max_message_bytes(std::size_t limit);
+
  private:
+  [[nodiscard]] std::optional<std::vector<std::byte>> receive_impl(
+      double timeout_s);
+
   int fd_;
   bool shut_ = false;
   std::size_t bytes_sent_ = 0;
+  std::size_t max_message_bytes_ = kDefaultMaxMessageBytes;
 };
 
 /// A listening socket on 127.0.0.1 with a kernel-assigned port.
@@ -50,6 +69,10 @@ class TcpListener {
 
   /// Blocks for one inbound connection; returns it as a channel.
   [[nodiscard]] std::unique_ptr<TcpChannel> accept();
+
+  /// Like accept(), but gives up after `timeout_s` seconds, throwing
+  /// TransportError.  `timeout_s <= 0` blocks.
+  [[nodiscard]] std::unique_ptr<TcpChannel> accept_for(double timeout_s);
 
   /// Unblocks a pending accept() by closing the listening socket.
   void close();

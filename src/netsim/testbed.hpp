@@ -10,6 +10,8 @@
 // monitoring machinery has to cope with.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -67,6 +69,29 @@ class VirtualTestbed {
 
   /// Injects a crash window (the host stops answering echo packets).
   void fail_host(HostId host, TimePoint start, Duration length);
+
+  // -- live-engine fault injection ---------------------------------------
+  /// Virtual "now" for the live execution path.  The real-threaded
+  /// engine runs in wall-clock time, so its Application Controllers
+  /// cannot index fail_host windows by simulated time; tests pin this
+  /// clock inside (or outside) a failure window so the same
+  /// deterministic windows drive the engine's fault guards.
+  void set_live_time(TimePoint now) {
+    live_now_.store(now, std::memory_order_relaxed);
+  }
+  [[nodiscard]] TimePoint live_time() const {
+    return live_now_.load(std::memory_order_relaxed);
+  }
+  /// Liveness of `host` at the current live time (thread-safe; the
+  /// engine polls it from machine threads).
+  [[nodiscard]] bool is_alive_now(HostId host) const {
+    return is_alive(host, live_time());
+  }
+  /// The per-host liveness probe the engine's fault-tolerance wiring
+  /// expects (`FaultTolerance::host_alive`).
+  [[nodiscard]] std::function<bool(HostId)> liveness_probe() const {
+    return [this](HostId host) { return is_alive_now(host); };
+  }
 
   /// Adds a deterministic load spike on top of the background process.
   void add_load_spike(HostId host, const LoadSpike& spike);
@@ -159,6 +184,8 @@ class VirtualTestbed {
   // WAN links keyed by symmetric site pair.
   std::unordered_map<std::uint64_t, repo::NetworkAttrs> wan_;
   std::uint64_t seed_;
+  /// Virtual wall clock for the live engine's probes.
+  std::atomic<TimePoint> live_now_{0.0};
 
   [[nodiscard]] static std::uint64_t pair_key(std::uint32_t a,
                                               std::uint32_t b) {

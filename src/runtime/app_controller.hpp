@@ -29,11 +29,21 @@ namespace vdce::rt {
 /// runs).
 using LoadProbe = std::function<double()>;
 
+/// Liveness probe: whether a given host is currently answering (bound
+/// to the testbed's fault-injection windows or the Group Managers'
+/// believed-alive view).
+using AliveProbe = std::function<bool(HostId)>;
+
 /// Outcome of one controlled task execution.
 struct TaskOutcome {
   bool completed = false;
-  /// Set instead of `payload` when the controller aborted the task for
-  /// a load-threshold violation.
+  /// Set instead of `payload` when the controller refused the task
+  /// pre-compute: load-threshold violation (kLoadThreshold) or the
+  /// fault guard reporting this host dead (kHostFailure).  On the
+  /// refusal path io_stats reflects whatever channel setup already
+  /// happened, and the Data Manager channels are still open — the
+  /// caller owns teardown (the engine's retry loop reuses or rebinds
+  /// them; anyone else must call shutdown()).
   std::optional<RescheduleRequest> reschedule;
   tasklib::Payload payload;
   /// Compute-phase wall time, seconds (what the Site Manager stores in
@@ -58,6 +68,21 @@ class ApplicationController {
   /// rescheduling request is produced instead.
   void set_load_guard(LoadProbe probe, double threshold);
 
+  /// Sets the liveness probe; when it reports this controller's host
+  /// dead at the pre-compute check, the task is refused with a
+  /// kHostFailure rescheduling request.  Checked before the load guard
+  /// (a dead host's load reading is meaningless).
+  void set_fault_guard(AliveProbe probe);
+
+  /// Arms the Data Manager's receive timeout (dead-peer guard for the
+  /// fault-tolerance loop); <= 0 blocks indefinitely.
+  void set_recv_timeout(double seconds) { dm_.set_recv_timeout(seconds); }
+
+  /// Points the controller at a replacement machine after a reschedule.
+  /// Only the host identity moves; the Data Manager keeps its wiring.
+  void rebind_host(HostId host) { host_ = host; }
+  [[nodiscard]] HostId host() const { return host_; }
+
   /// Phase 2 (after the startup signal): runs the task under the Data
   /// Manager, timing the compute phase.
   [[nodiscard]] TaskOutcome execute(const tasklib::TaskRegistry& registry,
@@ -77,6 +102,7 @@ class ApplicationController {
   dm::TaskWiring wiring_;
   dm::DataManager dm_;
   LoadProbe probe_;
+  AliveProbe alive_probe_;
   double threshold_ = 0.0;
 };
 

@@ -16,6 +16,7 @@ ControlManager::ControlManager(netsim::VirtualTestbed& testbed, SiteId site,
 }
 
 void ControlManager::tick(TimePoint now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (GroupManager& gm : group_managers_) {
     GroupTickOutput out = gm.tick(now);
     for (const WorkloadUpdate& u : out.workload_updates) {
@@ -38,7 +39,22 @@ void ControlManager::run_until(TimePoint from, TimePoint to,
   }
 }
 
+void ControlManager::report_task_failure(const RescheduleRequest& request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++reschedule_requests_;
+  if (request.kind != RescheduleRequest::Kind::kHostFailure) return;
+  for (GroupManager& gm : group_managers_) {
+    if (!gm.manages(request.host)) continue;
+    if (const auto change =
+            gm.report_task_failure(request.host, request.when)) {
+      site_manager_->handle_liveness(*change);
+    }
+    return;
+  }
+}
+
 ControlManagerStats ControlManager::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   ControlManagerStats total;
   for (const GroupManager& gm : group_managers_) {
     total.reports_received += gm.stats().reports_received;
@@ -46,6 +62,7 @@ ControlManagerStats ControlManager::stats() const {
     total.failures_detected += gm.stats().failures_detected;
     total.recoveries_detected += gm.stats().recoveries_detected;
   }
+  total.reschedule_requests = reschedule_requests_;
   return total;
 }
 

@@ -10,6 +10,7 @@
 // VirtualClock gives a deterministic control plane.
 #pragma once
 
+#include <mutex>
 #include <vector>
 
 #include "runtime/group_manager.hpp"
@@ -23,6 +24,8 @@ struct ControlManagerStats {
   std::size_t updates_forwarded = 0;
   std::size_t failures_detected = 0;
   std::size_t recoveries_detected = 0;
+  /// Reschedule requests routed through report_task_failure.
+  std::size_t reschedule_requests = 0;
 };
 
 /// Per-site Resource Controller.
@@ -42,6 +45,16 @@ class ControlManager {
   /// (inclusive) in `step_s` increments.
   void run_until(TimePoint from, TimePoint to, Duration step_s);
 
+  /// Failure event from the execution path: an Application Controller
+  /// (or the engine's retry loop) found a task's host unusable.  A
+  /// kHostFailure request is routed to the owning Group Manager, whose
+  /// resulting liveness change (if the host was still believed alive)
+  /// is forwarded to the Site Manager so the repository marks the host
+  /// down before the next placement.  Thread-safe against tick(): the
+  /// engine's machine threads report concurrently with the clock
+  /// driver.
+  void report_task_failure(const RescheduleRequest& request);
+
   [[nodiscard]] ControlManagerStats stats() const;
   [[nodiscard]] const std::vector<GroupManager>& group_managers() const {
     return group_managers_;
@@ -51,6 +64,10 @@ class ControlManager {
  private:
   SiteManager* site_manager_;
   std::vector<GroupManager> group_managers_;
+  /// Serialises tick() and report_task_failure() over the Group
+  /// Managers' tracking state and the Site Manager handlers.
+  mutable std::mutex mutex_;
+  std::size_t reschedule_requests_ = 0;
 };
 
 }  // namespace vdce::rt

@@ -1,13 +1,30 @@
 #include "runtime/engine.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <latch>
+#include <semaphore>
 #include <thread>
+#include <unordered_map>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "datamgr/mplib.hpp"
 
 namespace vdce::rt {
+
+namespace {
+
+/// Message tag of inter-task payload frames; must match the Data
+/// Manager's payload tag so replayed inputs are indistinguishable from
+/// live ones.
+constexpr int kPayloadTag = 7;
+
+std::chrono::duration<double> seconds(double s) {
+  return std::chrono::duration<double>(s);
+}
+
+}  // namespace
 
 ExecutionEngine::ExecutionEngine(const tasklib::TaskRegistry& registry,
                                  EngineConfig config)
@@ -16,7 +33,8 @@ ExecutionEngine::ExecutionEngine(const tasklib::TaskRegistry& registry,
 RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
                                    const sched::AllocationTable& allocation,
                                    SiteManager* feedback,
-                                   dm::ConsoleService* console) {
+                                   dm::ConsoleService* console,
+                                   const FaultTolerance* ft) {
   graph.validate();
   for (const afg::TaskNode& node : graph.tasks()) {
     if (!allocation.contains(node.id)) {
@@ -26,6 +44,11 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
 
   const common::AppId app{next_app_++};
   dm::ChannelBroker broker(config_.transport);
+
+  const bool recovery_on = ft != nullptr && ft->reschedule != nullptr;
+  const bool load_guarded =
+      ft != nullptr && ft->host_load != nullptr &&
+      std::isfinite(config_.load_threshold);
 
   const auto task_count = static_cast<std::ptrdiff_t>(graph.task_count());
   std::latch setup_acks(task_count);    // Figure 7 step 4
@@ -37,6 +60,10 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
     TaskOutcome outcome;
     Duration turnaround_s = 0.0;
     std::string error;
+    int attempts = 1;
+    bool had_failure = false;   // at least one attempt did not complete
+    std::size_t moves = 0;      // successful re-placements
+    std::vector<HostId> excluded;  // hosts this task must avoid
   };
   std::vector<Slot> slots(graph.task_count());
   {
@@ -47,6 +74,18 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
       ++i;
     }
   }
+  std::unordered_map<TaskId, std::size_t> slot_of;
+  slot_of.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    slot_of.emplace(slots[i].node->id, i);
+  }
+
+  // Deterministic per-task RNG seed: recovery attempts reuse it, so a
+  // re-placed task produces the same output the original would have.
+  const auto task_seed = [&](TaskId task) {
+    return config_.seed ^
+           (static_cast<std::uint64_t>(app.value()) << 32) ^ task.value();
+  };
 
   // Controllers must outlive the worker threads.
   std::vector<ApplicationController> controllers;
@@ -54,11 +93,28 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
   for (const Slot& slot : slots) {
     controllers.emplace_back(broker, config_.library, app, slot.host);
   }
+  const auto arm_guards = [&](ApplicationController& controller,
+                              HostId host) {
+    if (ft == nullptr) return;
+    if (config_.recv_timeout_s > 0.0) {
+      controller.set_recv_timeout(config_.recv_timeout_s);
+    }
+    if (ft->host_alive) controller.set_fault_guard(ft->host_alive);
+    if (load_guarded) {
+      controller.set_load_guard([probe = ft->host_load, host] {
+        return probe(host);
+      }, config_.load_threshold);
+    }
+  };
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    arm_guards(controllers[i], slots[i].host);
+  }
 
   common::log_info("engine", "app ", app.value(), " '", graph.name(),
                    "': delivering execution requests to ",
                    graph.task_count(), " tasks");
 
+  std::chrono::steady_clock::time_point gang_start;
   {
     std::vector<std::jthread> machines;
     machines.reserve(graph.task_count());
@@ -66,6 +122,10 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
       machines.emplace_back([&, i] {
         Slot& slot = slots[i];
         ApplicationController& controller = controllers[i];
+        // One acknowledgment per machine: the latch must be counted
+        // down exactly once whether activate() succeeds, activate()
+        // throws, or a later phase throws.
+        bool acked = false;
         try {
           dm::TaskWiring wiring;
           wiring.app = app;
@@ -74,19 +134,52 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
           wiring.children = graph.children(slot.node->id);
           controller.activate(wiring);  // channel setup + ack
           setup_acks.count_down();
+          acked = true;
 
           start_signal.wait();  // the execution startup signal
 
           const auto t0 = std::chrono::steady_clock::now();
           tasklib::TaskContext ctx;
           ctx.input_size = slot.node->props.input_size;
-          common::Rng rng(config_.seed ^
-                          (static_cast<std::uint64_t>(app.value()) << 32) ^
-                          slot.node->id.value());
+          common::Rng rng(task_seed(slot.node->id));
           ctx.rng = &rng;
-          slot.outcome = controller.execute(*registry_,
-                                            slot.node->library_task, ctx,
-                                            console);
+
+          // Pre-compute guard refusals (host dead, load above the
+          // threshold) happen before any channel is consumed, so the
+          // supervised retry runs right here inside the gang: report,
+          // re-place with the refusing host excluded, rebind, re-run.
+          double backoff = config_.retry_backoff_s;
+          for (;;) {
+            slot.outcome = controller.execute(
+                *registry_, slot.node->library_task, ctx, console);
+            if (!slot.outcome.reschedule) break;
+            if (!recovery_on || slot.attempts >= config_.max_attempts) {
+              break;  // refusal stands; reported after the join
+            }
+            if (ft->on_failure) ft->on_failure(*slot.outcome.reschedule);
+            slot.excluded.push_back(controller.host());
+            const auto replacement =
+                ft->reschedule(*slot.node, slot.excluded);
+            if (!replacement) break;  // nowhere left to go
+            ++slot.attempts;
+            slot.had_failure = true;
+            ++slot.moves;
+            slot.host = replacement->primary_host();
+            controller.rebind_host(slot.host);
+            if (load_guarded) {
+              controller.set_load_guard(
+                  [probe = ft->host_load, host = slot.host] {
+                    return probe(host);
+                  },
+                  config_.load_threshold);
+            }
+            common::log_info("engine", "app ", app.value(), " task ",
+                             slot.node->label, " re-placed on host ",
+                             slot.host.value(), " (attempt ",
+                             slot.attempts, ")");
+            std::this_thread::sleep_for(seconds(backoff));
+            backoff *= config_.retry_backoff_multiplier;
+          }
           slot.turnaround_s = std::chrono::duration<double>(
                                   std::chrono::steady_clock::now() - t0)
                                   .count();
@@ -96,7 +189,7 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
           // Unblock peers: close this task's channels, then make sure
           // the barrier protocol cannot deadlock the other machines.
           controller.shutdown();
-          setup_acks.count_down();
+          if (!acked) setup_acks.count_down();
         }
       });
     }
@@ -107,8 +200,167 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
     common::log_info("engine", "app ", app.value(),
                      ": all channel-setup acks received; sending startup "
                      "signal");
+    gang_start = std::chrono::steady_clock::now();
     start_signal.count_down();
   }  // join all machine threads
+
+  // Supervised recovery of tasks that *failed* mid-gang (task error or
+  // transport collapse, including the cascade a failure inflicts on its
+  // consumers).  Processed in topological order so a recovered parent's
+  // recorded output is available to replay into its retried children.
+  if (recovery_on) {
+    for (const TaskId task : graph.topological_order()) {
+      Slot& slot = slots[slot_of.at(task)];
+      if (slot.error.empty()) continue;
+
+      // A child can only be replayed from completed parent outputs.
+      bool parents_ok = true;
+      for (const TaskId parent : graph.parents(task)) {
+        const Slot& ps = slots[slot_of.at(parent)];
+        if (!ps.error.empty() || !ps.outcome.completed) {
+          parents_ok = false;
+          break;
+        }
+      }
+      if (!parents_ok) continue;  // the parent's own error is reported
+
+      double backoff = config_.retry_backoff_s;
+      // A guard refusal during recovery arrives pre-classified; other
+      // failures are classified by probing the host.
+      std::optional<RescheduleRequest> pending;
+      while (!slot.error.empty() &&
+             slot.attempts < config_.max_attempts) {
+        // Report the failure we just observed; an unusable host (dead,
+        // or refusing on load) is excluded and the task re-placed, a
+        // live host gets an in-place retry (the error may have been
+        // transient).
+        RescheduleRequest report;
+        if (pending) {
+          report = *pending;
+          pending.reset();
+        } else {
+          report.app = app;
+          report.task = task;
+          report.host = slot.host;
+          const bool dead =
+              ft->host_alive != nullptr && !ft->host_alive(slot.host);
+          report.kind = dead ? RescheduleRequest::Kind::kHostFailure
+                             : RescheduleRequest::Kind::kTaskError;
+          report.reason = slot.error;
+        }
+        if (ft->on_failure) ft->on_failure(report);
+        if (report.kind != RescheduleRequest::Kind::kTaskError) {
+          slot.excluded.push_back(slot.host);
+          const auto replacement =
+              ft->reschedule(*slot.node, slot.excluded);
+          if (!replacement) break;  // nowhere left to go
+          slot.host = replacement->primary_host();
+          ++slot.moves;
+        }
+        ++slot.attempts;
+        slot.had_failure = true;
+        std::this_thread::sleep_for(seconds(backoff));
+        backoff *= config_.retry_backoff_multiplier;
+        common::log_info("engine", "app ", app.value(), " task ",
+                         slot.node->label, ": recovery attempt ",
+                         slot.attempts, " on host ", slot.host.value());
+
+        // Channel teardown/re-setup: drop every stale registration of
+        // this application, then re-open the task's inputs fresh.
+        broker.clear_app(app);
+        ApplicationController retry(broker, config_.library, app,
+                                    slot.host);
+        arm_guards(retry, slot.host);
+
+        dm::TaskWiring wiring;
+        wiring.app = app;
+        wiring.task = task;
+        wiring.parents = graph.ordered_parents(task);
+        // No children: consumers are replayed from this task's recorded
+        // output in their own recovery round, never live.
+
+        std::string attempt_error;
+        TaskOutcome outcome;
+        std::binary_semaphore attempt_done(0);
+        std::thread attempt([&] {
+          try {
+            retry.activate(wiring);
+            tasklib::TaskContext ctx;
+            ctx.input_size = slot.node->props.input_size;
+            common::Rng rng(task_seed(task));
+            ctx.rng = &rng;
+            outcome = retry.execute(*registry_, slot.node->library_task,
+                                    ctx, console);
+          } catch (const std::exception& e) {
+            attempt_error = e.what();
+          }
+          attempt_done.release();
+        });
+
+        // Replay the recorded parent outputs into the fresh channels.
+        {
+          std::vector<std::jthread> feeders;
+          feeders.reserve(wiring.parents.size());
+          for (const TaskId parent : wiring.parents) {
+            feeders.emplace_back([&, parent] {
+              try {
+                dm::MessageEndpoint out(
+                    config_.library,
+                    broker.open_send(dm::LinkKey{app, parent, task}));
+                const auto wire =
+                    slots[slot_of.at(parent)].outcome.payload.to_wire();
+                out.send(kPayloadTag, wire);
+                out.close();
+              } catch (const std::exception&) {
+                // The attempt's own receive error is authoritative.
+              }
+            });
+          }
+
+          bool finished = true;
+          if (config_.attempt_timeout_s > 0.0) {
+            finished = attempt_done.try_acquire_for(
+                seconds(config_.attempt_timeout_s));
+          } else {
+            attempt_done.acquire();
+          }
+          if (!finished) {
+            // Per-attempt timeout: close the channels so the attempt
+            // unblocks, then record the overrun as this round's error.
+            retry.shutdown();
+            attempt_done.acquire();
+            attempt_error =
+                "recovery attempt exceeded " +
+                std::to_string(config_.attempt_timeout_s) + "s";
+          }
+        }  // join feeders
+        attempt.join();
+        retry.shutdown();
+
+        if (!attempt_error.empty()) {
+          slot.error = attempt_error;
+          continue;
+        }
+        if (outcome.reschedule) {
+          // Refused again (load/fault guard on the replacement); the
+          // next round reports it as-is and re-places the task.
+          slot.error = outcome.reschedule->reason;
+          pending = *outcome.reschedule;
+          continue;
+        }
+        slot.outcome = std::move(outcome);
+        slot.error.clear();
+        slot.turnaround_s = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                gang_start)
+                                .count();
+        common::log_info("engine", "app ", app.value(), " task ",
+                         slot.node->label, " recovered on host ",
+                         slot.host.value(), " after ", slot.attempts,
+                         " attempts");
+      }
+    }
+  }
 
   for (const Slot& slot : slots) {
     if (!slot.error.empty()) {
@@ -135,7 +387,10 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
     rec.compute_s = slot.outcome.compute_elapsed_s;
     rec.bytes_sent = slot.outcome.io_stats.bytes_sent;
     rec.bytes_received = slot.outcome.io_stats.bytes_received;
+    rec.attempts = slot.attempts;
     result.makespan_s = std::max(result.makespan_s, slot.turnaround_s);
+    if (slot.had_failure) ++result.failures_recovered;
+    result.reschedules += slot.moves;
     result.records.push_back(rec);
     result.outputs.emplace(slot.node->id, std::move(slot.outcome.payload));
 
@@ -145,7 +400,9 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
     }
   }
   common::log_info("engine", "app ", app.value(), " finished; makespan ",
-                   result.makespan_s, "s");
+                   result.makespan_s, "s (", result.failures_recovered,
+                   " failures recovered, ", result.reschedules,
+                   " reschedules)");
   return result;
 }
 

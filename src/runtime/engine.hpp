@@ -14,8 +14,20 @@
 //      configured message-passing library facade;
 //   5. measured execution times flow back into the task-performance
 //      database via the Site Manager.
+//
+// Fault tolerance (Section 2.3's "monitors the resources for possible
+// failures"): when a FaultTolerance hook set is supplied, a failed or
+// guard-refused task is not fatal.  The engine plays the Control
+// Manager: it reports the failure, asks the Site Scheduler for a
+// replacement placement with the failed host excluded, and re-runs the
+// task — pre-compute refusals retry inside the gang (channels intact);
+// post-failure recovery re-opens the task's channels and replays its
+// recorded inputs.  Retries are bounded by max_attempts with
+// exponential backoff, and receive/attempt timeouts keep a dead peer
+// from hanging a machine thread forever.
 #pragma once
 
+#include <limits>
 #include <map>
 #include <optional>
 
@@ -33,14 +45,19 @@ struct TaskRunRecord {
   TaskId task;
   std::string label;
   std::string library_task;
+  /// The host that finally ran the task (the replacement after a
+  /// recovery, not the originally allocated machine).
   HostId host;
   /// Wall-clock seconds from the startup signal to task completion
-  /// (includes waiting for inputs).
+  /// (includes waiting for inputs, and for recovered tasks every failed
+  /// attempt plus backoff before the one that succeeded).
   Duration turnaround_s = 0.0;
   /// Compute-phase seconds only.
   Duration compute_s = 0.0;
   std::size_t bytes_sent = 0;
   std::size_t bytes_received = 0;
+  /// Execution attempts consumed (1 = succeeded first try).
+  int attempts = 1;
 };
 
 /// Result of one application run.
@@ -52,6 +69,10 @@ struct RunResult {
   std::vector<TaskRunRecord> records;
   /// Wall-clock seconds from the startup signal to the last completion.
   Duration makespan_s = 0.0;
+  /// Tasks that needed more than one attempt but still completed.
+  std::size_t failures_recovered = 0;
+  /// Successful re-placements (task moved to a different machine).
+  std::size_t reschedules = 0;
 };
 
 /// Engine configuration.
@@ -60,6 +81,46 @@ struct EngineConfig {
   dm::MpLibrary library = dm::MpLibrary::kP4;
   /// Seed for per-task deterministic RNGs.
   std::uint64_t seed = 1;
+  /// Fault-tolerance retry budget per task (total attempts, first run
+  /// included).  Only consulted when execute() is given hooks.
+  int max_attempts = 3;
+  /// Sleep before the first retry, seconds; doubles-ish per retry.
+  double retry_backoff_s = 0.01;
+  double retry_backoff_multiplier = 2.0;
+  /// Wall-clock cap on one recovery attempt; an attempt that neither
+  /// completes nor fails within this window is shut down and counted as
+  /// failed.  <= 0 disables the cap.
+  double attempt_timeout_s = 30.0;
+  /// Data Manager receive timeout armed when fault tolerance is on, so
+  /// a dead peer cannot hang a machine thread.  <= 0 blocks forever.
+  double recv_timeout_s = 60.0;
+  /// Load-guard threshold applied to every task when the hooks provide
+  /// a host_load probe (infinity = guard disabled).
+  double load_threshold = std::numeric_limits<double>::infinity();
+};
+
+/// The Control Manager's hooks into the live execution path.  All
+/// callables may be invoked concurrently from machine threads and must
+/// be thread-safe.  Any member may be empty; `reschedule` empty turns
+/// recovery off (failures become fatal as without hooks).
+struct FaultTolerance {
+  /// Asks the Site Scheduler for a replacement placement of one task
+  /// with the given hosts excluded (SiteScheduler::reschedule).
+  /// Returns std::nullopt when no feasible host remains.
+  using Rescheduler = std::function<std::optional<sched::AllocationEntry>(
+      const afg::TaskNode&, const std::vector<HostId>&)>;
+
+  Rescheduler reschedule;
+  /// Liveness probe (testbed fault windows or Group-Manager belief);
+  /// also installed as every controller's fault guard.
+  std::function<bool(HostId)> host_alive;
+  /// Load probe backing the pre-compute load guard.
+  std::function<double(HostId)> host_load;
+  /// Failure notification, fired once per failed attempt before the
+  /// re-placement is requested (wire to
+  /// ControlManager::report_task_failure so the repository learns the
+  /// host is down).
+  std::function<void(const RescheduleRequest&)> on_failure;
 };
 
 /// Executes scheduled applications with real threads and channels.
@@ -72,12 +133,15 @@ class ExecutionEngine {
   /// Runs `graph` per `allocation`.  When `feedback` is given, measured
   /// compute times are stored into its task-performance database.
   /// `console`, when given, is honoured by every task's compute phase.
-  /// Throws StateError (with the failing task named) if any task fails;
-  /// all other tasks are unblocked and joined first.
+  /// When `ft` is given, failed or refused tasks are re-placed and
+  /// retried per the config's retry budget before giving up.  Throws
+  /// StateError (with the failing task named) if any task ultimately
+  /// fails; all other tasks are unblocked and joined first.
   [[nodiscard]] RunResult execute(const afg::FlowGraph& graph,
                                   const sched::AllocationTable& allocation,
                                   SiteManager* feedback = nullptr,
-                                  dm::ConsoleService* console = nullptr);
+                                  dm::ConsoleService* console = nullptr,
+                                  const FaultTolerance* ft = nullptr);
 
  private:
   const tasklib::TaskRegistry* registry_;

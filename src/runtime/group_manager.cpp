@@ -75,6 +75,16 @@ GroupTickOutput GroupManager::tick(TimePoint now) {
   return out;
 }
 
+std::optional<LivenessChange> GroupManager::report_task_failure(
+    HostId host, TimePoint when) {
+  const auto it = tracking_.find(host);
+  if (it == tracking_.end()) return std::nullopt;
+  if (!it->second.believed_alive) return std::nullopt;  // already known down
+  it->second.believed_alive = false;
+  ++stats_.failures_detected;
+  return LivenessChange{host, when, false};
+}
+
 std::vector<HostId> GroupManager::hosts_believed_alive() const {
   std::vector<HostId> out;
   for (const auto& [host, tr] : tracking_) {

@@ -13,6 +13,7 @@
 //  latency and transfer rate within a group."  (Section 2.3.1)
 #pragma once
 
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +70,19 @@ class GroupManager {
 
   /// Hosts this group manager currently believes are alive.
   [[nodiscard]] std::vector<HostId> hosts_believed_alive() const;
+
+  /// Whether `host` belongs to this manager's group.
+  [[nodiscard]] bool manages(HostId host) const {
+    return tracking_.contains(host);
+  }
+
+  /// Out-of-band failure report from the Application Controller path
+  /// (an executing task found its host dead before the next echo round
+  /// would).  Flips the believed-alive state and returns the resulting
+  /// LivenessChange, or std::nullopt when the host is unknown or
+  /// already believed down.
+  [[nodiscard]] std::optional<LivenessChange> report_task_failure(
+      HostId host, TimePoint when);
 
  private:
   struct HostTracking {

@@ -2,6 +2,7 @@
 // components (Figure 6) and the Application Controller.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "common/clock.hpp"
@@ -50,14 +51,22 @@ struct NetworkMeasurement {
   double transfer_mb_per_s = 0.0;
 };
 
-/// Application Controller -> Group Manager: a running task's host
-/// crossed the load threshold; ask the scheduler for a new placement.
+/// Application Controller -> Group Manager: a running task must leave
+/// its machine; ask the scheduler for a new placement.
 struct RescheduleRequest {
+  /// Why the task is being handed back.
+  enum class Kind : std::uint8_t {
+    kLoadThreshold,  // host load crossed the configured threshold
+    kHostFailure,    // host stopped answering (fault guard / dead peer)
+    kTaskError,      // the task itself threw during execution
+  };
+
   common::AppId app;
   TaskId task;
   HostId host;
   TimePoint when = 0.0;
   double observed_load = 0.0;
+  Kind kind = Kind::kLoadThreshold;
   std::string reason;
 };
 

@@ -60,6 +60,12 @@ sched::HostSelectionMap SiteManager::host_selection_request(
   return sched::run_host_selection(graph, site_, predictor_, threads);
 }
 
+sched::HostSelection SiteManager::reschedule_request(
+    const afg::TaskNode& node, const std::vector<HostId>& excluded) {
+  stats_.reschedule_requests.fetch_add(1, std::memory_order_relaxed);
+  return sched::run_host_reselection(node, site_, predictor_, excluded);
+}
+
 std::map<HostId, std::vector<sched::AllocationEntry>>
 SiteManager::distribute_allocation(const sched::AllocationTable& table) {
   std::map<HostId, std::vector<sched::AllocationEntry>> portions;

@@ -40,6 +40,7 @@ struct SiteManagerStats {
   std::size_t network_measurements = 0;
   std::size_t task_times_recorded = 0;
   std::atomic<std::size_t> host_selection_requests{0};
+  std::atomic<std::size_t> reschedule_requests{0};
   std::size_t allocation_rows_distributed = 0;
   std::size_t logins = 0;
 };
@@ -85,6 +86,13 @@ class SiteManager {
   /// the epoch counters).
   [[nodiscard]] sched::HostSelectionMap host_selection_request(
       const afg::FlowGraph& graph, std::size_t threads = 1);
+
+  /// Answers a re-placement request for one task of a running
+  /// application (the Control Manager's fault-tolerance path): Host
+  /// Selection for `node` alone, skipping every host in `excluded`.
+  /// Thread-safe and cache-backed like host_selection_request.
+  [[nodiscard]] sched::HostSelection reschedule_request(
+      const afg::TaskNode& node, const std::vector<HostId>& excluded);
 
   /// The Predict() memo table behind host_selection_request (for the
   /// cache-hit experiments).

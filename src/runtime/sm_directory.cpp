@@ -57,6 +57,13 @@ sched::HostSelectionMap SiteManagerDirectory::host_selection(
   return manager(site).host_selection_request(graph, threads);
 }
 
+sched::HostSelection SiteManagerDirectory::host_reselection(
+    SiteId site, const afg::TaskNode& node,
+    const std::vector<HostId>& excluded) {
+  stats_->reschedule_queries.fetch_add(1, std::memory_order_relaxed);
+  return manager(site).reschedule_request(node, excluded);
+}
+
 Duration SiteManagerDirectory::host_transfer_time(HostId from, HostId to,
                                                   double mb) const {
   common::expects(!managers_.empty(), "directory has no sites");

@@ -23,6 +23,7 @@ namespace vdce::rt {
 /// the Site Scheduler multicasts to the consulted sites concurrently.
 struct DirectoryStats {
   std::atomic<std::size_t> afg_multicasts{0};
+  std::atomic<std::size_t> reschedule_queries{0};
   std::atomic<std::size_t> distance_queries{0};
   std::atomic<std::size_t> transfer_queries{0};
 };
@@ -42,6 +43,9 @@ class SiteManagerDirectory final : public sched::SiteDirectory {
   [[nodiscard]] sched::HostSelectionMap host_selection(
       SiteId site, const afg::FlowGraph& graph,
       std::size_t threads = 1) override;
+  [[nodiscard]] sched::HostSelection host_reselection(
+      SiteId site, const afg::TaskNode& node,
+      const std::vector<HostId>& excluded) override;
   [[nodiscard]] Duration base_time(
       const std::string& library_task) const override;
   [[nodiscard]] Duration host_transfer_time(HostId from, HostId to,

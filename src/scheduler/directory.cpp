@@ -63,6 +63,12 @@ HostSelectionMap RepositoryDirectory::host_selection(
   return run_host_selection(graph, site, entry(site).predictor, threads);
 }
 
+HostSelection RepositoryDirectory::host_reselection(
+    SiteId site, const afg::TaskNode& node,
+    const std::vector<HostId>& excluded) {
+  return run_host_reselection(node, site, entry(site).predictor, excluded);
+}
+
 Duration estimate_host_transfer(const repo::SiteRepository& repository,
                                 HostId from, HostId to, double mb) {
   if (from == to) return 0.0;

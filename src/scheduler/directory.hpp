@@ -50,6 +50,14 @@ class SiteDirectory {
   [[nodiscard]] virtual HostSelectionMap host_selection(
       SiteId site, const afg::FlowGraph& graph, std::size_t threads = 1) = 0;
 
+  /// Single-task re-placement request (the fault-tolerance path): runs
+  /// host selection for `node` alone at `site`, skipping every host in
+  /// `excluded`.  Must be safe to call concurrently with host_selection
+  /// (a reschedule can race an unrelated application's placement).
+  [[nodiscard]] virtual HostSelection host_reselection(
+      SiteId site, const afg::TaskNode& node,
+      const std::vector<HostId>& excluded) = 0;
+
   /// Base-processor execution time for unit input of a library task
   /// (the level computation's cost source).  Throws NotFoundError for
   /// an unknown task.
@@ -84,6 +92,9 @@ class RepositoryDirectory final : public SiteDirectory {
   [[nodiscard]] HostSelectionMap host_selection(
       SiteId site, const afg::FlowGraph& graph,
       std::size_t threads = 1) override;
+  [[nodiscard]] HostSelection host_reselection(
+      SiteId site, const afg::TaskNode& node,
+      const std::vector<HostId>& excluded) override;
   [[nodiscard]] Duration base_time(
       const std::string& library_task) const override;
   [[nodiscard]] Duration host_transfer_time(HostId from, HostId to,

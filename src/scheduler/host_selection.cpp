@@ -89,4 +89,47 @@ HostSelectionMap run_host_selection(
   return out;
 }
 
+HostSelection run_host_reselection(
+    const afg::TaskNode& node, common::SiteId site,
+    const predict::PerformancePredictor& predictor,
+    const std::vector<common::HostId>& excluded) {
+  const repo::SiteRepository& repository = predictor.repository();
+  const std::vector<repo::HostRecord> site_hosts =
+      site.valid() ? repository.resources().hosts_in_site(site)
+                   : repository.resources().all_hosts();
+
+  const auto is_excluded = [&](common::HostId host) {
+    return std::find(excluded.begin(), excluded.end(), host) !=
+           excluded.end();
+  };
+
+  HostSelection selection;
+  std::vector<std::pair<Duration, HostId>> scored;
+  scored.reserve(site_hosts.size());
+  std::optional<predict::PreparedTask> prepared;
+  for (const repo::HostRecord& host : site_hosts) {
+    if (is_excluded(host.host)) continue;
+    if (!host_matches(host, node, repository)) continue;
+    if (!prepared) prepared = predictor.prepare(node.library_task);
+    scored.emplace_back(
+        predictor.predict_detailed(*prepared, node.props.input_size, host)
+            .time_s,
+        host.host);
+  }
+  std::sort(scored.begin(), scored.end());
+
+  const unsigned want = node.props.mode == afg::ComputeMode::kParallel
+                            ? node.props.num_processors
+                            : 1u;
+  if (scored.size() >= want) {
+    selection.hosts.reserve(want);
+    for (unsigned i = 0; i < want; ++i) {
+      selection.hosts.push_back(scored[i].second);
+    }
+    selection.predicted_s = scored[want - 1].first / static_cast<double>(want);
+  }
+  selection.scored = std::move(scored);
+  return selection;
+}
+
 }  // namespace vdce::sched

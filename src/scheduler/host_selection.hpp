@@ -61,4 +61,16 @@ using HostSelectionMap = std::unordered_map<TaskId, HostSelection>;
     const afg::FlowGraph& graph, common::SiteId site,
     const predict::PerformancePredictor& predictor, std::size_t threads = 1);
 
+/// Re-placement for one task (the Control Manager's fault-tolerance
+/// path): runs the Figure-5 scoring for `node` alone, skipping every
+/// host in `excluded` (typically the machine that failed or crossed the
+/// load threshold).  Uses the same cache-backed predictor as
+/// run_host_selection, so repeated reschedules against an unchanged
+/// repository hit the memoised Predict() values.  Thread-safe for
+/// concurrent calls with a thread-safe predictor.
+[[nodiscard]] HostSelection run_host_reselection(
+    const afg::TaskNode& node, common::SiteId site,
+    const predict::PerformancePredictor& predictor,
+    const std::vector<common::HostId>& excluded);
+
 }  // namespace vdce::sched

@@ -240,4 +240,61 @@ AllocationTable SiteScheduler::schedule(const afg::FlowGraph& graph) {
   return table;
 }
 
+std::optional<AllocationEntry> SiteScheduler::reschedule(
+    const afg::FlowGraph& graph, const AllocationTable& allocation,
+    TaskId task, const std::vector<HostId>& excluded) const {
+  const afg::TaskNode& node = graph.task(task);
+
+  // Same consultation set as schedule(), rebuilt locally so concurrent
+  // reschedules (and a racing schedule() pass) never share state.
+  std::vector<SiteId> consulted;
+  consulted.push_back(local_site_);
+  for (const SiteId s : select_nearest_sites()) consulted.push_back(s);
+
+  const auto parents = graph.parents(task);
+
+  SiteId best_site = SiteId::invalid();
+  Duration best_cost = std::numeric_limits<double>::infinity();
+  std::vector<HostId> best_hosts;
+  Duration best_predicted = 0.0;
+
+  for (const SiteId s : consulted) {
+    const HostSelection offer =
+        directory_->host_reselection(s, node, excluded);
+    if (!offer.feasible()) continue;
+
+    Duration transfer_cost = 0.0;
+    if (config_.transfer_aware) {
+      // The parents already ran (or are placed): their outputs must
+      // reach the replacement site from wherever they were allocated.
+      for (const TaskId p : parents) {
+        const double mb = graph.link(p, task).transfer_mb;
+        if (mb > 0.0) {
+          transfer_cost +=
+              directory_->transfer_time(allocation.entry(p).site, s, mb);
+        }
+      }
+    }
+
+    const Duration cost = offer.predicted_s + transfer_cost;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_site = s;
+      best_hosts = offer.hosts;
+      best_predicted = offer.predicted_s;
+    }
+  }
+
+  if (!best_site.valid()) return std::nullopt;
+
+  AllocationEntry entry;
+  entry.task = task;
+  entry.task_label = node.label;
+  entry.library_task = node.library_task;
+  entry.hosts = std::move(best_hosts);
+  entry.site = best_site;
+  entry.predicted_s = best_predicted;
+  return entry;
+}
+
 }  // namespace vdce::sched

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 
 #include "afg/levels.hpp"
 #include "scheduler/directory.hpp"
@@ -73,6 +74,20 @@ class SiteScheduler final : public Scheduler {
   /// SchedulingError when some task has no feasible resource anywhere in
   /// the selected sites.
   [[nodiscard]] AllocationTable schedule(const afg::FlowGraph& graph) override;
+
+  /// Re-places one task of an already-scheduled application (the
+  /// Control Manager's fault-tolerance entry point): consults the same
+  /// site set as schedule() but runs Host Selection for `task` alone,
+  /// skipping every host in `excluded` (the failed or overloaded
+  /// machines).  Transfer costs are charged against the parents' sites
+  /// in `allocation`, which must hold a row for every parent of `task`.
+  /// Returns std::nullopt when no consulted site has a feasible host
+  /// left.  Const and thread-safe: unlike schedule(), this never
+  /// touches consulted_sites(), so a reschedule may race an unrelated
+  /// application's scheduling pass.
+  [[nodiscard]] std::optional<AllocationEntry> reschedule(
+      const afg::FlowGraph& graph, const AllocationTable& allocation,
+      TaskId task, const std::vector<HostId>& excluded) const;
 
   [[nodiscard]] const SiteSchedulerConfig& config() const { return config_; }
 

@@ -139,6 +139,83 @@ TEST(TcpChannel, ConnectToDeadPortThrows) {
   EXPECT_THROW((void)tcp_connect(port), TransportError);
 }
 
+TEST(TcpChannel, RejectsOversizedSend) {
+  // The 4-byte length header cannot carry messages above the frame
+  // limit; send must refuse instead of silently truncating the length.
+  TcpListener listener;
+  std::unique_ptr<TcpChannel> server_end;
+  std::jthread acceptor([&] { server_end = listener.accept(); });
+  auto client_end = tcp_connect(listener.port());
+  acceptor.join();
+
+  client_end->set_max_message_bytes(64);
+  EXPECT_THROW(client_end->send(std::vector<std::byte>(65)),
+               TransportError);
+  // At the limit is still fine.
+  client_end->send(std::vector<std::byte>(64));
+  EXPECT_EQ(server_end->receive()->size(), 64u);
+}
+
+TEST(TcpChannel, ReceiveBoundsChecksDecodedLength) {
+  // A peer announcing a frame larger than the receiver's limit must be
+  // rejected before the receiver allocates the announced size.
+  TcpListener listener;
+  std::unique_ptr<TcpChannel> server_end;
+  std::jthread acceptor([&] { server_end = listener.accept(); });
+  auto client_end = tcp_connect(listener.port());
+  acceptor.join();
+
+  server_end->set_max_message_bytes(16);
+  client_end->send(std::vector<std::byte>(1024));
+  EXPECT_THROW((void)server_end->receive(), TransportError);
+}
+
+TEST(TcpChannel, InvalidFrameLimitRejected) {
+  TcpListener listener;
+  std::unique_ptr<TcpChannel> server_end;
+  std::jthread acceptor([&] { server_end = listener.accept(); });
+  auto client_end = tcp_connect(listener.port());
+  acceptor.join();
+  EXPECT_THROW(client_end->set_max_message_bytes(0), StateError);
+  EXPECT_THROW(client_end->set_max_message_bytes(std::size_t{1} << 40),
+               StateError);
+}
+
+TEST(TcpChannel, ReceiveForTimesOutWithoutData) {
+  TcpListener listener;
+  std::unique_ptr<TcpChannel> server_end;
+  std::jthread acceptor([&] { server_end = listener.accept(); });
+  auto client_end = tcp_connect(listener.port());
+  acceptor.join();
+  EXPECT_THROW((void)server_end->receive_for(0.05), TransportError);
+  // The channel is still usable after a timeout.
+  client_end->send(bytes_of("late"));
+  EXPECT_EQ(string_of(*server_end->receive_for(5.0)), "late");
+}
+
+TEST(TcpChannel, ReceiveForSeesOrderlyClose) {
+  TcpListener listener;
+  std::unique_ptr<TcpChannel> server_end;
+  std::jthread acceptor([&] { server_end = listener.accept(); });
+  auto client_end = tcp_connect(listener.port());
+  acceptor.join();
+  client_end->close();
+  EXPECT_EQ(server_end->receive_for(5.0), std::nullopt);
+}
+
+TEST(InProcChannel, ReceiveForTimesOutWithoutData) {
+  auto pair = make_inproc_pair();
+  EXPECT_THROW((void)pair.receiver->receive_for(0.05), TransportError);
+  pair.sender->send(bytes_of("late"));
+  EXPECT_EQ(string_of(*pair.receiver->receive_for(5.0)), "late");
+}
+
+TEST(InProcChannel, ReceiveForSeesOrderlyClose) {
+  auto pair = make_inproc_pair();
+  pair.sender->close();
+  EXPECT_EQ(pair.receiver->receive_for(5.0), std::nullopt);
+}
+
 // -------------------------------------------------------------- broker
 
 class BrokerKinds : public ::testing::TestWithParam<TransportKind> {};
@@ -416,6 +493,20 @@ TEST_P(DataManagerKinds, TwoTaskPipeline) {
   ASSERT_TRUE(error.empty()) << error;
   // 1024 doubles + payload framing -> sink counted the bytes.
   EXPECT_GT(sink_out.as_scalar(), 8000.0);
+}
+
+TEST_P(DataManagerKinds, RecvTimeoutFailsInsteadOfHanging) {
+  // A dead peer (registered link, sender never connects) must fail the
+  // receive within the armed timeout, not hang the machine thread.
+  ChannelBroker broker(GetParam());
+  DataManager dm(broker);
+  dm.set_recv_timeout(0.1);
+  dm.setup(TaskWiring{AppId(1), TaskId(1), {TaskId(0)}, {}});
+  common::Rng rng(1);
+  tasklib::TaskContext ctx{1.0, &rng};
+  EXPECT_THROW((void)dm.run(tasklib::builtin_registry(), "synth_sink", ctx),
+               TransportError);
+  dm.teardown();
 }
 
 INSTANTIATE_TEST_SUITE_P(Transports, DataManagerKinds,
