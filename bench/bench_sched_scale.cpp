@@ -10,6 +10,7 @@
 #include <string>
 
 #include "bench/harness.hpp"
+#include "common/trace.hpp"
 #include "runtime/messages.hpp"
 #include "scheduler/site_scheduler.hpp"
 #include "sim/workloads.hpp"
@@ -189,4 +190,14 @@ BENCHMARK(BM_ScheduleCacheChurn)->Arg(0)->Arg(1)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): a TraceSession wrapping the
+// benchmark run records every schedule()/host_selection round as spans
+// when VDCE_TRACE names an output file (E16 measures its overhead).
+int main(int argc, char** argv) {
+  vdce::common::TraceSession trace_session;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

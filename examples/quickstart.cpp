@@ -11,6 +11,8 @@
 #include <iostream>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "editor/editor.hpp"
 #include "examples/example_common.hpp"
 #include "runtime/engine.hpp"
@@ -21,6 +23,11 @@
 int main() {
   using namespace vdce;
   common::set_log_level(common::LogLevel::kInfo);
+
+  // Tracing: VDCE_TRACE=<file.json> records every scheduling decision
+  // and task attempt as Chrome trace-event spans (chrome://tracing) and
+  // prints a per-category summary on exit.
+  common::TraceSession trace_session;
 
   // 1. Bring up the environment.
   auto vdce = examples::bring_up(netsim::make_campus_testbed(/*seed=*/42));
@@ -63,5 +70,7 @@ int main() {
   const auto residual_task = graph.find_by_label("residual");
   std::cout << "\nsolver residual ||Ax-b||_inf = "
             << result.outputs.at(*residual_task).as_scalar() << "\n";
+
+  std::cout << "\n" << common::MetricsRegistry::global().text_summary();
   return 0;
 }

@@ -1,0 +1,118 @@
+// Application-level metrics: counters, gauges, and histograms behind a
+// process-wide registry (design decision D10 in DESIGN.md).
+//
+// Where the trace recorder answers "what happened, when" the registry
+// answers "how much, how often": retry counts, cache hit provenance,
+// channel traffic, monitoring report volume.  Counters and gauges are
+// single relaxed atomics (always on -- an increment costs a few
+// nanoseconds, so no disable switch is needed); histograms take a small
+// lock and reuse the common::stats Welford accumulator plus a bounded
+// sample reservoir for percentiles.
+//
+// Hot paths resolve their instruments ONCE (registry lookup is a
+// mutex-guarded map walk) and keep the returned reference: instrument
+// references are stable for the registry's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace vdce::common {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Test/bench support (see MetricsRegistry::reset).
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written level (e.g. a queue depth or cache residency).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Test/bench support (see MetricsRegistry::reset).
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time histogram statistics.
+struct HistogramSnapshot {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Value distribution: Welford mean/variance over every observation,
+/// nearest-rank percentiles over a bounded reservoir of the most recent
+/// observations.
+class Histogram {
+ public:
+  /// At most this many samples back the percentile columns (a ring of
+  /// the most recent observations).
+  static constexpr std::size_t kReservoirCapacity = 4096;
+
+  void observe(double v);
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  /// Test/bench support (see MetricsRegistry::reset).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  RunningStats stats_;
+  std::vector<double> reservoir_;
+  std::size_t next_slot_ = 0;
+};
+
+/// Named instrument registry.  Thread-safe; returned references stay
+/// valid for the registry's lifetime.  Names are dotted paths
+/// ("engine.retries", "datamgr.bytes_sent").
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// CSV-style dump of every instrument, sorted by name.
+  [[nodiscard]] std::string text_summary() const;
+
+  /// Zeroes every counter/gauge and drops histogram state.  Instrument
+  /// references stay valid.  Test/bench support; not for hot paths.
+  void reset();
+
+  /// The process-wide registry.
+  [[nodiscard]] static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  // node_handle-stable containers: instruments never move once created.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace vdce::common

@@ -22,7 +22,9 @@ void RunningStats::add(double x) {
 
 double RunningStats::variance() const {
   if (n_ < 2) return 0.0;
-  return m2_ / static_cast<double>(n_ - 1);
+  // m2_ is non-negative in exact arithmetic; floating-point roundoff can
+  // push it fractionally below zero, which would turn stddev() into NaN.
+  return std::max(0.0, m2_ / static_cast<double>(n_ - 1));
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
@@ -45,11 +47,13 @@ double SlidingWindowStats::mean() const {
 }
 
 double SlidingWindowStats::variance() const {
+  // n < 2 has no sample variance (the n-1 denominator would be 0 or
+  // negative): define it as 0 rather than dividing.
   if (window_.size() < 2) return 0.0;
   const double m = mean();
   double acc = 0.0;
   for (double v : window_) acc += (v - m) * (v - m);
-  return acc / static_cast<double>(window_.size() - 1);
+  return std::max(0.0, acc / static_cast<double>(window_.size() - 1));
 }
 
 double SlidingWindowStats::stddev() const { return std::sqrt(variance()); }
@@ -86,6 +90,7 @@ double forecast(const SlidingWindowStats& window, ForecastMethod method,
 
 double percentile(std::vector<double> samples, double pct) {
   expects(!samples.empty(), "percentile of empty sample set");
+  // Note the range check also rejects NaN (it fails both comparisons).
   expects(pct >= 0.0 && pct <= 100.0, "percentile must be in [0,100]");
   std::sort(samples.begin(), samples.end());
   const auto rank = static_cast<std::size_t>(

@@ -1,0 +1,283 @@
+#include "common/trace.hpp"
+
+#ifndef VDCE_TRACE_DISABLED
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace vdce::common {
+
+namespace {
+
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+
+/// Small dense per-thread lane id (stable for the thread's lifetime);
+/// doubles as the shard selector.
+std::uint32_t thread_lane() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t lane =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// JSON string escaping (control characters, quotes, backslashes).
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+struct TraceRecorder::Shard {
+  mutable std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+TraceRecorder::TraceRecorder() : epoch_ns_(steady_ns()) {
+  shards_.reserve(kTraceShards);
+  for (std::size_t i = 0; i < kTraceShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+TraceRecorder::~TraceRecorder() {
+  // Guard against a recorder destroyed while still installed.
+  TraceRecorder* expected = this;
+  g_recorder.compare_exchange_strong(expected, nullptr,
+                                     std::memory_order_acq_rel);
+}
+
+std::uint64_t TraceRecorder::now_us() const {
+  return (steady_ns() - epoch_ns_) / 1000;
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  const std::uint32_t lane = thread_lane();
+  event.tid = lane;
+  Shard& shard = *shards_[lane % kTraceShards];
+  std::lock_guard lk(shard.mu);
+  shard.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lk(shard->mu);
+    out.insert(out.end(), shard->events.begin(), shard->events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lk(shard->mu);
+    n += shard->events.size();
+  }
+  return n;
+}
+
+void TraceRecorder::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lk(shard->mu);
+    shard->events.clear();
+  }
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& out) const {
+  const auto events = snapshot();
+  std::string buf;
+  buf.reserve(events.size() * 96 + 64);
+  buf += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) buf += ',';
+    first = false;
+    buf += "{\"name\":\"";
+    append_json_escaped(buf, ev.name);
+    buf += "\",\"cat\":\"";
+    append_json_escaped(buf, ev.category);
+    buf += "\",\"ph\":\"";
+    buf += ev.phase;
+    buf += "\",\"pid\":1,\"tid\":";
+    buf += std::to_string(ev.tid);
+    buf += ",\"ts\":";
+    buf += std::to_string(ev.ts_us);
+    if (ev.phase == 'X') {
+      buf += ",\"dur\":";
+      buf += std::to_string(ev.dur_us);
+    }
+    if (ev.phase == 'i') buf += ",\"s\":\"t\"";  // thread-scoped instant
+    if (!ev.args.empty()) {
+      buf += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : ev.args) {
+        if (!first_arg) buf += ',';
+        first_arg = false;
+        buf += '"';
+        append_json_escaped(buf, key);
+        buf += "\":\"";
+        append_json_escaped(buf, value);
+        buf += '"';
+      }
+      buf += '}';
+    }
+    buf += '}';
+  }
+  buf += "]}";
+  out << buf;
+}
+
+void TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw StateError("cannot open trace output file " + path);
+  }
+  write_chrome_json(out);
+}
+
+std::string TraceRecorder::text_summary() const {
+  const auto events = snapshot();
+  struct Row {
+    RunningStats durations;       // microseconds, spans only
+    std::vector<double> samples;  // for the percentile columns
+    std::size_t instants = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Row> rows;
+  for (const TraceEvent& ev : events) {
+    Row& row = rows[{ev.category, ev.name}];
+    if (ev.phase == 'X') {
+      row.durations.add(static_cast<double>(ev.dur_us));
+      row.samples.push_back(static_cast<double>(ev.dur_us));
+    } else {
+      ++row.instants;
+    }
+  }
+
+  std::ostringstream out;
+  out << "trace summary (" << events.size() << " events)\n";
+  out << "category,name,spans,instants,total_ms,mean_us,p50_us,p95_us,"
+         "max_us\n";
+  for (auto& [key, row] : rows) {
+    out << key.first << ',' << key.second << ',' << row.durations.count()
+        << ',' << row.instants << ',';
+    if (row.durations.count() > 0) {
+      out << row.durations.mean() *
+                 static_cast<double>(row.durations.count()) / 1000.0
+          << ',' << row.durations.mean() << ','
+          << percentile(row.samples, 50) << ','
+          << percentile(row.samples, 95) << ',' << row.durations.max();
+    } else {
+      out << "0,0,0,0,0";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void TraceRecorder::install(TraceRecorder* recorder) {
+  g_recorder.store(recorder, std::memory_order_release);
+}
+
+TraceRecorder* TraceRecorder::current() {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+bool trace_enabled() { return TraceRecorder::current() != nullptr; }
+
+void trace_instant(const char* name, const char* category,
+                   std::vector<std::pair<std::string, std::string>> args) {
+  TraceRecorder* recorder = TraceRecorder::current();
+  if (recorder == nullptr) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = 'i';
+  ev.ts_us = recorder->now_us();
+  ev.args = std::move(args);
+  recorder->record(std::move(ev));
+}
+
+}  // namespace vdce::common
+
+#endif  // !VDCE_TRACE_DISABLED
+
+// TraceSession is built in both modes (inert when disabled).
+#include <cstdio>
+#include <cstdlib>
+
+namespace vdce::common {
+
+TraceSession::TraceSession() {
+  const char* env = std::getenv("VDCE_TRACE");
+  if (env != nullptr && env[0] != '\0') path_ = env;
+#ifndef VDCE_TRACE_DISABLED
+  if (!path_.empty()) {
+    recorder_ = std::make_unique<TraceRecorder>();
+    TraceRecorder::install(recorder_.get());
+  }
+#endif
+}
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+#ifndef VDCE_TRACE_DISABLED
+  if (!path_.empty()) {
+    recorder_ = std::make_unique<TraceRecorder>();
+    TraceRecorder::install(recorder_.get());
+  }
+#endif
+}
+
+TraceSession::~TraceSession() {
+#ifndef VDCE_TRACE_DISABLED
+  if (recorder_ == nullptr) return;
+  TraceRecorder::install(nullptr);
+  try {
+    recorder_->write_chrome_json(path_);
+    std::fprintf(stderr, "trace: %zu events -> %s\n%s",
+                 recorder_->event_count(), path_.c_str(),
+                 recorder_->text_summary().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace: write failed: %s\n", e.what());
+  }
+#endif
+}
+
+}  // namespace vdce::common

@@ -1,0 +1,215 @@
+// Per-task execution tracing (design decision D10 in DESIGN.md).
+//
+// The paper's Monitor daemons give the *control plane* visibility; this
+// recorder gives the *application plane* the same: every task attempt,
+// scheduling decision, and retry/re-placement event becomes a span or
+// instant event on a shared timeline, exportable as Chrome trace-event
+// JSON (chrome://tracing, Perfetto) or a per-category text summary.
+//
+// Design:
+//   * One process-wide TraceRecorder is installed (or none).  Events are
+//     appended to one of kTraceShards lock-sharded buffers, picked by a
+//     cheap per-thread id, so the engine's machine threads and the
+//     scheduler's pool workers never contend on a single mutex.
+//   * When no recorder is installed, every call site reduces to one
+//     relaxed atomic load (ScopedSpan holds a null recorder and skips
+//     all argument formatting).
+//   * When VDCE_TRACE_DISABLED is defined the whole API compiles to
+//     empty inline functions; static_asserts below check the no-op
+//     sink really is stateless, so the disabled mode cannot regress
+//     into carrying hidden cost.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace vdce::common {
+
+/// One recorded event.  `phase` follows the Chrome trace-event format:
+/// 'X' = complete span (ts + dur), 'i' = instant event.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';
+  std::uint64_t ts_us = 0;   // microseconds since the recorder's epoch
+  std::uint64_t dur_us = 0;  // span duration ('X' only)
+  std::uint32_t tid = 0;     // recording thread's lane
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+#ifndef VDCE_TRACE_DISABLED
+
+/// Lock-sharded event recorder with Chrome trace-event JSON export.
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kTraceShards = 16;
+
+  TraceRecorder();
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Microseconds since this recorder's construction (steady clock).
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Appends one event (thread-safe; shards by recording thread).
+  void record(TraceEvent event);
+
+  /// All events so far, merged across shards and sorted by timestamp.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Drops every recorded event (the epoch is kept).
+  void clear();
+
+  /// Writes the Chrome trace-event JSON object ({"traceEvents": [...]}).
+  void write_chrome_json(std::ostream& out) const;
+  /// Same, to a file; throws StateError when the file cannot be opened.
+  void write_chrome_json(const std::string& path) const;
+
+  /// Per-(category, name) summary: count, total/mean/p50/p95/max span
+  /// durations (common::stats percentile + RunningStats underneath).
+  [[nodiscard]] std::string text_summary() const;
+
+  /// Installs `recorder` as the process-wide sink (nullptr uninstalls).
+  /// The caller keeps ownership and must uninstall before destruction.
+  static void install(TraceRecorder* recorder);
+  [[nodiscard]] static TraceRecorder* current();
+
+ private:
+  struct Shard;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t epoch_ns_;  // steady_clock epoch of this recorder
+};
+
+/// Whether a recorder is currently installed (one relaxed atomic load).
+[[nodiscard]] bool trace_enabled();
+
+/// RAII span: records one 'X' event from construction to destruction
+/// when a recorder is installed, and is inert (no clock reads, no
+/// allocation) otherwise.  `name` and `category` must outlive the span
+/// (string literals at every call site).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category)
+      : recorder_(TraceRecorder::current()), name_(name), category_(category) {
+    if (recorder_ != nullptr) start_us_ = recorder_->now_us();
+  }
+  ~ScopedSpan() {
+    if (recorder_ == nullptr) return;
+    TraceEvent ev;
+    ev.name = owned_name_.empty() ? std::string(name_)
+                                  : std::move(owned_name_);
+    ev.category = category_;
+    ev.phase = 'X';
+    ev.ts_us = start_us_;
+    const std::uint64_t end = recorder_->now_us();
+    ev.dur_us = end > start_us_ ? end - start_us_ : 0;
+    ev.args = std::move(args_);
+    recorder_->record(std::move(ev));
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a key/value annotation (no-op when tracing is off).
+  void arg(const char* key, std::string value) {
+    if (recorder_ != nullptr) args_.emplace_back(key, std::move(value));
+  }
+  void arg(const char* key, const char* value) {
+    if (recorder_ != nullptr) args_.emplace_back(key, value);
+  }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void arg(const char* key, T value) {
+    if (recorder_ != nullptr) {
+      args_.emplace_back(key, std::to_string(value));
+    }
+  }
+  /// Overrides the span name (e.g. with a task label).
+  void rename(std::string name) {
+    if (recorder_ != nullptr) owned_name_ = std::move(name);
+  }
+  [[nodiscard]] bool active() const { return recorder_ != nullptr; }
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* category_;
+  std::string owned_name_;  // set by rename(); wins over name_
+  std::uint64_t start_us_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+
+  friend class TraceRecorder;
+};
+
+/// Records one instant event (no-op when tracing is off).
+void trace_instant(
+    const char* name, const char* category,
+    std::vector<std::pair<std::string, std::string>> args = {});
+
+#else  // VDCE_TRACE_DISABLED: the compile-time no-op sink.
+
+class TraceRecorder {
+ public:
+  static void install(TraceRecorder*) {}
+  [[nodiscard]] static TraceRecorder* current() { return nullptr; }
+};
+
+[[nodiscard]] constexpr bool trace_enabled() { return false; }
+
+class ScopedSpan {
+ public:
+  constexpr ScopedSpan(const char*, const char*) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  template <typename T>
+  constexpr void arg(const char*, T&&) {}
+  constexpr void rename(const std::string&) {}
+  [[nodiscard]] constexpr bool active() const { return false; }
+};
+
+constexpr void trace_instant(
+    const char*, const char*,
+    std::vector<std::pair<std::string, std::string>> = {}) {}
+
+// The disabled-mode guarantee, checked at compile time: the sink
+// carries no state, so the optimizer erases every call site.
+static_assert(std::is_empty_v<ScopedSpan>,
+              "disabled-mode ScopedSpan must be stateless");
+static_assert(std::is_empty_v<TraceRecorder>,
+              "disabled-mode TraceRecorder must be stateless");
+
+#endif  // VDCE_TRACE_DISABLED
+
+/// RAII helper for mains (benches, examples): when `path` is non-empty
+/// -- or, with the default argument, when the VDCE_TRACE environment
+/// variable names a file -- installs a fresh recorder for the scope and
+/// writes the Chrome JSON (plus a text summary to stderr) on
+/// destruction.  Does nothing in the disabled build or when no path is
+/// configured.
+class TraceSession {
+ public:
+  TraceSession();  // path from the VDCE_TRACE environment variable
+  explicit TraceSession(std::string path);
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  [[nodiscard]] bool active() const { return recorder_ != nullptr; }
+
+ private:
+#ifndef VDCE_TRACE_DISABLED
+  std::unique_ptr<TraceRecorder> recorder_;
+#else
+  void* recorder_ = nullptr;
+#endif
+  std::string path_;
+};
+
+}  // namespace vdce::common

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/queue.hpp"
 
 namespace vdce::dm {
@@ -64,6 +65,9 @@ class InProcReceiver final : public Channel {
     // only the former is an error.
     if (auto late = core_->queue.try_pop()) return late;
     if (core_->queue.closed()) return std::nullopt;
+    common::MetricsRegistry::global()
+        .counter("datamgr.deadline_expiries")
+        .add(1);
     throw common::TransportError("in-process receive timed out after " +
                                  std::to_string(timeout_s) + "s");
   }

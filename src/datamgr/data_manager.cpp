@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace vdce::dm {
 
@@ -76,6 +77,13 @@ tasklib::Payload DataManager::run(const tasklib::TaskRegistry& registry,
   }
   stats_.messages_received += received.size();
   for (const auto& p : received) stats_.bytes_received += p.size_bytes();
+  {
+    auto& metrics = common::MetricsRegistry::global();
+    metrics.counter("datamgr.frames_received").add(received.size());
+    std::size_t bytes = 0;
+    for (const auto& p : received) bytes += p.size_bytes();
+    metrics.counter("datamgr.bytes_received").add(bytes);
+  }
 
   // Compute thread (honours the console service around the computation).
   if (console != nullptr) console->checkpoint();
@@ -118,6 +126,11 @@ tasklib::Payload DataManager::run(const tasklib::TaskRegistry& registry,
   }
   stats_.messages_sent += outputs_.size();
   stats_.bytes_sent += wire.size() * outputs_.size();
+  {
+    auto& metrics = common::MetricsRegistry::global();
+    metrics.counter("datamgr.frames_sent").add(outputs_.size());
+    metrics.counter("datamgr.bytes_sent").add(wire.size() * outputs_.size());
+  }
 
   return output;
 }

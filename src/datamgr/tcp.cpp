@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace vdce::dm {
 
@@ -50,6 +51,9 @@ bool recv_all(int fd, std::byte* data, std::size_t n,
     if (r < 0) {
       if (errno == EINTR) continue;
       if (timeout_s > 0.0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        vdce::common::MetricsRegistry::global()
+            .counter("datamgr.deadline_expiries")
+            .add(1);
         throw TransportError("tcp receive timed out after " +
                              std::to_string(timeout_s) + "s");
       }

@@ -39,8 +39,10 @@ std::optional<Prediction> PredictionCache::find(std::string_view task,
                                                 Epoch epoch) {
   Key key{std::string(task), host.value(), input_size};
   Shard& shard = shard_for(key);
-  lookups_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard lk(shard.mu);
+  // All counter updates of one lookup happen under the shard lock, so
+  // stats() (which holds every shard lock) sees lookups == hits + misses.
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   const auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -74,6 +76,13 @@ void PredictionCache::put(std::string_view task, common::HostId host,
 }
 
 PredictionCacheStats PredictionCache::stats() const {
+  // Consistent snapshot: every find()/put() holds its shard lock across
+  // all of its counter increments, so holding every shard lock at once
+  // means no lookup is mid-update and the documented invariants hold on
+  // every snapshot, even under concurrent traffic.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
   PredictionCacheStats s;
   s.lookups = lookups_.load(std::memory_order_relaxed);
   s.hits = hits_.load(std::memory_order_relaxed);

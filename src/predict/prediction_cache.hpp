@@ -37,7 +37,9 @@
 
 namespace vdce::predict {
 
-/// Monotonic snapshot of the cache counters.  Every lookup is exactly
+/// Consistent snapshot of the cache counters: stats() quiesces every
+/// shard, so the invariants hold on EVERY snapshot, including ones
+/// taken while other threads are mid-lookup.  Every lookup is exactly
 /// one hit or one miss; a miss caused by an entry written under an
 /// older epoch additionally counts as an invalidation, so
 ///   lookups == hits + misses   and   invalidations <= misses.
@@ -72,6 +74,8 @@ class PredictionCache {
   void put(std::string_view task, common::HostId host, double input_size,
            Epoch epoch, const Prediction& prediction);
 
+  /// Consistent counter snapshot (takes every shard lock briefly, so
+  /// concurrent lookups can never tear the documented invariants).
   [[nodiscard]] PredictionCacheStats stats() const;
 
   /// Drops every entry (counters are kept).

@@ -1,6 +1,7 @@
 #include "runtime/control_manager.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace vdce::rt {
 
@@ -42,6 +43,9 @@ void ControlManager::run_until(TimePoint from, TimePoint to,
 void ControlManager::report_task_failure(const RescheduleRequest& request) {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++reschedule_requests_;
+  common::MetricsRegistry::global()
+      .counter("control.reschedule_requests")
+      .add(1);
   if (request.kind != RescheduleRequest::Kind::kHostFailure) return;
   for (GroupManager& gm : group_managers_) {
     if (!gm.manages(request.host)) continue;

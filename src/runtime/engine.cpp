@@ -9,6 +9,8 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "datamgr/mplib.hpp"
 
 namespace vdce::rt {
@@ -22,6 +24,15 @@ constexpr int kPayloadTag = 7;
 
 std::chrono::duration<double> seconds(double s) {
   return std::chrono::duration<double>(s);
+}
+
+std::string hosts_csv(const std::vector<common::HostId>& hosts) {
+  std::string out;
+  for (const common::HostId h : hosts) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(h.value());
+  }
+  return out;
 }
 
 }  // namespace
@@ -45,6 +56,22 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
   const common::AppId app{next_app_++};
   dm::ChannelBroker broker(config_.transport);
 
+  common::ScopedSpan app_span("execute", "engine");
+  if (app_span.active()) {
+    app_span.rename("app:" + graph.name());
+    app_span.arg("app", app.value());
+    app_span.arg("tasks", graph.task_count());
+  }
+  auto& metrics = common::MetricsRegistry::global();
+  common::Counter& m_tasks = metrics.counter("engine.tasks_completed");
+  common::Counter& m_attempts = metrics.counter("engine.attempts");
+  common::Counter& m_retries = metrics.counter("engine.retries");
+  common::Counter& m_reschedules = metrics.counter("engine.reschedules");
+  common::Counter& m_recovered =
+      metrics.counter("engine.failures_recovered");
+  common::Histogram& m_turnaround =
+      metrics.histogram("engine.turnaround_s");
+
   const bool recovery_on = ft != nullptr && ft->reschedule != nullptr;
   const bool load_guarded =
       ft != nullptr && ft->host_load != nullptr &&
@@ -64,6 +91,7 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
     bool had_failure = false;   // at least one attempt did not complete
     std::size_t moves = 0;      // successful re-placements
     std::vector<HostId> excluded;  // hosts this task must avoid
+    double backoff_spent_s = 0.0;  // cumulative backoff slept so far
   };
   std::vector<Slot> slots(graph.task_count());
   {
@@ -85,6 +113,34 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
   const auto task_seed = [&](TaskId task) {
     return config_.seed ^
            (static_cast<std::uint64_t>(app.value()) << 32) ^ task.value();
+  };
+
+  // One retry-backoff nap: clamped so the task's CUMULATIVE backoff
+  // never exceeds max_total_backoff_s (an in-gang sleep stalls every
+  // peer blocked on this task's channels), routed through the
+  // FaultTolerance sleep hook when one is installed (tests sleep
+  // virtually), and advanced for the next round.  `backoff` is the
+  // caller's current-round duration.
+  const auto backoff_sleep = [&](Slot& slot, double& backoff) {
+    double nap = 0.0;
+    if (config_.max_total_backoff_s > 0.0) {
+      nap = std::min(backoff,
+                     config_.max_total_backoff_s - slot.backoff_spent_s);
+    }
+    if (nap > 0.0) {
+      if (common::trace_enabled()) {
+        common::trace_instant(
+            "retry_backoff", "engine",
+            {{"task", slot.node->label}, {"sleep_s", std::to_string(nap)}});
+      }
+      if (ft != nullptr && ft->sleep) {
+        ft->sleep(nap);
+      } else {
+        std::this_thread::sleep_for(seconds(nap));
+      }
+      slot.backoff_spent_s += nap;
+    }
+    backoff *= config_.retry_backoff_multiplier;
   };
 
   // Controllers must outlive the worker threads.
@@ -132,7 +188,14 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
           wiring.task = slot.node->id;
           wiring.parents = graph.ordered_parents(slot.node->id);
           wiring.children = graph.children(slot.node->id);
-          controller.activate(wiring);  // channel setup + ack
+          {
+            common::ScopedSpan setup_span("channel_setup", "engine");
+            if (setup_span.active()) {
+              setup_span.arg("task", slot.node->label);
+              setup_span.arg("host", slot.host.value());
+            }
+            controller.activate(wiring);  // channel setup + ack
+          }
           setup_acks.count_down();
           acked = true;
 
@@ -150,8 +213,25 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
           // re-place with the refusing host excluded, rebind, re-run.
           double backoff = config_.retry_backoff_s;
           for (;;) {
-            slot.outcome = controller.execute(
-                *registry_, slot.node->library_task, ctx, console);
+            {
+              common::ScopedSpan attempt_span("attempt", "engine.task");
+              if (attempt_span.active()) {
+                attempt_span.rename("task:" + slot.node->label);
+                attempt_span.arg("app", app.value());
+                attempt_span.arg("host", controller.host().value());
+                attempt_span.arg("attempt", slot.attempts);
+                if (!slot.excluded.empty()) {
+                  attempt_span.arg("excluded", hosts_csv(slot.excluded));
+                }
+              }
+              slot.outcome = controller.execute(
+                  *registry_, slot.node->library_task, ctx, console);
+              if (attempt_span.active()) {
+                attempt_span.arg("outcome", slot.outcome.reschedule
+                                                ? "refused"
+                                                : "completed");
+              }
+            }
             if (!slot.outcome.reschedule) break;
             if (!recovery_on || slot.attempts >= config_.max_attempts) {
               break;  // refusal stands; reported after the join
@@ -177,8 +257,14 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
                              slot.node->label, " re-placed on host ",
                              slot.host.value(), " (attempt ",
                              slot.attempts, ")");
-            std::this_thread::sleep_for(seconds(backoff));
-            backoff *= config_.retry_backoff_multiplier;
+            if (common::trace_enabled()) {
+              common::trace_instant(
+                  "re_placed", "engine",
+                  {{"task", slot.node->label},
+                   {"host", std::to_string(slot.host.value())},
+                   {"excluded", hosts_csv(slot.excluded)}});
+            }
+            backoff_sleep(slot, backoff);
           }
           slot.turnaround_s = std::chrono::duration<double>(
                                   std::chrono::steady_clock::now() - t0)
@@ -259,8 +345,7 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
         }
         ++slot.attempts;
         slot.had_failure = true;
-        std::this_thread::sleep_for(seconds(backoff));
-        backoff *= config_.retry_backoff_multiplier;
+        backoff_sleep(slot, backoff);
         common::log_info("engine", "app ", app.value(), " task ",
                          slot.node->label, ": recovery attempt ",
                          slot.attempts, " on host ", slot.host.value());
@@ -283,6 +368,17 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
         TaskOutcome outcome;
         std::binary_semaphore attempt_done(0);
         std::thread attempt([&] {
+          common::ScopedSpan attempt_span("recovery_attempt",
+                                          "engine.task");
+          if (attempt_span.active()) {
+            attempt_span.rename("task:" + slot.node->label);
+            attempt_span.arg("app", app.value());
+            attempt_span.arg("host", slot.host.value());
+            attempt_span.arg("attempt", slot.attempts);
+            if (!slot.excluded.empty()) {
+              attempt_span.arg("excluded", hosts_csv(slot.excluded));
+            }
+          }
           try {
             retry.activate(wiring);
             tasklib::TaskContext ctx;
@@ -293,6 +389,12 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
                                     ctx, console);
           } catch (const std::exception& e) {
             attempt_error = e.what();
+          }
+          if (attempt_span.active()) {
+            attempt_span.arg("outcome",
+                             !attempt_error.empty()  ? "error"
+                             : outcome.reschedule    ? "refused"
+                                                     : "completed");
           }
           attempt_done.release();
         });
@@ -358,6 +460,13 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
                          slot.node->label, " recovered on host ",
                          slot.host.value(), " after ", slot.attempts,
                          " attempts");
+        if (common::trace_enabled()) {
+          common::trace_instant(
+              "recovered", "engine",
+              {{"task", slot.node->label},
+               {"host", std::to_string(slot.host.value())},
+               {"attempts", std::to_string(slot.attempts)}});
+        }
       }
     }
   }
@@ -391,6 +500,10 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
     result.makespan_s = std::max(result.makespan_s, slot.turnaround_s);
     if (slot.had_failure) ++result.failures_recovered;
     result.reschedules += slot.moves;
+    m_tasks.add(1);
+    m_attempts.add(static_cast<std::uint64_t>(slot.attempts));
+    m_retries.add(static_cast<std::uint64_t>(slot.attempts - 1));
+    m_turnaround.observe(slot.turnaround_s);
     result.records.push_back(rec);
     result.outputs.emplace(slot.node->id, std::move(slot.outcome.payload));
 
@@ -398,6 +511,13 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
       feedback->record_task_time(slot.node->library_task,
                                  slot.outcome.compute_elapsed_s);
     }
+  }
+  m_reschedules.add(result.reschedules);
+  m_recovered.add(result.failures_recovered);
+  if (app_span.active()) {
+    app_span.arg("makespan_s", result.makespan_s);
+    app_span.arg("failures_recovered", result.failures_recovered);
+    app_span.arg("reschedules", result.reschedules);
   }
   common::log_info("engine", "app ", app.value(), " finished; makespan ",
                    result.makespan_s, "s (", result.failures_recovered,

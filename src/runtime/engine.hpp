@@ -87,6 +87,12 @@ struct EngineConfig {
   /// Sleep before the first retry, seconds; doubles-ish per retry.
   double retry_backoff_s = 0.01;
   double retry_backoff_multiplier = 2.0;
+  /// Cap on the CUMULATIVE backoff slept for one task across all of its
+  /// retries (gang and recovery rounds combined).  In-gang retries
+  /// sleep on the task's machine thread, which stalls gang peers
+  /// blocked on its channels -- the cap bounds that stall however the
+  /// backoff schedule is configured.  <= 0 disables backoff entirely.
+  double max_total_backoff_s = 2.0;
   /// Wall-clock cap on one recovery attempt; an attempt that neither
   /// completes nor fails within this window is shut down and counted as
   /// failed.  <= 0 disables the cap.
@@ -121,6 +127,13 @@ struct FaultTolerance {
   /// ControlManager::report_task_failure so the repository learns the
   /// host is down).
   std::function<void(const RescheduleRequest&)> on_failure;
+  /// Retry-backoff sleep hook.  Empty = real wall-clock sleep
+  /// (std::this_thread::sleep_for).  Tests and simulations install a
+  /// virtual sleep so retries cost no wall-clock: an in-gang retry
+  /// sleeping for real stalls every gang peer blocked on the task's
+  /// channels.  Called with the (cap-clamped) seconds to sleep; may be
+  /// invoked concurrently from machine threads.
+  std::function<void(double)> sleep;
 };
 
 /// Executes scheduled applications with real threads and channels.

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace vdce::rt {
 
@@ -22,12 +24,14 @@ GroupManager::GroupManager(netsim::VirtualTestbed& testbed, GroupId group,
 
 GroupTickOutput GroupManager::tick(TimePoint now) {
   GroupTickOutput out;
+  std::uint64_t received_this_tick = 0;
 
   // 1. Collect due monitor reports and run the forwarding filter.
   for (Monitor& monitor : monitors_) {
     const auto report = monitor.tick(now);
     if (!report) continue;
     ++stats_.reports_received;
+    ++received_this_tick;
 
     HostTracking& tr = tracking_.at(report->host);
     // CI width from the *previous* window, before this measurement.
@@ -47,6 +51,14 @@ GroupTickOutput GroupManager::tick(TimePoint now) {
       ++stats_.updates_forwarded;
     }
   }
+  if (received_this_tick > 0) {
+    auto& metrics = common::MetricsRegistry::global();
+    metrics.counter("monitor.reports_received").add(received_this_tick);
+    metrics.counter("monitor.updates_forwarded")
+        .add(out.workload_updates.size());
+    metrics.counter("monitor.updates_suppressed")
+        .add(received_this_tick - out.workload_updates.size());
+  }
 
   // 2. Echo (keep-alive) round.
   if (now >= next_echo_) {
@@ -63,6 +75,16 @@ GroupTickOutput GroupManager::tick(TimePoint now) {
         } else {
           ++stats_.failures_detected;
         }
+        if (common::trace_enabled()) {
+          common::trace_instant(
+              "liveness_change", "monitor",
+              {{"host", std::to_string(host.value())},
+               {"alive", alive ? "true" : "false"}});
+        }
+        common::MetricsRegistry::global()
+            .counter(alive ? "monitor.recoveries_detected"
+                           : "monitor.failures_detected")
+            .add(1);
       }
     }
 
@@ -82,6 +104,13 @@ std::optional<LivenessChange> GroupManager::report_task_failure(
   if (!it->second.believed_alive) return std::nullopt;  // already known down
   it->second.believed_alive = false;
   ++stats_.failures_detected;
+  if (common::trace_enabled()) {
+    common::trace_instant("task_failure_report", "monitor",
+                          {{"host", std::to_string(host.value())}});
+  }
+  common::MetricsRegistry::global()
+      .counter("monitor.failures_detected")
+      .add(1);
   return LivenessChange{host, when, false};
 }
 

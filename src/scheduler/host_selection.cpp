@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
+#include "predict/prediction_cache.hpp"
 #include "scheduler/eligibility.hpp"
 
 namespace vdce::sched {
@@ -22,6 +25,20 @@ HostSelectionMap run_host_selection(
   const repo::SiteRepository& repository = predictor.repository();
   HostSelectionMap out;
   out.reserve(graph.task_count());
+
+  // Prediction-cache provenance: the counter delta across this Host
+  // Selection round says how many of its Predict() evaluations were
+  // served from the memo table versus computed fresh.
+  common::ScopedSpan hs_span("host_selection", "scheduler");
+  predict::PredictionCacheStats cache_before;
+  if (hs_span.active()) {
+    hs_span.rename("host_selection:site" + std::to_string(site.value()));
+    hs_span.arg("site", site.value());
+    hs_span.arg("tasks", graph.task_count());
+    if (predictor.cache() != nullptr) {
+      cache_before = predictor.cache()->stats();
+    }
+  }
 
   // One resource-database snapshot for the whole graph (already sorted
   // by host id) instead of a locked full-table walk per task.
@@ -85,6 +102,24 @@ HostSelectionMap run_host_selection(
       selection.scored = std::move(scored);
     }
     out.emplace(node.id, std::move(selection));
+  }
+  static common::Counter& m_rounds =
+      common::MetricsRegistry::global().counter(
+          "scheduler.host_selection_rounds");
+  m_rounds.add(1);
+  // Cache provenance is a tracing feature: stats() quiesces every
+  // shard, which would serialise the concurrent multicast rounds, so
+  // the snapshot (and the hit-rate gauge it feeds) is only taken when a
+  // recorder is installed.
+  if (hs_span.active() && predictor.cache() != nullptr) {
+    const predict::PredictionCacheStats after = predictor.cache()->stats();
+    hs_span.arg("cache_hits", after.hits - cache_before.hits);
+    hs_span.arg("cache_misses", after.misses - cache_before.misses);
+    common::MetricsRegistry::global()
+        .gauge("scheduler.cache_hit_rate")
+        .set(after.lookups > 0 ? static_cast<double>(after.hits) /
+                                     static_cast<double>(after.lookups)
+                               : 0.0);
   }
   return out;
 }

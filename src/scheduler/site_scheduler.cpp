@@ -4,7 +4,9 @@
 #include <limits>
 #include <queue>
 
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 namespace vdce::sched {
 
@@ -40,10 +42,26 @@ std::vector<SiteId> SiteScheduler::select_nearest_sites() const {
 AllocationTable SiteScheduler::schedule(const afg::FlowGraph& graph) {
   graph.validate();
 
+  common::ScopedSpan sched_span("schedule", "scheduler");
+  if (sched_span.active()) {
+    sched_span.rename("schedule:" + graph.name());
+    sched_span.arg("tasks", graph.task_count());
+  }
+  // Instruments resolved once per process (registry references are
+  // stable): the registry's mutex+map walk stays off the hot path.
+  static common::Counter& m_schedules =
+      common::MetricsRegistry::global().counter("scheduler.schedules");
+  static common::Counter& m_placed =
+      common::MetricsRegistry::global().counter("scheduler.tasks_placed");
+  m_schedules.add(1);
+
   // Steps 2-5: consult the local site plus the k nearest remotes.
   consulted_.clear();
   consulted_.push_back(local_site_);
   for (const SiteId s : select_nearest_sites()) consulted_.push_back(s);
+  if (sched_span.active()) {
+    sched_span.arg("sites_consulted", consulted_.size());
+  }
 
   // Steps 3-5: the AFG multicast.  Each consulted site's Host Selection
   // round is independent, so the rounds fan out across the shared pool
@@ -54,6 +72,12 @@ AllocationTable SiteScheduler::schedule(const afg::FlowGraph& graph) {
   common::ThreadPool::shared().parallel_for(
       0, consulted_.size(), 1,
       [&](std::size_t i) {
+        common::ScopedSpan consult_span("site_consult", "scheduler");
+        if (consult_span.active()) {
+          consult_span.rename("site:" + std::to_string(consulted_[i].value()));
+          consult_span.arg("site", consulted_[i].value());
+          consult_span.arg("local", consulted_[i] == local_site_ ? 1 : 0);
+        }
         offers[i] =
             directory_->host_selection(consulted_[i], graph, config_.threads);
       },
@@ -222,6 +246,17 @@ AllocationTable SiteScheduler::schedule(const afg::FlowGraph& graph) {
       for (const HostId h : best_hosts) host_free[h] = finish;
     }
 
+    if (common::trace_enabled()) {
+      common::trace_instant(
+          "placed", "scheduler",
+          {{"task", node.label},
+           {"site", std::to_string(best_site.value())},
+           {"host", std::to_string(best_hosts.front().value())},
+           {"predicted_s", std::to_string(best_predicted)},
+           {"cost_s", std::to_string(best_cost)}});
+    }
+    m_placed.add(1);
+
     AllocationEntry entry;
     entry.task = task;
     entry.task_label = node.label;
@@ -244,6 +279,16 @@ std::optional<AllocationEntry> SiteScheduler::reschedule(
     const afg::FlowGraph& graph, const AllocationTable& allocation,
     TaskId task, const std::vector<HostId>& excluded) const {
   const afg::TaskNode& node = graph.task(task);
+
+  common::ScopedSpan resched_span("reschedule", "scheduler");
+  if (resched_span.active()) {
+    resched_span.rename("reschedule:" + node.label);
+    resched_span.arg("excluded_hosts", excluded.size());
+  }
+  static common::Counter& m_reschedules =
+      common::MetricsRegistry::global().counter(
+          "scheduler.reschedule_requests");
+  m_reschedules.add(1);
 
   // Same consultation set as schedule(), rebuilt locally so concurrent
   // reschedules (and a racing schedule() pass) never share state.
@@ -285,7 +330,15 @@ std::optional<AllocationEntry> SiteScheduler::reschedule(
     }
   }
 
-  if (!best_site.valid()) return std::nullopt;
+  if (!best_site.valid()) {
+    if (resched_span.active()) resched_span.arg("outcome", "infeasible");
+    return std::nullopt;
+  }
+  if (resched_span.active()) {
+    resched_span.arg("outcome", "re_placed");
+    resched_span.arg("site", best_site.value());
+    resched_span.arg("host", best_hosts.front().value());
+  }
 
   AllocationEntry entry;
   entry.task = task;

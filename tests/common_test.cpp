@@ -336,6 +336,60 @@ TEST(PercentileTest, RejectsEmpty) {
   EXPECT_THROW((void)percentile({}, 50), StateError);
 }
 
+TEST(PercentileTest, RejectsOutOfRangeAndNanPct) {
+  const std::vector<double> v{1, 2, 3};
+  EXPECT_THROW((void)percentile(v, -1.0), StateError);
+  EXPECT_THROW((void)percentile(v, 100.5), StateError);
+  EXPECT_THROW((void)percentile(v, std::nan("")), StateError);
+}
+
+TEST(PercentileTest, SingleSampleIsEveryPercentile) {
+  const std::vector<double> v{7.5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 7.5);
+}
+
+TEST(RunningStatsTest, VarianceGuardsSmallN) {
+  // n < 2 has no sample variance (the n-1 denominator): both must be
+  // exactly 0, never NaN or a division artefact.
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, VarianceNeverNegativeUnderRoundoff) {
+  // Regression: Welford's m2 can drift fractionally below zero for
+  // near-identical large-magnitude samples; an unguarded variance would
+  // then make stddev() NaN.
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    s.add(1e15 + static_cast<double>(i % 2));
+  }
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(s.stddev()));
+
+  RunningStats identical;
+  for (int i = 0; i < 100; ++i) identical.add(0.1 + 0.2);
+  EXPECT_GE(identical.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(identical.stddev()));
+}
+
+TEST(SlidingWindowTest, VarianceGuardsSmallNAndRoundoff) {
+  SlidingWindowStats w(8);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+  w.add(5.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);  // single sample: no n-1 division
+  EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+  for (int i = 0; i < 8; ++i) w.add(1e15 + 0.5);
+  EXPECT_GE(w.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(w.stddev()));
+}
+
 // ---------------------------------------------------------------- queue
 
 TEST(QueueTest, FifoOrder) {

@@ -72,8 +72,16 @@ class FaultEnv : public ::testing::Test {
     ft.on_failure = [this](const RescheduleRequest& request) {
       for (auto& c : controls_) c->report_task_failure(request);
     };
+    // Virtual sleep: retry backoff costs the tests no wall-clock (an
+    // in-gang nap would stall every peer blocked on the task).  May be
+    // called concurrently from machine threads.
+    ft.sleep = [this](double s) {
+      virtual_slept_.fetch_add(s, std::memory_order_relaxed);
+    };
     return ft;
   }
+
+  std::atomic<double> virtual_slept_{0.0};
 
   std::unique_ptr<netsim::VirtualTestbed> testbed_;
   std::vector<std::unique_ptr<repo::SiteRepository>> repositories_;
@@ -315,6 +323,7 @@ TEST(FaultRecoveryTest, TransientTaskErrorIsRetriedAndInputsReplayed) {
       ++task_error_reports;
     }
   };
+  ft.sleep = [](double) {};  // virtual sleep: no wall-clock backoff
 
   EngineConfig config;
   config.retry_backoff_s = 0.001;

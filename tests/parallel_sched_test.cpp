@@ -174,6 +174,51 @@ TEST(PredictionCacheTest, ConcurrentHammerCountersReconcile) {
   EXPECT_GT(s.hits, 0u);
 }
 
+TEST(PredictionCacheTest, MidTrafficSnapshotsHoldInvariants) {
+  // Regression: stats() used to read the counters without quiescing the
+  // shards, so a snapshot taken between a lookup's `lookups` increment
+  // and its `hits`/`misses` increment violated lookups == hits + misses.
+  // Every snapshot -- including ones taken mid-hammer -- must now
+  // satisfy the contract.
+  predict::PredictionCache cache(4, 256);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> snapshots{0};
+
+  std::jthread observer([&] {
+    std::uint64_t last_lookups = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto s = cache.stats();
+      ++snapshots;
+      if (s.hits + s.misses != s.lookups) ++violations;
+      if (s.invalidations > s.misses) ++violations;
+      if (s.lookups < last_lookups) ++violations;  // counters monotone
+      last_lookups = s.lookups;
+    }
+  });
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < 6; ++t) {
+      workers.emplace_back([&cache, t] {
+        common::Rng rng(static_cast<std::uint64_t>(t) + 99);
+        for (int i = 0; i < 20'000; ++i) {
+          const HostId host(static_cast<std::uint32_t>(rng.uniform_int(4)));
+          const std::uint64_t epoch = static_cast<std::uint64_t>(i) / 4096;
+          if (!cache.find("task", host, 1.0, epoch)) {
+            cache.put("task", host, 1.0, epoch, predict::Prediction{});
+          }
+        }
+      });
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  observer.join();
+
+  EXPECT_GT(snapshots.load(), 0u);
+  EXPECT_EQ(violations.load(), 0u)
+      << "a mid-traffic stats() snapshot tore the counter invariants";
+}
+
 // ----------------------------------------- parallel/serial determinism
 
 /// A populated multi-site environment, parameterised by testbed seed.

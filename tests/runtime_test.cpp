@@ -93,6 +93,39 @@ TEST(MonitorTest, RejectsBadPeriod) {
                common::StateError);
 }
 
+TEST(MonitorTest, ExactDueBoundaryFires) {
+  // Boundary semantics: the very first tick (next_due_ == 0.0) fires
+  // immediately, and a tick landing *exactly* on the due time fires --
+  // the due check is inclusive, not strict.
+  netsim::VirtualTestbed testbed(netsim::make_campus_testbed(1));
+  Monitor monitor(testbed, testbed.all_hosts().front(), 1.5);
+  EXPECT_TRUE(monitor.tick(0.0).has_value());   // t == next_due_ == 0.0
+  EXPECT_FALSE(monitor.tick(1.4).has_value());
+  EXPECT_TRUE(monitor.tick(1.5).has_value());   // exactly due
+  EXPECT_FALSE(monitor.tick(2.9).has_value());
+  EXPECT_TRUE(monitor.tick(3.0).has_value());
+  EXPECT_EQ(monitor.measurements_taken(), 3u);
+}
+
+TEST(MonitorTest, DieAndReviveInsideFaultWindowResumesCleanly) {
+  // A host that dies and revives between reports: every tick inside the
+  // fault window yields nothing (but still advances the schedule), and
+  // the first tick after revival yields exactly one report -- no burst
+  // of catch-up reports for the missed periods.
+  netsim::VirtualTestbed testbed(netsim::make_campus_testbed(1));
+  const auto host = testbed.all_hosts().front();
+  testbed.fail_host(host, /*start=*/2.5, /*length=*/3.0);  // dead [2.5, 5.5)
+  Monitor monitor(testbed, host, 1.0);
+  EXPECT_TRUE(monitor.tick(1.0).has_value());
+  EXPECT_TRUE(monitor.tick(2.0).has_value());
+  EXPECT_FALSE(monitor.tick(3.0).has_value());  // dead
+  EXPECT_FALSE(monitor.tick(4.0).has_value());  // dead
+  EXPECT_FALSE(monitor.tick(5.0).has_value());  // dead
+  EXPECT_TRUE(monitor.tick(6.0).has_value());   // revived: one report
+  EXPECT_FALSE(monitor.tick(6.5).has_value());  // not a catch-up burst
+  EXPECT_EQ(monitor.measurements_taken(), 3u);
+}
+
 // -------------------------------------------------------- group manager
 
 TEST(GroupManagerTest, CiFilterReducesForwarding) {
