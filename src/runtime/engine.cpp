@@ -45,7 +45,8 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
                                    const sched::AllocationTable& allocation,
                                    SiteManager* feedback,
                                    dm::ConsoleService* console,
-                                   const FaultTolerance* ft) {
+                                   const FaultTolerance* ft,
+                                   common::AppId app) {
   graph.validate();
   for (const afg::TaskNode& node : graph.tasks()) {
     if (!allocation.contains(node.id)) {
@@ -53,7 +54,10 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
     }
   }
 
-  const common::AppId app{next_app_++};
+  if (!app.valid()) {
+    app = common::AppId{
+        next_app_.fetch_add(1, std::memory_order_relaxed)};
+  }
   dm::ChannelBroker broker(config_.transport);
 
   common::ScopedSpan app_span("execute", "engine");

@@ -27,6 +27,7 @@
 // from hanging a machine thread forever.
 #pragma once
 
+#include <atomic>
 #include <limits>
 #include <map>
 #include <optional>
@@ -150,16 +151,26 @@ class ExecutionEngine {
   /// retried per the config's retry budget before giving up.  Throws
   /// StateError (with the failing task named) if any task ultimately
   /// fails; all other tasks are unblocked and joined first.
+  ///
+  /// Re-entrant: concurrent execute() calls on one engine are safe --
+  /// every run owns its broker, controllers and machine threads, and
+  /// app-id assignment is atomic.  `app`, when valid, names the run
+  /// explicitly (the submission service keys runs by its own tickets,
+  /// and a replay with the same app id reproduces the same per-task
+  /// RNG seeds); when invalid an id is drawn from the engine's counter.
   [[nodiscard]] RunResult execute(const afg::FlowGraph& graph,
                                   const sched::AllocationTable& allocation,
                                   SiteManager* feedback = nullptr,
                                   dm::ConsoleService* console = nullptr,
-                                  const FaultTolerance* ft = nullptr);
+                                  const FaultTolerance* ft = nullptr,
+                                  common::AppId app = {});
 
  private:
   const tasklib::TaskRegistry* registry_;
   EngineConfig config_;
-  std::uint32_t next_app_ = 1;
+  /// Atomic: concurrent execute() calls must never share an app id
+  /// (broker link keys and per-task seeds are derived from it).
+  std::atomic<std::uint32_t> next_app_{1};
 };
 
 }  // namespace vdce::rt

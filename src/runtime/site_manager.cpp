@@ -44,7 +44,7 @@ void SiteManager::handle_network(const NetworkMeasurement& measurement) {
 
 void SiteManager::record_task_time(const std::string& library_task,
                                    Duration elapsed_s) {
-  ++stats_.task_times_recorded;
+  stats_.task_times_recorded.fetch_add(1, std::memory_order_relaxed);
   repository_->tasks().record_measurement(library_task, elapsed_s);
 }
 

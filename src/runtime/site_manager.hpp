@@ -34,11 +34,14 @@ namespace vdce::rt {
 /// `host_selection_requests` is atomic: the Site Scheduler's parallel
 /// AFG multicast reaches several managers (and, with k_nearest = 0
 /// plus retries, the same manager) from pool threads.
+/// `task_times_recorded` is atomic too: with concurrent applications,
+/// several engine runs feed their measurements back through one
+/// manager at once.
 struct SiteManagerStats {
   std::size_t workload_updates = 0;
   std::size_t liveness_changes = 0;
   std::size_t network_measurements = 0;
-  std::size_t task_times_recorded = 0;
+  std::atomic<std::size_t> task_times_recorded{0};
   std::atomic<std::size_t> host_selection_requests{0};
   std::atomic<std::size_t> reschedule_requests{0};
   std::size_t allocation_rows_distributed = 0;
@@ -67,7 +70,8 @@ class SiteManager {
   // -- post-execution feedback -----------------------------------------
   /// "After an application execution is completed, the newly measured
   /// execution time of each application task is stored in the
-  /// task-performance database."
+  /// task-performance database."  Thread-safe: with concurrent
+  /// applications several engine runs feed back through one manager.
   void record_task_time(const std::string& library_task, Duration elapsed_s);
 
   // -- web front-end ---------------------------------------------------

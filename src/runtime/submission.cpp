@@ -1,0 +1,404 @@
+#include "runtime/submission.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace vdce::rt {
+
+namespace {
+
+[[nodiscard]] bool is_terminal(SubmissionState state) {
+  return state == SubmissionState::kCompleted ||
+         state == SubmissionState::kRejected ||
+         state == SubmissionState::kFailed;
+}
+
+void bump(const char* name) {
+  common::MetricsRegistry::global().counter(name).add(1);
+}
+
+}  // namespace
+
+const char* to_string(SubmissionState state) {
+  switch (state) {
+    case SubmissionState::kQueued:
+      return "queued";
+    case SubmissionState::kRunning:
+      return "running";
+    case SubmissionState::kCompleted:
+      return "completed";
+    case SubmissionState::kRejected:
+      return "rejected";
+    case SubmissionState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+/// Everything the service tracks about one submission.  Owned by a
+/// shared_ptr so waiters and workers may hold it across unlocks; the
+/// graph/allocation members keep stable addresses for the run's
+/// FaultTolerance closures.
+struct AppSubmissionService::AppRecord {
+  SubmissionRequest request;
+  common::AppId app;
+  SubmissionState state = SubmissionState::kQueued;
+  sched::QosAdmission admission;
+  sched::AllocationTable allocation;
+  double queue_eta_s = 0.0;
+  std::size_t grant_index = 0;
+  std::uint64_t seq = 0;      // global submission order (FIFO tie-break)
+  bool counted_queued = false;
+  bool charged = false;
+  sched::HostOccupancy charge;  // exactly what charge_locked added
+  RunResult result;
+  std::string error;
+};
+
+AppSubmissionService::AppSubmissionService(
+    SiteId local_site, sched::SiteDirectory& directory,
+    const tasklib::TaskRegistry& registry, AppSubmissionConfig config)
+    : local_site_(local_site),
+      directory_(&directory),
+      registry_(&registry),
+      config_(config),
+      paused_(config.start_paused) {
+  config_.slots = std::max<std::size_t>(config_.slots, 1);
+  workers_.reserve(config_.slots);
+  for (std::size_t i = 0; i < config_.slots; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AppSubmissionService::~AppSubmissionService() {
+  {
+    std::lock_guard lk(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  workers_.clear();  // joins; workers drain the ready queue first
+}
+
+void AppSubmissionService::add_forecaster(
+    predict::LoadForecaster* forecaster) {
+  std::lock_guard lk(mu_);
+  forecasters_.push_back(forecaster);
+}
+
+common::AppId AppSubmissionService::submit(SubmissionRequest request) {
+  request.graph.validate();
+  auto rec = std::make_shared<AppRecord>();
+  rec->request = std::move(request);
+
+  std::lock_guard lk(mu_);
+  if (shutdown_) {
+    throw common::StateError("submission service is shut down");
+  }
+  rec->app = common::AppId{next_ticket_++};
+  rec->seq = next_seq_++;
+  ++stats_.submitted;
+  bump("submission.submitted");
+  records_.emplace(rec->app, rec);
+
+  common::ScopedSpan span("submit", "submission");
+  if (span.active()) {
+    span.rename("submit:" + rec->request.graph.name());
+    span.arg("app", rec->app.value());
+    span.arg("user", rec->request.user);
+  }
+
+  // Figure 4: a per-submission Site Scheduler places the AFG against
+  // the directory's current view (serialised under mu_, so admission
+  // bookkeeping is deterministic in submission order).
+  try {
+    sched::SiteScheduler scheduler(local_site_, *directory_,
+                                   config_.scheduler);
+    rec->allocation = scheduler.schedule(rec->request.graph);
+  } catch (const std::exception& e) {
+    rec->state = SubmissionState::kRejected;
+    rec->error = std::string("scheduling failed: ") + e.what();
+    ++stats_.rejected;
+    bump("submission.rejected");
+    if (span.active()) span.arg("outcome", "rejected");
+    cv_.notify_all();
+    return rec->app;
+  }
+
+  // Residual-capacity QoS admission: charge every already-admitted,
+  // not-yet-finished application's predicted host occupancy.
+  rec->admission = sched::check_qos(rec->request.graph, rec->allocation,
+                                    *directory_, rec->request.qos,
+                                    occupancy_);
+  if (!rec->admission.admitted) {
+    rec->state = SubmissionState::kRejected;
+    rec->error = "QoS deadline unmet: slack " +
+                 std::to_string(rec->admission.slack_s) + "s";
+    ++stats_.rejected;
+    bump("submission.rejected");
+    if (span.active()) span.arg("outcome", "rejected");
+    cv_.notify_all();
+    return rec->app;
+  }
+  if (ready_.size() >= config_.max_queue) {
+    rec->state = SubmissionState::kRejected;
+    rec->error = "ready queue full (backpressure)";
+    ++stats_.rejected;
+    bump("submission.rejected");
+    bump("submission.backpressure");
+    if (span.active()) span.arg("outcome", "backpressure");
+    cv_.notify_all();
+    return rec->app;
+  }
+
+  charge_locked(*rec);
+  // New fair-share users join at the current grant virtual time, not
+  // at zero, so a latecomer cannot claim a historical backlog.
+  if (!shares_.contains(rec->request.user)) {
+    shares_[rec->request.user].pass = grant_pass_;
+  }
+
+  const bool immediate =
+      !paused_ && ready_.empty() && running_ < config_.slots;
+  if (immediate) {
+    ++stats_.admitted;
+    bump("submission.admitted");
+    if (span.active()) span.arg("outcome", "admitted");
+  } else {
+    // Queue-with-ETA: predicted drain time of everything ahead, spread
+    // over the slots.
+    double pending_pred = 0.0;
+    for (const common::AppId id : ready_) {
+      pending_pred += records_.at(id)->admission.predicted_makespan_s;
+    }
+    for (const auto& [_, other] : records_) {
+      if (other->state == SubmissionState::kRunning) {
+        pending_pred += other->admission.predicted_makespan_s;
+      }
+    }
+    rec->queue_eta_s = pending_pred / static_cast<double>(config_.slots);
+    rec->counted_queued = true;
+    ++stats_.queued;
+    bump("submission.queued");
+    if (span.active()) {
+      span.arg("outcome", "queued");
+      span.arg("eta_s", rec->queue_eta_s);
+    }
+  }
+  ready_.push_back(rec->app);
+  common::log_info("submission", "app ", rec->app.value(), " '",
+                   rec->request.graph.name(), "' user ",
+                   rec->request.user, ": ",
+                   immediate ? "admitted" : "queued", ", slack ",
+                   rec->admission.slack_s, "s");
+  cv_.notify_all();
+  return rec->app;
+}
+
+std::shared_ptr<AppSubmissionService::AppRecord>
+AppSubmissionService::pick_next_locked() {
+  // Stride scheduling: grant the queued submission whose user has the
+  // lowest pass value; ties break on global submission order.  Each
+  // grant advances the user's pass by 1/weight, so users receive
+  // grants proportionally to their weights under contention.
+  std::size_t best = 0;
+  double best_pass = std::numeric_limits<double>::infinity();
+  std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < ready_.size(); ++i) {
+    const AppRecord& rec = *records_.at(ready_[i]);
+    const double pass = shares_.at(rec.request.user).pass;
+    if (pass < best_pass ||
+        (pass == best_pass && rec.seq < best_seq)) {
+      best = i;
+      best_pass = pass;
+      best_seq = rec.seq;
+    }
+  }
+  auto rec = records_.at(ready_[best]);
+  ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(best));
+
+  UserShare& share = shares_.at(rec->request.user);
+  grant_pass_ = share.pass;
+  share.pass += 1.0 / std::max(rec->request.weight, 1e-9);
+
+  rec->state = SubmissionState::kRunning;
+  rec->grant_index = next_grant_++;
+  ++running_;
+  if (rec->counted_queued) {
+    ++stats_.queued_then_admitted;
+    bump("submission.queued_then_admitted");
+  }
+  common::MetricsRegistry::global()
+      .gauge("submission.running")
+      .set(static_cast<double>(running_));
+  return rec;
+}
+
+void AppSubmissionService::charge_locked(AppRecord& record) {
+  record.charge = record.allocation.host_occupancy();
+  for (const auto& [host, busy] : record.charge) {
+    occupancy_[host] += busy;
+  }
+  if (config_.admitted_load_bias > 0.0) {
+    for (const auto& row : record.allocation.rows()) {
+      for (predict::LoadForecaster* f : forecasters_) {
+        f->add_load_bias(row.primary_host(), config_.admitted_load_bias);
+      }
+    }
+  }
+  record.charged = true;
+}
+
+void AppSubmissionService::release_locked(AppRecord& record) {
+  if (!record.charged) return;
+  for (const auto& [host, busy] : record.charge) {
+    auto it = occupancy_.find(host);
+    if (it == occupancy_.end()) continue;
+    it->second -= busy;
+    if (it->second <= 1e-9) occupancy_.erase(it);
+  }
+  if (config_.admitted_load_bias > 0.0) {
+    for (const auto& row : record.allocation.rows()) {
+      for (predict::LoadForecaster* f : forecasters_) {
+        f->add_load_bias(row.primary_host(),
+                         -config_.admitted_load_bias);
+      }
+    }
+  }
+  record.charged = false;
+}
+
+void AppSubmissionService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<AppRecord> rec;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [&] {
+        return shutdown_ || (!paused_ && !ready_.empty());
+      });
+      if (ready_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      rec = pick_next_locked();
+    }
+
+    EngineConfig engine_config = config_.engine;
+    engine_config.seed = rec->request.seed;
+    ExecutionEngine engine(*registry_, engine_config);
+
+    FaultTolerance hooks;
+    const FaultTolerance* hooks_ptr = nullptr;
+    if (fault_hooks_) {
+      hooks = fault_hooks_(rec->request.graph, rec->allocation);
+      hooks_ptr = &hooks;
+    }
+
+    RunResult result;
+    std::string error;
+    {
+      common::ScopedSpan run_span("app_run", "submission");
+      if (run_span.active()) {
+        run_span.rename("run:" + rec->request.graph.name());
+        run_span.arg("app", rec->app.value());
+        run_span.arg("user", rec->request.user);
+        run_span.arg("grant", rec->grant_index);
+      }
+      try {
+        result = engine.execute(rec->request.graph, rec->allocation,
+                                feedback_, nullptr, hooks_ptr, rec->app);
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
+      if (run_span.active()) {
+        run_span.arg("outcome", error.empty() ? "completed" : "failed");
+      }
+    }
+
+    {
+      std::lock_guard lk(mu_);
+      release_locked(*rec);
+      --running_;
+      if (error.empty()) {
+        rec->result = std::move(result);
+        rec->state = SubmissionState::kCompleted;
+        ++stats_.completed;
+        bump("submission.completed");
+      } else {
+        rec->error = std::move(error);
+        rec->state = SubmissionState::kFailed;
+        ++stats_.failed;
+        bump("submission.failed");
+        common::log_info("submission", "app ", rec->app.value(),
+                         " failed: ", rec->error);
+      }
+      common::MetricsRegistry::global()
+          .gauge("submission.running")
+          .set(static_cast<double>(running_));
+    }
+    cv_.notify_all();
+  }
+}
+
+SubmissionStatus AppSubmissionService::snapshot_locked(
+    const AppRecord& rec) const {
+  SubmissionStatus status;
+  status.app = rec.app;
+  status.state = rec.state;
+  status.user = rec.request.user;
+  status.admission = rec.admission;
+  status.queue_eta_s = rec.queue_eta_s;
+  status.allocation = rec.allocation;
+  status.grant_index = rec.grant_index;
+  status.result = rec.result;
+  status.error = rec.error;
+  return status;
+}
+
+SubmissionStatus AppSubmissionService::wait(common::AppId app) const {
+  std::unique_lock lk(mu_);
+  const auto it = records_.find(app);
+  if (it == records_.end()) {
+    throw common::NotFoundError("unknown submission ticket");
+  }
+  const auto rec = it->second;
+  cv_.wait(lk, [&] { return is_terminal(rec->state); });
+  return snapshot_locked(*rec);
+}
+
+SubmissionStatus AppSubmissionService::status(common::AppId app) const {
+  std::lock_guard lk(mu_);
+  const auto it = records_.find(app);
+  if (it == records_.end()) {
+    throw common::NotFoundError("unknown submission ticket");
+  }
+  return snapshot_locked(*it->second);
+}
+
+void AppSubmissionService::resume() {
+  {
+    std::lock_guard lk(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void AppSubmissionService::drain() const {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return ready_.empty() && running_ == 0; });
+}
+
+SubmissionStats AppSubmissionService::stats() const {
+  std::lock_guard lk(mu_);
+  SubmissionStats out = stats_;
+  out.running = running_;
+  out.queue_depth = ready_.size();
+  return out;
+}
+
+}  // namespace vdce::rt

@@ -1,0 +1,240 @@
+// The Application Submission Service: VDCE as a *shared* environment.
+//
+// "At each site, the VDCE Server runs the server software, called site
+//  manager, which manages the VDCE resources" (Section 2) -- for all
+//  users at once.  The QoS framework of Section 2.2 admits
+//  applications, plural; up to this point the runtime executed exactly
+//  one AFG at a time.  This service is the multi-application front
+//  door:
+//
+//    submit(AFG, deadline, user, weight)
+//      -> schedule (Figure 4, per-submission Site Scheduler)
+//      -> residual-capacity QoS admission: the makespan estimate
+//         charges the predicted host occupancy of every application
+//         already admitted and not yet finished, so the same
+//         host-seconds are never promised twice
+//      -> reject-with-slack (QoS miss, or bounded-queue backpressure)
+//         | run immediately | queue-with-ETA
+//      -> bounded fair-share ready queue: stride scheduling over
+//         per-user weights decides grant order when execution slots
+//         free up
+//      -> execution on a pool of engine slots; each running app gets
+//         its own ExecutionEngine keyed by its AppId ticket (per-app
+//         broker, per-app seeds, per-app FaultTolerance hooks)
+//      -> prediction feedback + submission.* metrics, spans carrying
+//         app= arguments.
+//
+// Determinism contract (the concurrency tests lean on it): admission
+// decisions and grant order are serialised under one lock, per-app
+// outputs depend only on (graph, seed, app id) -- never on what else
+// is running -- and a paused service queues every admitted submission
+// so tests fix the queue contents before releasing the workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "predict/forecaster.hpp"
+#include "runtime/engine.hpp"
+#include "scheduler/qos.hpp"
+#include "scheduler/site_scheduler.hpp"
+
+namespace vdce::rt {
+
+/// One application submission: the AFG plus the user's QoS contract.
+struct SubmissionRequest {
+  afg::FlowGraph graph;
+  sched::QosRequirement qos;
+  /// Submitting user (fair-share accounting key).
+  std::string user = "anonymous";
+  /// Fair-share weight (> 0): a user with weight 2 receives execution
+  /// grants twice as often as a user with weight 1 under contention.
+  double weight = 1.0;
+  /// Engine seed for this application; together with the assigned app
+  /// id it fixes every task's RNG stream, so a completed app's outputs
+  /// can be reproduced by replaying (graph, seed, app id) alone.
+  std::uint64_t seed = 1;
+};
+
+/// Lifecycle of one submission.
+enum class SubmissionState : std::uint8_t {
+  kQueued,     // admitted, waiting for an execution slot
+  kRunning,    // granted a slot, executing
+  kCompleted,  // finished successfully
+  kRejected,   // refused at admission (QoS slack < 0, or backpressure)
+  kFailed,     // admitted but execution ultimately failed
+};
+
+[[nodiscard]] const char* to_string(SubmissionState state);
+
+/// Point-in-time view of one submission (wait() returns the terminal
+/// snapshot).
+struct SubmissionStatus {
+  common::AppId app;
+  SubmissionState state = SubmissionState::kQueued;
+  std::string user;
+  /// The admission decision (residual-capacity estimate and slack).
+  /// For backpressure rejections admitted is true but the queue was
+  /// full -- `error` distinguishes the two.
+  sched::QosAdmission admission;
+  /// Queue-with-ETA backpressure signal: estimated seconds until this
+  /// submission is granted a slot (0 when it ran immediately).
+  double queue_eta_s = 0.0;
+  /// The allocation the admission was based on.
+  sched::AllocationTable allocation;
+  /// Execution grant order (1 = first grant; 0 = never granted).  The
+  /// fair-share tests assert on this.
+  std::size_t grant_index = 0;
+  /// kCompleted only.
+  RunResult result;
+  /// kRejected / kFailed reason.
+  std::string error;
+};
+
+/// Service-local counters (mirrored into the global MetricsRegistry as
+/// submission.*).  Reconciliation invariants after drain():
+///   submitted == admitted + rejected + queued
+///   queued    == queued_then_admitted
+///   admitted + queued_then_admitted == completed + failed
+struct SubmissionStats {
+  std::uint64_t submitted = 0;
+  /// Admitted with a free slot: ran without queueing.
+  std::uint64_t admitted = 0;
+  /// Refused: QoS slack < 0, backpressure, or scheduling failure.
+  std::uint64_t rejected = 0;
+  /// Admitted but queued behind busy slots.
+  std::uint64_t queued = 0;
+  /// Queued submissions later granted a slot.
+  std::uint64_t queued_then_admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::size_t running = 0;
+  std::size_t queue_depth = 0;
+};
+
+/// Tunables of the submission service.
+struct AppSubmissionConfig {
+  /// Concurrent execution slots (worker threads running engines).
+  std::size_t slots = 4;
+  /// Bounded ready queue: an admitted submission arriving when this
+  /// many are already waiting is rejected (backpressure).
+  std::size_t max_queue = 16;
+  /// Start with grants paused: admitted submissions queue until
+  /// resume() -- the deterministic-test hook.
+  bool start_paused = false;
+  /// Predicted load each allocated task adds to its primary host's
+  /// forecaster while its application is admitted-but-unfinished
+  /// (registered on every forecaster added with add_forecaster); 0
+  /// disables the contribution.
+  double admitted_load_bias = 0.0;
+  /// Per-submission Site Scheduler configuration.
+  sched::SiteSchedulerConfig scheduler;
+  /// Engine configuration template; `engine.seed` is overridden by
+  /// each submission's own seed.
+  EngineConfig engine;
+};
+
+/// Builds the per-application FaultTolerance hook set for one admitted
+/// run; both references stay valid for the run's duration.  Empty
+/// factory = no fault tolerance (failures are fatal for that app only).
+using FaultHookFactory = std::function<FaultTolerance(
+    const afg::FlowGraph& graph, const sched::AllocationTable& allocation)>;
+
+/// Concurrent multi-application admission and execution front door.
+class AppSubmissionService {
+ public:
+  /// `directory` and `registry` must outlive the service.
+  AppSubmissionService(SiteId local_site, sched::SiteDirectory& directory,
+                       const tasklib::TaskRegistry& registry,
+                       AppSubmissionConfig config = {});
+
+  /// Drains the ready queue (shutdown still executes admitted work),
+  /// then joins the slot workers.
+  ~AppSubmissionService();
+
+  AppSubmissionService(const AppSubmissionService&) = delete;
+  AppSubmissionService& operator=(const AppSubmissionService&) = delete;
+
+  /// Optional wiring, set before the first submit():
+  /// post-run measurements flow into `manager`'s task-performance DB.
+  void set_feedback(SiteManager* manager) { feedback_ = manager; }
+  /// Admitted-app load commitments are registered on every added
+  /// forecaster (see AppSubmissionConfig::admitted_load_bias).
+  void add_forecaster(predict::LoadForecaster* forecaster);
+  /// Per-app fault-tolerance hook factory.
+  void set_fault_hooks(FaultHookFactory factory) {
+    fault_hooks_ = std::move(factory);
+  }
+
+  /// Schedules + admits one application; thread-safe, non-blocking
+  /// (never waits for execution).  Returns the submission's AppId
+  /// ticket; poll status() or block in wait() for the outcome.
+  common::AppId submit(SubmissionRequest request);
+
+  /// Blocks until the submission reaches a terminal state and returns
+  /// that snapshot.  Throws NotFoundError for an unknown ticket.
+  [[nodiscard]] SubmissionStatus wait(common::AppId app) const;
+
+  /// Non-blocking snapshot.  Throws NotFoundError for an unknown
+  /// ticket.
+  [[nodiscard]] SubmissionStatus status(common::AppId app) const;
+
+  /// Releases grants on a paused service.
+  void resume();
+
+  /// Blocks until no submission is queued or running.
+  void drain() const;
+
+  [[nodiscard]] SubmissionStats stats() const;
+  [[nodiscard]] const AppSubmissionConfig& config() const { return config_; }
+
+ private:
+  struct AppRecord;
+  struct UserShare {
+    double pass = 0.0;  // stride-scheduling virtual time
+  };
+
+  void worker_loop();
+  /// Picks the next grant by stride fair-share; mu_ must be held.
+  [[nodiscard]] std::shared_ptr<AppRecord> pick_next_locked();
+  /// Registers/releases an app's occupancy + forecaster commitments;
+  /// mu_ must be held.
+  void charge_locked(AppRecord& record);
+  void release_locked(AppRecord& record);
+  [[nodiscard]] SubmissionStatus snapshot_locked(const AppRecord& rec) const;
+
+  SiteId local_site_;
+  sched::SiteDirectory* directory_;
+  const tasklib::TaskRegistry* registry_;
+  AppSubmissionConfig config_;
+  SiteManager* feedback_ = nullptr;
+  std::vector<predict::LoadForecaster*> forecasters_;
+  FaultHookFactory fault_hooks_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool paused_ = false;
+  bool shutdown_ = false;
+  std::uint32_t next_ticket_ = 1;
+  std::uint64_t next_seq_ = 1;
+  std::size_t next_grant_ = 1;
+  std::size_t running_ = 0;
+  /// Virtual time of the latest grant: new users join the fair-share
+  /// race here, not at zero.
+  double grant_pass_ = 0.0;
+  std::map<common::AppId, std::shared_ptr<AppRecord>> records_;
+  std::vector<common::AppId> ready_;
+  sched::HostOccupancy occupancy_;
+  std::map<std::string, UserShare> shares_;
+  SubmissionStats stats_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace vdce::rt

@@ -79,4 +79,13 @@ Duration AllocationTable::total_predicted() const {
   return total;
 }
 
+std::unordered_map<HostId, Duration> AllocationTable::host_occupancy()
+    const {
+  std::unordered_map<HostId, Duration> busy;
+  for (const auto& [_, e] : entries_) {
+    for (const HostId h : e.hosts) busy[h] += e.predicted_s;
+  }
+  return busy;
+}
+
 }  // namespace vdce::sched

@@ -77,6 +77,12 @@ class AllocationTable {
   /// makespan comes from the simulator/runtime).
   [[nodiscard]] Duration total_predicted() const;
 
+  /// Predicted busy seconds each host owes this application: the sum of
+  /// predicted_s over every row placed on the host.  The submission
+  /// service charges this against residual capacity when admitting
+  /// further applications (see sched::check_qos's occupancy overload).
+  [[nodiscard]] std::unordered_map<HostId, Duration> host_occupancy() const;
+
  private:
   std::string app_name_;
   std::unordered_map<TaskId, AllocationEntry> entries_;

@@ -7,10 +7,12 @@ namespace vdce::sched {
 
 Duration predicted_makespan(const afg::FlowGraph& graph,
                             const AllocationTable& allocation,
-                            const SiteDirectory& directory) {
+                            const SiteDirectory& directory,
+                            const HostOccupancy& busy) {
   graph.validate();
 
-  std::unordered_map<HostId, Duration> host_free;
+  // Hosts start busy until their committed time (residual capacity).
+  std::unordered_map<HostId, Duration> host_free(busy.begin(), busy.end());
   std::unordered_map<TaskId, Duration> finish;
   Duration makespan = 0.0;
 
@@ -40,16 +42,30 @@ Duration predicted_makespan(const afg::FlowGraph& graph,
   return makespan;
 }
 
+Duration predicted_makespan(const afg::FlowGraph& graph,
+                            const AllocationTable& allocation,
+                            const SiteDirectory& directory) {
+  return predicted_makespan(graph, allocation, directory, HostOccupancy{});
+}
+
+QosAdmission check_qos(const afg::FlowGraph& graph,
+                       const AllocationTable& allocation,
+                       const SiteDirectory& directory,
+                       const QosRequirement& qos,
+                       const HostOccupancy& busy) {
+  QosAdmission admission;
+  admission.predicted_makespan_s =
+      predicted_makespan(graph, allocation, directory, busy);
+  admission.slack_s = qos.deadline_s - admission.predicted_makespan_s;
+  admission.admitted = admission.slack_s >= 0.0;
+  return admission;
+}
+
 QosAdmission check_qos(const afg::FlowGraph& graph,
                        const AllocationTable& allocation,
                        const SiteDirectory& directory,
                        const QosRequirement& qos) {
-  QosAdmission admission;
-  admission.predicted_makespan_s =
-      predicted_makespan(graph, allocation, directory);
-  admission.slack_s = qos.deadline_s - admission.predicted_makespan_s;
-  admission.admitted = admission.slack_s >= 0.0;
-  return admission;
+  return check_qos(graph, allocation, directory, qos, HostOccupancy{});
 }
 
 }  // namespace vdce::sched

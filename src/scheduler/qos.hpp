@@ -14,11 +14,19 @@
 #pragma once
 
 #include <optional>
+#include <unordered_map>
 
 #include "afg/graph.hpp"
 #include "scheduler/directory.hpp"
 
 namespace vdce::sched {
+
+/// Predicted per-host busy time already committed to other admitted
+/// applications (sum of AllocationTable::host_occupancy over them).
+/// The residual-capacity admission check starts each host's
+/// availability at its committed time instead of zero, so a shared
+/// environment never promises the same host-seconds twice.
+using HostOccupancy = std::unordered_map<HostId, Duration>;
 
 /// A user's QoS requirement for one application run.
 struct QosRequirement {
@@ -43,10 +51,29 @@ struct QosAdmission {
                                           const AllocationTable& allocation,
                                           const SiteDirectory& directory);
 
+/// Residual-capacity variant: every host starts busy until its
+/// committed time in `busy` (predicted occupancy of already-admitted
+/// applications).  With an empty map this is exactly the plain
+/// estimator; adding occupancy can only delay tasks, never speed them
+/// up (the makespan is monotone in `busy`).
+[[nodiscard]] Duration predicted_makespan(const afg::FlowGraph& graph,
+                                          const AllocationTable& allocation,
+                                          const SiteDirectory& directory,
+                                          const HostOccupancy& busy);
+
 /// Admission check: estimate the makespan and compare to the deadline.
 [[nodiscard]] QosAdmission check_qos(const afg::FlowGraph& graph,
                                      const AllocationTable& allocation,
                                      const SiteDirectory& directory,
                                      const QosRequirement& qos);
+
+/// Residual-capacity admission: the estimate accounts for the predicted
+/// host occupancy of already-admitted applications, so a deadline that
+/// holds on an idle system can be (correctly) refused on a busy one.
+[[nodiscard]] QosAdmission check_qos(const afg::FlowGraph& graph,
+                                     const AllocationTable& allocation,
+                                     const SiteDirectory& directory,
+                                     const QosRequirement& qos,
+                                     const HostOccupancy& busy);
 
 }  // namespace vdce::sched

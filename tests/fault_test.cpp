@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <memory>
+#include <thread>
 
 #include "common/error.hpp"
 #include "netsim/testbed.hpp"
@@ -262,6 +263,104 @@ TEST_F(FaultEnv, NoFeasibleReplacementStillThrows) {
   ExecutionEngine engine(tasklib::builtin_registry());
   EXPECT_THROW((void)engine.execute(g, allocation, nullptr, nullptr, &ft),
                common::StateError);
+}
+
+TEST_F(FaultEnv, HostFailureIsolatedBetweenConcurrentApps) {
+  // Multi-app fault isolation: a host failure mid-run of app A must
+  // not perturb concurrently running app B -- B keeps first-attempt
+  // execution on every task and produces bit-identical outputs to the
+  // same (graph, seed, app id, allocation) run alone.
+  warm_up(10.0);
+
+  afg::FlowGraph ga("victim");
+  const auto a_src = ga.add_task("synth_source", "src");
+  const auto a_sink = ga.add_task("synth_sink", "sink");
+  ga.add_link(a_src, a_sink, 0.1);
+  sched::SiteScheduler scheduler(SiteId(0), directory_);
+  const auto alloc_a = scheduler.schedule(ga);
+  const HostId failed_host = alloc_a.entry(a_src).primary_host();
+
+  // App B on hosts disjoint from the failed one, so its liveness
+  // probe stays green throughout.
+  afg::FlowGraph gb("bystander");
+  const auto b_src = gb.add_task("synth_source", "src");
+  const auto b_sink = gb.add_task("synth_sink", "sink");
+  gb.add_link(b_src, b_sink, 0.1);
+  std::vector<HostId> b_hosts;
+  for (const HostId host : testbed_->hosts_in_site(SiteId(0))) {
+    if (host != failed_host && b_hosts.size() < 2) b_hosts.push_back(host);
+  }
+  ASSERT_EQ(b_hosts.size(), 2u);
+  sched::AllocationTable alloc_b("bystander");
+  for (const auto& [task, host] : {std::pair{b_src, b_hosts[0]},
+                                   std::pair{b_sink, b_hosts[1]}}) {
+    sched::AllocationEntry entry;
+    entry.task = task;
+    entry.task_label = gb.task(task).label;
+    entry.library_task = gb.task(task).library_task;
+    entry.hosts = {host};
+    entry.site = SiteId(0);
+    alloc_b.add(entry);
+  }
+
+  // B's reference run, before any fault exists.
+  const common::AppId b_app(7700);
+  EngineConfig b_config;
+  b_config.seed = 5;
+  const auto b_solo = ExecutionEngine(tasklib::builtin_registry(), b_config)
+                          .execute(gb, alloc_b, nullptr, nullptr, nullptr,
+                                   b_app);
+
+  testbed_->fail_host(failed_host, 50.0, 100.0);
+  testbed_->set_live_time(60.0);
+  ASSERT_FALSE(testbed_->is_alive_now(failed_host));
+
+  RunResult a_result, b_result;
+  std::string a_error, b_error;
+  {
+    std::jthread run_a([&] {
+      try {
+        const FaultTolerance ft = wire_hooks(scheduler, ga, alloc_a);
+        ExecutionEngine engine(tasklib::builtin_registry());
+        a_result = engine.execute(ga, alloc_a, managers_[0].get(),
+                                  nullptr, &ft);
+      } catch (const std::exception& e) {
+        a_error = e.what();
+      }
+    });
+    std::jthread run_b([&] {
+      try {
+        const FaultTolerance ft = wire_hooks(scheduler, gb, alloc_b);
+        ExecutionEngine engine(tasklib::builtin_registry(), b_config);
+        b_result = engine.execute(gb, alloc_b, managers_[0].get(),
+                                  nullptr, &ft, b_app);
+      } catch (const std::exception& e) {
+        b_error = e.what();
+      }
+    });
+  }
+  ASSERT_TRUE(a_error.empty()) << a_error;
+  ASSERT_TRUE(b_error.empty()) << b_error;
+
+  // A recovered from the injected failure...
+  EXPECT_GE(a_result.failures_recovered, 1u);
+  for (const auto& rec : a_result.records) {
+    if (rec.task == a_src) {
+      EXPECT_GT(rec.attempts, 1);
+      EXPECT_NE(rec.host, failed_host);
+    }
+  }
+  // ...while B never noticed: first-attempt everywhere, original
+  // hosts, and outputs bit-identical to its solo reference run.
+  EXPECT_EQ(b_result.failures_recovered, 0u);
+  EXPECT_EQ(b_result.reschedules, 0u);
+  for (const auto& rec : b_result.records) {
+    EXPECT_EQ(rec.attempts, 1) << rec.label;
+  }
+  ASSERT_EQ(b_result.outputs.size(), b_solo.outputs.size());
+  for (const auto& [task, payload] : b_solo.outputs) {
+    EXPECT_EQ(payload.to_wire(), b_result.outputs.at(task).to_wire());
+  }
 }
 
 // ------------------------------------------- post-failure recovery

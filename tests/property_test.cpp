@@ -4,6 +4,7 @@
 
 #include <filesystem>
 
+#include "afg/levels.hpp"
 #include "afg/serialize.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -245,6 +246,140 @@ TEST_P(ScheduleSimProperty, EndToEndInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleSimProperty,
                          ::testing::Range(0, 10));
+
+// ------------------------------------------------------ QoS estimator
+
+/// Randomized invariants of the QoS admission math over seeded graphs:
+/// the makespan estimate is monotone in the per-task predicted times
+/// and in the committed host occupancy, never undercuts the
+/// critical-path lower bound, and check_qos's slack sign always agrees
+/// with its admitted flag.
+class QosMathProperty : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    const int seed = GetParam();
+    testbed_ = std::make_unique<netsim::VirtualTestbed>(
+        netsim::make_campus_testbed(13 + seed));
+    repository_ = std::make_unique<repo::SiteRepository>(SiteId(0));
+    tasklib::builtin_registry().install_defaults(repository_->tasks());
+    testbed_->populate_repository(*repository_, SiteId(0));
+    directory_.add_site(SiteId(0), repository_.get());
+  }
+
+  std::unique_ptr<netsim::VirtualTestbed> testbed_;
+  std::unique_ptr<repo::SiteRepository> repository_;
+  sched::RepositoryDirectory directory_;
+};
+
+TEST_P(QosMathProperty, MakespanInvariants) {
+  const int seed = GetParam();
+  Rng rng(9000 + seed);
+  sim::SyntheticGraphParams params;
+  params.family = static_cast<sim::GraphFamily>(seed % 5);
+  params.size = 3 + seed % 4;
+  params.width = 3;
+  const auto graph = sim::make_synthetic_graph(params, rng);
+
+  sched::SiteSchedulerConfig config;
+  config.queue_aware = (seed % 2) == 0;
+  sched::SiteScheduler scheduler(SiteId(0), directory_, config);
+  const auto table = scheduler.schedule(graph);
+
+  const double base =
+      sched::predicted_makespan(graph, table, directory_);
+  ASSERT_GT(base, 0.0);
+
+  // The empty-occupancy overload is exactly the plain estimator.
+  EXPECT_DOUBLE_EQ(sched::predicted_makespan(graph, table, directory_,
+                                             sched::HostOccupancy{}),
+                   base);
+
+  // Monotone in the per-task predicted times: scaling every prediction
+  // up can only push the estimate up, scaling down only down.
+  for (const double factor : {1.5, 3.0}) {
+    auto scaled = table;
+    for (auto row : table.rows()) {
+      row.predicted_s *= factor;
+      scaled.replace(row);
+    }
+    EXPECT_GE(sched::predicted_makespan(graph, scaled, directory_),
+              base - 1e-12)
+        << "factor " << factor;
+  }
+  {
+    auto shrunk = table;
+    for (auto row : table.rows()) {
+      row.predicted_s *= 0.25;
+      shrunk.replace(row);
+    }
+    EXPECT_LE(sched::predicted_makespan(graph, shrunk, directory_),
+              base + 1e-12);
+  }
+
+  // Never below the critical-path lower bound under the allocation's
+  // own predicted times (zero transfer, infinite hosts).
+  const auto levels = afg::compute_levels(
+      graph, [&table](const afg::TaskNode& node) {
+        return table.entry(node.id).predicted_s;
+      });
+  EXPECT_GE(base + 1e-9, afg::critical_path_length(graph, levels));
+
+  // Monotone in committed occupancy: busier hosts can only delay the
+  // estimate, and more occupancy delays it at least as much.
+  sched::HostOccupancy light, heavy;
+  for (const HostId host : table.hosts_involved()) {
+    const double committed = rng.uniform(0.0, 2.0 * base);
+    light[host] = committed;
+    heavy[host] = committed * rng.uniform(1.0, 3.0);
+  }
+  const double with_light =
+      sched::predicted_makespan(graph, table, directory_, light);
+  const double with_heavy =
+      sched::predicted_makespan(graph, table, directory_, heavy);
+  EXPECT_GE(with_light + 1e-12, base);
+  EXPECT_GE(with_heavy + 1e-12, with_light);
+}
+
+TEST_P(QosMathProperty, SlackSignMatchesAdmission) {
+  const int seed = GetParam();
+  Rng rng(11000 + seed);
+  sim::SyntheticGraphParams params;
+  params.family = static_cast<sim::GraphFamily>((seed + 2) % 5);
+  params.size = 3 + seed % 3;
+  const auto graph = sim::make_synthetic_graph(params, rng);
+
+  sched::SiteScheduler scheduler(SiteId(0), directory_);
+  const auto table = scheduler.schedule(graph);
+  const double base =
+      sched::predicted_makespan(graph, table, directory_);
+
+  sched::HostOccupancy busy;
+  for (const HostId host : table.hosts_involved()) {
+    if (rng.bernoulli(0.5)) busy[host] = rng.uniform(0.0, base);
+  }
+
+  for (int trial = 0; trial < 20; ++trial) {
+    sched::QosRequirement qos;
+    qos.deadline_s = rng.uniform(0.0, 3.0 * base);
+    const auto plain =
+        sched::check_qos(graph, table, directory_, qos);
+    const auto residual =
+        sched::check_qos(graph, table, directory_, qos, busy);
+    for (const auto& admission : {plain, residual}) {
+      EXPECT_EQ(admission.admitted, admission.slack_s >= 0.0);
+      EXPECT_DOUBLE_EQ(
+          admission.slack_s,
+          qos.deadline_s - admission.predicted_makespan_s);
+    }
+    // Residual capacity never makes an estimate more optimistic, so a
+    // residual admit implies a plain admit.
+    EXPECT_GE(residual.predicted_makespan_s + 1e-12,
+              plain.predicted_makespan_s);
+    if (residual.admitted) EXPECT_TRUE(plain.admitted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QosMathProperty, ::testing::Range(0, 8));
 
 // --------------------------------------------------------- trace export
 

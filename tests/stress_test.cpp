@@ -5,12 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <mutex>
+#include <set>
 #include <thread>
 
 #include "common/error.hpp"
 #include "dsm/dsm.hpp"
 #include "netsim/testbed.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/submission.hpp"
 #include "scheduler/site_scheduler.hpp"
 #include "sim/workloads.hpp"
 #include "tasklib/registry.hpp"
@@ -122,6 +125,119 @@ TEST_F(StressEnv, ConcurrentEnginesDoNotInterfere) {
   t2.join();
   EXPECT_TRUE(e1_error.empty()) << e1_error;
   EXPECT_TRUE(e2_error.empty()) << e2_error;
+}
+
+TEST_F(StressEnv, ManyConcurrentSubmissions) {
+  // 32 submitter threads race one submission service: mixed
+  // admit/reject outcomes, shared engine slots, and prediction
+  // feedback through one SiteManager.  Afterwards every counter must
+  // reconcile exactly -- no lost and no double-executed app.
+  predict::LoadForecaster forecaster;
+  rt::SiteManager manager(SiteId(0), *repository_, forecaster);
+
+  rt::AppSubmissionConfig config;
+  config.slots = 4;
+  config.max_queue = 64;
+  rt::AppSubmissionService service(SiteId(0), directory_,
+                                   tasklib::builtin_registry(), config);
+  service.set_feedback(&manager);
+
+  constexpr int kSubmitters = 32;
+  std::vector<common::AppId> tickets(kSubmitters);
+  {
+    std::vector<std::jthread> submitters;
+    for (int i = 0; i < kSubmitters; ++i) {
+      submitters.emplace_back([&, i] {
+        afg::FlowGraph g("app" + std::to_string(i));
+        const auto src = g.add_task("synth_source", "src");
+        const auto sink = g.add_task("synth_sink", "sink");
+        g.add_link(src, sink, 0.01);
+        rt::SubmissionRequest request;
+        request.graph = std::move(g);
+        // Every 4th submission carries an impossible deadline and must
+        // be rejected; the rest are comfortably admitted.
+        request.qos.deadline_s = (i % 4 == 0) ? 0.0 : 1e9;
+        request.user = "user" + std::to_string(i % 5);
+        request.weight = 1.0 + (i % 3);
+        request.seed = 1000 + static_cast<std::uint64_t>(i);
+        tickets[static_cast<std::size_t>(i)] =
+            service.submit(std::move(request));
+      });
+    }
+  }
+  service.drain();
+
+  std::size_t completed = 0, rejected = 0;
+  std::set<std::uint32_t> seen_apps;
+  for (const auto ticket : tickets) {
+    ASSERT_TRUE(ticket.valid());
+    EXPECT_TRUE(seen_apps.insert(ticket.value()).second);
+    const auto status = service.wait(ticket);
+    if (status.state == rt::SubmissionState::kCompleted) {
+      ++completed;
+      // Executed exactly once, under its own app id, to completion.
+      EXPECT_EQ(status.result.app, ticket);
+      EXPECT_EQ(status.result.records.size(), 2u);
+      for (const auto& rec : status.result.records) {
+        EXPECT_EQ(rec.attempts, 1);
+      }
+    } else {
+      EXPECT_EQ(status.state, rt::SubmissionState::kRejected);
+      EXPECT_LT(status.admission.slack_s, 0.0);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(completed, 24u);
+  EXPECT_EQ(rejected, 8u);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 32u);
+  EXPECT_EQ(stats.rejected, 8u);
+  EXPECT_EQ(stats.completed, 24u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.submitted,
+            stats.admitted + stats.rejected + stats.queued);
+  EXPECT_EQ(stats.queued, stats.queued_then_admitted);
+  EXPECT_EQ(stats.admitted + stats.queued_then_admitted,
+            stats.completed + stats.failed);
+
+  // Each completed app fed exactly its two task measurements back
+  // through the shared SiteManager (the counter is atomic; concurrent
+  // runs must not lose increments).
+  EXPECT_EQ(manager.stats().task_times_recorded.load(), 2 * completed);
+}
+
+TEST_F(StressEnv, ConcurrentExecuteOnSharedEngine) {
+  // Regression: app-id assignment on a shared engine is atomic, so
+  // concurrent execute() calls never collide on broker link keys.
+  const auto graph = sim::make_c3i_graph(0.25);
+  const auto allocation = schedule(graph);
+  rt::ExecutionEngine engine(tasklib::builtin_registry());
+
+  std::mutex mu;
+  std::set<std::uint32_t> apps;
+  std::vector<std::string> errors;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int round = 0; round < 3; ++round) {
+          try {
+            const auto result = engine.execute(graph, allocation);
+            std::lock_guard lk(mu);
+            EXPECT_TRUE(apps.insert(result.app.value()).second);
+          } catch (const std::exception& e) {
+            std::lock_guard lk(mu);
+            errors.emplace_back(e.what());
+          }
+        }
+      });
+    }
+  }
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  EXPECT_EQ(apps.size(), 12u);
 }
 
 TEST(DsmStress, ManyVariablesManyNodes) {
