@@ -1,0 +1,257 @@
+// E18: chaos sweep (D12) -- application completion rate and wasted-work
+// ratio as seeded fault schedules intensify, with checkpoint/restart
+// failover enabled vs disabled.
+//
+// Each cell brings up a fresh campus VDCE, installs one generated
+// ChaosSchedule (host crashes, a whole-site outage, partitions, gray
+// hosts, receive-deadline storms), then drains a fixed serial workload
+// while the live clock steps across the schedule's horizon.  Every
+// library-task invocation is counted; wasted work is the invocations
+// that exceeded one-per-task-of-a-completed-app.  With checkpointing a
+// failover restart replays finished predecessors instead of re-running
+// them, so the wasted-work ratio stays near the failure floor; without
+// it every restart re-executes the whole prefix.
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "common/error.hpp"
+#include "netsim/chaos.hpp"
+#include "runtime/submission.hpp"
+#include "scheduler/qos.hpp"
+
+namespace {
+
+using namespace vdce;
+using common::SiteId;
+
+/// The workload unit: a six-stage pipeline, long enough that a failure
+/// striking one stage leaves a completed prefix worth checkpointing.
+afg::FlowGraph pipeline_graph(const std::string& name) {
+  afg::FlowGraph g(name);
+  const auto a = g.add_task("synth_source", "a");
+  const auto b = g.add_task("synth_compute", "b");
+  const auto c = g.add_task("synth_compute", "c");
+  const auto d = g.add_task("synth_compute", "d");
+  const auto e = g.add_task("synth_compute", "e");
+  const auto f = g.add_task("synth_sink", "f");
+  g.add_link(a, b, 0.05);
+  g.add_link(b, c, 0.05);
+  g.add_link(c, d, 0.05);
+  g.add_link(d, e, 0.05);
+  g.add_link(e, f, 0.05);
+  return g;
+}
+constexpr std::size_t kTasksPerApp = 6;
+constexpr std::size_t kApps = 12;
+
+/// Shared chaos coupling for the task library: `crash_check` reports
+/// whether a crash/outage window is live right now, and `trip_budget`
+/// bounds how many mid-task crashes each application may suffer (reset
+/// per submission).
+struct ChaosCoupling {
+  std::atomic<std::uint64_t> invocations{0};
+  std::atomic<int> trip_budget{0};
+  std::function<bool()> crash_check;
+};
+
+/// The builtin library with every task counted and slowed by 1 ms, and
+/// the sink stage crash-coupled to the fault schedule: when the sink's
+/// invocation lands inside a live crash/outage window, the "machine"
+/// dies mid-task -- after the whole pipeline prefix already completed.
+/// That is the case checkpointing exists for: on restart the prefix
+/// replays instead of re-executing.  (Gang-start failures -- a stage's
+/// host already dead at launch -- flow through the engine's pre-compute
+/// guard and hit both modes identically.)
+tasklib::TaskRegistry counting_registry(std::shared_ptr<ChaosCoupling> chaos) {
+  tasklib::TaskRegistry registry;
+  for (const auto& name : tasklib::builtin_registry().all_tasks()) {
+    tasklib::LibraryEntry entry = tasklib::builtin_registry().get(name);
+    const bool crashable = name == "synth_sink";
+    entry.fn = [chaos, crashable, inner = entry.fn](
+                   const std::vector<tasklib::Payload>& in,
+                   const tasklib::TaskContext& ctx) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      chaos->invocations.fetch_add(1);
+      if (crashable && chaos->crash_check && chaos->crash_check()) {
+        if (chaos->trip_budget.fetch_sub(1) > 0) {
+          throw common::StateError("chaos: machine crashed mid-task");
+        }
+        chaos->trip_budget.fetch_add(1);
+      }
+      return inner(in, ctx);
+    };
+    registry.add(std::move(entry));
+  }
+  return registry;
+}
+
+struct CellResult {
+  double intensity = 0.0;
+  bool checkpointing = false;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t restarts = 0;
+  std::uint64_t invocations = 0;
+  std::uint64_t useful = 0;
+  double wasted_ratio = 0.0;
+  std::size_t chaos_events = 0;
+};
+
+CellResult run_cell(double intensity, bool checkpointing) {
+  CellResult cell;
+  cell.intensity = intensity;
+  cell.checkpointing = checkpointing;
+
+  auto v = bench::bring_up(netsim::make_campus_testbed(13));
+
+  // One seeded schedule per intensity, identical across the two modes,
+  // installed before any engine thread exists (windows are inert until
+  // the atomic live clock enters them).
+  // Bias the mix toward single-host crashes: partial-site failures are
+  // where checkpointing pays (a whole-site outage at gang start kills
+  // every stage before any prefix completes, so both modes re-run the
+  // same work).
+  netsim::ChaosScheduleConfig chaos_config;
+  chaos_config.seed = 4242;
+  chaos_config.intensity = intensity;
+  chaos_config.horizon_s = 60.0;
+  chaos_config.max_crashes = 8;
+  chaos_config.max_site_outages = 1;
+  chaos_config.max_gray_hosts = 2;
+  const auto schedule =
+      netsim::ChaosSchedule::generate(*v.testbed, chaos_config);
+  schedule.apply(*v.testbed);
+  cell.chaos_events = schedule.events().size();
+
+  auto chaos = std::make_shared<ChaosCoupling>();
+  chaos->crash_check = [&schedule, bed = v.testbed.get()] {
+    const double t = bed->live_time();
+    for (const auto& event : schedule.events()) {
+      if ((event.kind == netsim::ChaosEventKind::kHostCrash ||
+           event.kind == netsim::ChaosEventKind::kSiteOutage) &&
+          t >= event.start && t < event.start + event.length) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const auto registry = counting_registry(chaos);
+
+  rt::AppSubmissionConfig config;
+  config.slots = 1;  // serial drain: each app sees one clock position
+  config.max_restarts = 3;
+  config.checkpointing = checkpointing;
+  config.restart_backoff_s = 0.001;
+  config.engine.max_attempts = 1;  // no in-gang retry: failures escalate
+  config.engine.recv_timeout_s = 5.0;
+  rt::AppSubmissionService service(SiteId(0), v.repo_directory, registry,
+                                   config);
+  const auto probe = schedule.liveness_probe(*v.testbed, SiteId(0));
+  service.set_health_probe(probe);
+  service.set_fault_hooks(
+      [&probe](const afg::FlowGraph&, const sched::AllocationTable&) {
+        rt::FaultTolerance ft;
+        ft.host_alive = probe;
+        ft.sleep = [](double) {};  // failover backoff costs no wall-clock
+        return ft;
+      });
+
+  // Step the live clock across the horizon: each submission lands at a
+  // different point of the fault schedule.
+  for (std::size_t i = 0; i < kApps; ++i) {
+    v.testbed->set_live_time(chaos_config.horizon_s *
+                             (static_cast<double>(i) + 0.5) /
+                             static_cast<double>(kApps));
+    chaos->trip_budget.store(1);  // at most one mid-task crash per app
+    rt::SubmissionRequest request;
+    request.graph = pipeline_graph("chaos-app-" + std::to_string(i));
+    request.qos.deadline_s = 1e9;
+    request.user = "chaos";
+    request.seed = 1000 + i;
+    const auto status = service.wait(service.submit(std::move(request)));
+    if (status.state == rt::SubmissionState::kCompleted) {
+      ++cell.completed;
+    } else {
+      ++cell.failed;
+    }
+    cell.restarts += status.restarts;
+  }
+
+  cell.invocations = chaos->invocations.load();
+  cell.useful = cell.completed * kTasksPerApp;
+  cell.wasted_ratio =
+      cell.invocations == 0
+          ? 0.0
+          : static_cast<double>(cell.invocations - cell.useful) /
+                static_cast<double>(cell.invocations);
+  return cell;
+}
+
+std::string json_field(const CellResult& c) {
+  std::ostringstream out;
+  out << "    {\"intensity\": " << c.intensity << ", \"checkpointing\": "
+      << (c.checkpointing ? "true" : "false")
+      << ", \"completed\": " << c.completed << ", \"failed\": " << c.failed
+      << ", \"restarts\": " << c.restarts
+      << ", \"invocations\": " << c.invocations
+      << ", \"useful\": " << c.useful << ", \"wasted_ratio\": " << std::fixed
+      << std::setprecision(4) << c.wasted_ratio
+      << ", \"chaos_events\": " << c.chaos_events << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string summary_path =
+      argc > 1 ? argv[1] : "bench_chaos_summary.json";
+
+  bench::banner("E18",
+                "chaos sweep: completion and wasted work vs fault "
+                "intensity, with vs without checkpointing (D12)");
+  bench::header(
+      "intensity,mode,completed,failed,restarts,invocations,useful,"
+      "wasted_ratio,chaos_events");
+
+  std::vector<CellResult> cells;
+  for (const double intensity : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    for (const bool checkpointing : {true, false}) {
+      const CellResult cell = run_cell(intensity, checkpointing);
+      cells.push_back(cell);
+      std::cout << std::setprecision(2) << cell.intensity << ","
+                << (cell.checkpointing ? "ckpt" : "nockpt") << ","
+                << cell.completed << "," << cell.failed << ","
+                << cell.restarts << "," << cell.invocations << ","
+                << cell.useful << "," << std::fixed << std::setprecision(4)
+                << cell.wasted_ratio << std::defaultfloat << ","
+                << cell.chaos_events << "\n";
+    }
+  }
+
+  std::ofstream summary(summary_path);
+  summary << "{\n  \"experiment\": \"E18\",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    summary << json_field(cells[i]) << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  summary << "  ]\n}\n";
+  summary.close();
+
+  std::cout << "\nInterpretation: at intensity 0 both modes finish every "
+               "application with zero\nwaste.  As the fault schedule "
+               "intensifies, failover restarts appear; with\ncheckpointing "
+               "the replayed prefix keeps the wasted-work ratio near the "
+               "failure\nfloor, while the no-checkpoint runs re-execute "
+               "every completed predecessor on\neach restart and waste "
+               "strictly more invocations.\nSummary JSON: "
+            << summary_path << "\n";
+  return 0;
+}

@@ -94,10 +94,26 @@ std::shared_ptr<Channel> ChannelBroker::open_send(const LinkKey& key,
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(timeout_s));
-  if (!cv_.wait_until(lk, deadline,
-                      [&] { return registrations_.contains(key); })) {
+  const std::uint64_t entry_generation = [&] {
+    const auto it = clear_generation_.find(key.app);
+    return it == clear_generation_.end() ? 0 : it->second;
+  }();
+  bool cleared = false;
+  if (!cv_.wait_until(lk, deadline, [&] {
+        const auto it = clear_generation_.find(key.app);
+        cleared =
+            it != clear_generation_.end() && it->second != entry_generation;
+        return cleared || registrations_.contains(key);
+      })) {
     throw common::TransportError(
         "channel setup timed out waiting for the consumer");
+  }
+  if (cleared) {
+    // clear_app(key.app) ran while we waited: the consumer this call
+    // was waiting for belongs to a torn-down run.  Abort instead of
+    // adopting a later recovery round's registration for the same key.
+    throw common::TransportError(
+        "channel setup aborted: application cleared from the broker");
   }
   Registration& reg = registrations_.at(key);
   if (kind_ == TransportKind::kInProcess) {
@@ -120,6 +136,11 @@ void ChannelBroker::clear_app(AppId app) {
       ++it;
     }
   }
+  // Wake any producer blocked in open_send on one of this app's links:
+  // it observes the generation bump and aborts promptly rather than
+  // waiting out its timeout or pairing with a later run's registration.
+  ++clear_generation_[app];
+  cv_.notify_all();
 }
 
 }  // namespace vdce::dm

@@ -54,12 +54,20 @@ class ChannelBroker {
   [[nodiscard]] std::shared_ptr<Channel> open_receive(const LinkKey& key);
 
   /// Connects the producing end; blocks up to `timeout_s` for the
-  /// consumer to register.  Throws TransportError on timeout.
+  /// consumer to register.  Throws TransportError on timeout, or
+  /// promptly when clear_app(key.app) runs while this call is waiting
+  /// (the registration it is waiting for belongs to a torn-down run and
+  /// will never arrive).
   [[nodiscard]] std::shared_ptr<Channel> open_send(const LinkKey& key,
                                                    common::Duration timeout_s =
                                                        10.0);
 
-  /// Drops all registrations of one application (run finished).
+  /// Drops all registrations of one application (run finished or being
+  /// recovered).  Idempotent, and safe to call concurrently with feeder
+  /// threads still draining: any open_send blocked on one of the
+  /// dropped links aborts promptly with TransportError instead of
+  /// sleeping out its full timeout (and possibly pairing with the NEXT
+  /// recovery round's registration for the same key).
   void clear_app(AppId app);
 
  private:
@@ -74,6 +82,11 @@ class ChannelBroker {
   std::mutex mu_;
   std::condition_variable cv_;
   std::map<LinkKey, Registration> registrations_;
+  /// Bumped by every clear_app(app): an open_send that entered before
+  /// the clear observes the bump and aborts rather than adopting a
+  /// later run's registration.  Bounded by the number of distinct apps
+  /// a broker ever carries (one engine run owns one broker).
+  std::map<AppId, std::uint64_t> clear_generation_;
 };
 
 }  // namespace vdce::dm

@@ -1,0 +1,138 @@
+// Chaos fault-injection harness: seeded, composable fault schedules.
+//
+// The paper's fault model is implicit -- "the VDCE monitors the
+// resources for possible failures" -- so the repo needs a way to
+// manufacture failures that are (a) reproducible from a seed, (b)
+// composable (a site outage overlapping a gray host overlapping a
+// partition), and (c) driven entirely through the existing testbed
+// fault windows and FaultTolerance hooks, so the engine, the
+// submission service's failover loop and the circuit breaker see
+// exactly what they would see in production.  A ChaosSchedule is a
+// list of timed events:
+//
+//   * kHostCrash       one host stops answering for a window;
+//   * kSiteOutage      every host of a site goes dark at once (the
+//                      trigger for AppSubmissionService failover);
+//   * kPartition       two sites stay up but cannot see each other --
+//                      a partition-aware liveness probe reports the
+//                      far side dead while local probes stay green;
+//   * kGrayHost        slow-host degradation: the host answers pings
+//                      but carries a heavy injected load (caught by
+//                      the load guard, not the fault guard);
+//   * kDeadlineStorm   a burst of short crash pulses on one host --
+//                      receive deadlines fire repeatedly, which is
+//                      what trips the flapping-host circuit breaker.
+//
+// apply() installs the crash windows and load spikes into a
+// VirtualTestbed; partitions are kept inside the schedule and served
+// through reachable()/liveness_probe(observer_site).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netsim/testbed.hpp"
+
+namespace vdce::netsim {
+
+enum class ChaosEventKind {
+  kHostCrash,
+  kSiteOutage,
+  kPartition,
+  kGrayHost,
+  kDeadlineStorm,
+};
+
+[[nodiscard]] const char* to_string(ChaosEventKind kind);
+
+/// One injected fault, active during [start, start + length).
+struct ChaosEvent {
+  ChaosEventKind kind = ChaosEventKind::kHostCrash;
+  TimePoint start = 0.0;
+  Duration length = 0.0;
+  /// Target host (kHostCrash, kGrayHost, kDeadlineStorm).
+  HostId host;
+  /// Target site (kSiteOutage), or one side of a kPartition.
+  SiteId site;
+  /// The other side of a kPartition.
+  SiteId other_site;
+  /// Injected extra load (kGrayHost).
+  double extra_load = 0.0;
+  /// Number of short crash pulses spread over the window
+  /// (kDeadlineStorm); each pulse is length/(2*pulses) long.
+  int pulses = 0;
+};
+
+/// Knobs for ChaosSchedule::generate().  `intensity` in [0, 1] scales
+/// every per-kind event count linearly; 0 yields an empty schedule.
+struct ChaosScheduleConfig {
+  std::uint64_t seed = 42;
+  double intensity = 0.5;
+  /// Events start inside [0, horizon_s).
+  TimePoint horizon_s = 60.0;
+  Duration min_outage_s = 5.0;
+  Duration max_outage_s = 20.0;
+  /// Per-kind maximum event counts at intensity 1.
+  int max_crashes = 4;
+  int max_site_outages = 1;
+  int max_partitions = 1;
+  int max_gray_hosts = 3;
+  int max_deadline_storms = 2;
+  double gray_extra_load = 4.0;
+  int storm_pulses = 5;
+  /// Sites never targeted by crashes/outages/gray hosts (keep at least
+  /// one site alive so failover has somewhere to land).
+  std::vector<SiteId> protected_sites;
+};
+
+/// A deterministic, composable fault schedule.
+class ChaosSchedule {
+ public:
+  ChaosSchedule() = default;
+
+  /// Draws a schedule from the testbed topology and the config; the
+  /// same (testbed config, chaos config) pair always yields the same
+  /// events.
+  [[nodiscard]] static ChaosSchedule generate(const VirtualTestbed& bed,
+                                              const ChaosScheduleConfig& cfg);
+
+  /// Appends one hand-built event (tests compose exact scenarios).
+  void add(ChaosEvent event) { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<ChaosEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t count(ChaosEventKind kind) const;
+
+  /// Installs every crash-window-shaped event (crashes, site outages,
+  /// deadline-storm pulses) and gray-host load spike into the testbed.
+  /// Partitions are NOT installed -- they live in the schedule and are
+  /// served through reachable().  Idempotent only in the sense that
+  /// applying twice doubles nothing logically (windows merely overlap);
+  /// call it once per testbed.
+  void apply(VirtualTestbed& bed) const;
+
+  /// Whether `host` is reachable from an observer in `observer` site at
+  /// time `t`: the host must be truly alive (testbed windows) and no
+  /// active partition may separate the two sites.
+  [[nodiscard]] bool reachable(const VirtualTestbed& bed, SiteId observer,
+                               HostId host, TimePoint t) const;
+
+  /// Partition-aware FaultTolerance::host_alive probe evaluated at the
+  /// testbed's live time from the given observer site.
+  [[nodiscard]] std::function<bool(HostId)> liveness_probe(
+      const VirtualTestbed& bed, SiteId observer) const;
+
+  /// True when a partition separates sites `a` and `b` at time `t`.
+  [[nodiscard]] bool partitioned(SiteId a, SiteId b, TimePoint t) const;
+
+  /// One line per event, for logs and the bench summary.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<ChaosEvent> events_;
+};
+
+}  // namespace vdce::netsim

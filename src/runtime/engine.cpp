@@ -12,6 +12,7 @@
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "datamgr/mplib.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace vdce::rt {
 
@@ -46,7 +47,8 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
                                    SiteManager* feedback,
                                    dm::ConsoleService* console,
                                    const FaultTolerance* ft,
-                                   common::AppId app) {
+                                   common::AppId app,
+                                   CheckpointStore* checkpoint) {
   graph.validate();
   for (const afg::TaskNode& node : graph.tasks()) {
     if (!allocation.contains(node.id)) {
@@ -75,15 +77,17 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
       metrics.counter("engine.failures_recovered");
   common::Histogram& m_turnaround =
       metrics.histogram("engine.turnaround_s");
+  common::Counter& m_ckpt_captured =
+      metrics.counter("engine.checkpoint.captured");
+  common::Counter& m_ckpt_replayed =
+      metrics.counter("engine.checkpoint.replayed");
+  common::Counter& m_ckpt_bytes =
+      metrics.counter("engine.checkpoint.bytes_captured");
 
   const bool recovery_on = ft != nullptr && ft->reschedule != nullptr;
   const bool load_guarded =
       ft != nullptr && ft->host_load != nullptr &&
       std::isfinite(config_.load_threshold);
-
-  const auto task_count = static_cast<std::ptrdiff_t>(graph.task_count());
-  std::latch setup_acks(task_count);    // Figure 7 step 4
-  std::latch start_signal(1);           // Figure 7 step 5
 
   struct Slot {
     const afg::TaskNode* node = nullptr;
@@ -93,6 +97,7 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
     std::string error;
     int attempts = 1;
     bool had_failure = false;   // at least one attempt did not complete
+    bool replayed = false;      // restored from a checkpoint, never ran
     std::size_t moves = 0;      // successful re-placements
     std::vector<HostId> excluded;  // hosts this task must avoid
     double backoff_spent_s = 0.0;  // cumulative backoff slept so far
@@ -112,6 +117,41 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
     slot_of.emplace(slots[i].node->id, i);
   }
 
+  // Checkpoint restore: tasks the store already holds for this app are
+  // not executed again.  Their recorded frames are replayed into the
+  // fresh broker below, so successor tasks receive inputs bit-identical
+  // to the capturing run's live sends.
+  std::size_t live_count = slots.size();
+  if (checkpoint != nullptr) {
+    for (Slot& slot : slots) {
+      auto entry = checkpoint->replay(app, slot.node->id);
+      if (!entry) continue;
+      slot.replayed = true;
+      slot.host = entry->host;
+      slot.attempts = entry->attempt;
+      slot.outcome.completed = true;
+      slot.outcome.compute_elapsed_s = entry->compute_s;
+      slot.outcome.payload = tasklib::Payload::from_wire(
+          std::move(entry->frame));
+      --live_count;
+    }
+    if (live_count != slots.size()) {
+      m_ckpt_replayed.add(slots.size() - live_count);
+      common::log_info("engine", "app ", app.value(), ": restored ",
+                       slots.size() - live_count, "/", slots.size(),
+                       " tasks from checkpoint");
+      if (common::trace_enabled()) {
+        common::trace_instant(
+            "checkpoint_restore", "engine",
+            {{"app", std::to_string(app.value())},
+             {"tasks", std::to_string(slots.size() - live_count)}});
+      }
+    }
+  }
+
+  std::latch setup_acks(static_cast<std::ptrdiff_t>(live_count));
+  std::latch start_signal(1);           // Figure 7 step 5
+
   // Deterministic per-task RNG seed: recovery attempts reuse it, so a
   // re-placed task produces the same output the original would have.
   const auto task_seed = [&](TaskId task) {
@@ -119,16 +159,28 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
            (static_cast<std::uint64_t>(app.value()) << 32) ^ task.value();
   };
 
-  // One retry-backoff nap: clamped so the task's CUMULATIVE backoff
-  // never exceeds max_total_backoff_s (an in-gang sleep stalls every
-  // peer blocked on this task's channels), routed through the
-  // FaultTolerance sleep hook when one is installed (tests sleep
-  // virtually), and advanced for the next round.  `backoff` is the
-  // caller's current-round duration.
+  // One retry-backoff nap: jittered so lockstep retries de-correlate,
+  // clamped so the task's CUMULATIVE backoff never exceeds
+  // max_total_backoff_s (an in-gang sleep stalls every peer blocked on
+  // this task's channels), routed through the FaultTolerance sleep hook
+  // when one is installed (tests sleep virtually), and advanced for the
+  // next round.  `backoff` is the caller's current-round duration.  The
+  // jitter draw is seeded from (engine seed, app, task, attempt) --
+  // never from implicit global state -- so a replay with the same seed
+  // sleeps the exact same schedule through recovery.
   const auto backoff_sleep = [&](Slot& slot, double& backoff) {
     double nap = 0.0;
     if (config_.max_total_backoff_s > 0.0) {
-      nap = std::min(backoff,
+      double jittered = backoff;
+      if (config_.retry_backoff_jitter > 0.0) {
+        common::Rng jitter_rng(
+            task_seed(slot.node->id) ^
+            (0xC4CEB9FE1A85EC53ull *
+             static_cast<std::uint64_t>(slot.attempts)));
+        jittered *= 1.0 + config_.retry_backoff_jitter *
+                              (jitter_rng.uniform() - 0.5);
+      }
+      nap = std::min(jittered,
                      config_.max_total_backoff_s - slot.backoff_spent_s);
     }
     if (nap > 0.0) {
@@ -171,14 +223,60 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
   }
 
   common::log_info("engine", "app ", app.value(), " '", graph.name(),
-                   "': delivering execution requests to ",
-                   graph.task_count(), " tasks");
+                   "': delivering execution requests to ", live_count,
+                   " tasks");
 
   std::chrono::steady_clock::time_point gang_start;
   {
+    // Checkpoint replay threads stand in for the completed tasks'
+    // machines: feeders push each restored frame into every live
+    // consumer's re-opened channel (indistinguishable from the live
+    // send), and drainers absorb live producers' sends into completed
+    // consumers so no send thread blocks on a task that will never run.
+    // Declared before `machines` so they join last: a drainer can only
+    // unblock once the producing machine closed its channels.
+    std::vector<std::jthread> replayers;
+    const double drain_timeout_s =
+        config_.recv_timeout_s > 0.0 ? config_.recv_timeout_s : 60.0;
+    for (const Slot& slot : slots) {
+      if (!slot.replayed) continue;
+      const TaskId done = slot.node->id;
+      for (const TaskId child : graph.children(done)) {
+        if (slots[slot_of.at(child)].replayed) continue;
+        replayers.emplace_back([&, done, child] {
+          try {
+            dm::MessageEndpoint out(
+                config_.library,
+                broker.open_send(dm::LinkKey{app, done, child}));
+            out.send(kPayloadTag,
+                     slots[slot_of.at(done)].outcome.payload.to_wire());
+            out.close();
+          } catch (const std::exception&) {
+            // The consuming task's own receive error is authoritative.
+          }
+        });
+      }
+      for (const TaskId parent : graph.parents(done)) {
+        if (slots[slot_of.at(parent)].replayed) continue;
+        replayers.emplace_back([&, parent, done] {
+          try {
+            dm::MessageEndpoint in(
+                config_.library,
+                broker.open_receive(dm::LinkKey{app, parent, done}));
+            while (in.receive_for(drain_timeout_s).has_value()) {
+            }
+            in.close();
+          } catch (const std::exception&) {
+            // The producing task's own send error is authoritative.
+          }
+        });
+      }
+    }
+
     std::vector<std::jthread> machines;
-    machines.reserve(graph.task_count());
+    machines.reserve(live_count);
     for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].replayed) continue;
       machines.emplace_back([&, i] {
         Slot& slot = slots[i];
         ApplicationController& controller = controllers[i];
@@ -475,6 +573,24 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
     }
   }
 
+  // Checkpoint capture: every completion this run produced is durable
+  // BEFORE any failure is reported, so a partially-failed run still
+  // advances the completed frontier and a restart re-executes zero
+  // finished tasks.
+  if (checkpoint != nullptr) {
+    for (const Slot& slot : slots) {
+      if (slot.replayed || !slot.error.empty() ||
+          !slot.outcome.completed || slot.outcome.reschedule) {
+        continue;
+      }
+      checkpoint->record(app, slot.node->id, slot.attempts, slot.host,
+                         slot.outcome.payload,
+                         slot.outcome.compute_elapsed_s);
+      m_ckpt_captured.add(1);
+      m_ckpt_bytes.add(slot.outcome.payload.to_wire().size());
+    }
+  }
+
   for (const Slot& slot : slots) {
     if (!slot.error.empty()) {
       throw common::StateError("task " + slot.node->label +
@@ -501,20 +617,27 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
     rec.bytes_sent = slot.outcome.io_stats.bytes_sent;
     rec.bytes_received = slot.outcome.io_stats.bytes_received;
     rec.attempts = slot.attempts;
-    result.makespan_s = std::max(result.makespan_s, slot.turnaround_s);
-    if (slot.had_failure) ++result.failures_recovered;
-    result.reschedules += slot.moves;
-    m_tasks.add(1);
-    m_attempts.add(static_cast<std::uint64_t>(slot.attempts));
-    m_retries.add(static_cast<std::uint64_t>(slot.attempts - 1));
-    m_turnaround.observe(slot.turnaround_s);
+    rec.replayed = slot.replayed;
+    if (slot.replayed) {
+      // Replayed tasks never ran here: no turnaround, no engine.tasks
+      // metric, no feedback (the capturing run already recorded its
+      // measured compute time into the performance database).
+      ++result.tasks_replayed;
+    } else {
+      result.makespan_s = std::max(result.makespan_s, slot.turnaround_s);
+      if (slot.had_failure) ++result.failures_recovered;
+      result.reschedules += slot.moves;
+      m_tasks.add(1);
+      m_attempts.add(static_cast<std::uint64_t>(slot.attempts));
+      m_retries.add(static_cast<std::uint64_t>(slot.attempts - 1));
+      m_turnaround.observe(slot.turnaround_s);
+      if (feedback != nullptr) {
+        feedback->record_task_time(slot.node->library_task,
+                                   slot.outcome.compute_elapsed_s);
+      }
+    }
     result.records.push_back(rec);
     result.outputs.emplace(slot.node->id, std::move(slot.outcome.payload));
-
-    if (feedback != nullptr) {
-      feedback->record_task_time(slot.node->library_task,
-                                 slot.outcome.compute_elapsed_s);
-    }
   }
   m_reschedules.add(result.reschedules);
   m_recovered.add(result.failures_recovered);
@@ -522,6 +645,7 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
     app_span.arg("makespan_s", result.makespan_s);
     app_span.arg("failures_recovered", result.failures_recovered);
     app_span.arg("reschedules", result.reschedules);
+    app_span.arg("tasks_replayed", result.tasks_replayed);
   }
   common::log_info("engine", "app ", app.value(), " finished; makespan ",
                    result.makespan_s, "s (", result.failures_recovered,

@@ -41,6 +41,8 @@
 
 namespace vdce::rt {
 
+class CheckpointStore;
+
 /// Timing/traffic record of one executed task.
 struct TaskRunRecord {
   TaskId task;
@@ -59,6 +61,10 @@ struct TaskRunRecord {
   std::size_t bytes_received = 0;
   /// Execution attempts consumed (1 = succeeded first try).
   int attempts = 1;
+  /// True when the task was not executed at all: its recorded output
+  /// was replayed from a checkpoint (attempts then counts the attempts
+  /// the *capturing* run consumed).
+  bool replayed = false;
 };
 
 /// Result of one application run.
@@ -74,6 +80,9 @@ struct RunResult {
   std::size_t failures_recovered = 0;
   /// Successful re-placements (task moved to a different machine).
   std::size_t reschedules = 0;
+  /// Tasks whose outputs were replayed from a checkpoint instead of
+  /// being re-executed (site-level failover resumes, DESIGN.md D12).
+  std::size_t tasks_replayed = 0;
 };
 
 /// Engine configuration.
@@ -88,6 +97,13 @@ struct EngineConfig {
   /// Sleep before the first retry, seconds; doubles-ish per retry.
   double retry_backoff_s = 0.01;
   double retry_backoff_multiplier = 2.0;
+  /// Jitter fraction applied to every backoff nap so simultaneous
+  /// retries (a whole gang refused by one dead host) do not stampede
+  /// the rescheduler in lockstep.  The jitter draw is seeded from
+  /// (engine seed, app, task, attempt) -- never from global state --
+  /// so a replay with the same seed is bit-identical through recovery.
+  /// 0 disables jitter.
+  double retry_backoff_jitter = 0.5;
   /// Cap on the CUMULATIVE backoff slept for one task across all of its
   /// retries (gang and recovery rounds combined).  In-gang retries
   /// sleep on the task's machine thread, which stalls gang peers
@@ -158,12 +174,20 @@ class ExecutionEngine {
   /// explicitly (the submission service keys runs by its own tickets,
   /// and a replay with the same app id reproduces the same per-task
   /// RNG seeds); when invalid an id is drawn from the engine's counter.
+  ///
+  /// `checkpoint`, when given, turns on checkpoint/restart semantics:
+  /// every task completion is captured into the store (even when the
+  /// run ultimately throws), and tasks the store already holds for
+  /// `app` are NOT re-executed -- their recorded frames are replayed
+  /// into the fresh broker so successor tasks receive bit-identical
+  /// inputs (DESIGN.md D12).
   [[nodiscard]] RunResult execute(const afg::FlowGraph& graph,
                                   const sched::AllocationTable& allocation,
                                   SiteManager* feedback = nullptr,
                                   dm::ConsoleService* console = nullptr,
                                   const FaultTolerance* ft = nullptr,
-                                  common::AppId app = {});
+                                  common::AppId app = {},
+                                  CheckpointStore* checkpoint = nullptr);
 
  private:
   const tasklib::TaskRegistry* registry_;

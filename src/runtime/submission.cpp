@@ -1,12 +1,16 @@
 #include "runtime/submission.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <limits>
+#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/rng.hpp"
 #include "common/trace.hpp"
 
 namespace vdce::rt {
@@ -24,6 +28,95 @@ void bump(const char* name) {
 }
 
 }  // namespace
+
+HostCircuitBreaker::HostCircuitBreaker(CircuitBreakerConfig config)
+    : config_(config) {}
+
+void HostCircuitBreaker::set_clock(std::function<double()> clock) {
+  std::lock_guard lk(mu_);
+  clock_ = std::move(clock);
+}
+
+void HostCircuitBreaker::set_on_open(
+    std::function<void(common::HostId)> callback) {
+  std::lock_guard lk(mu_);
+  on_open_ = std::move(callback);
+}
+
+double HostCircuitBreaker::now() const {
+  // mu_ held by every caller.
+  if (clock_) return clock_();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void HostCircuitBreaker::refresh_locked(Entry& entry, double t) const {
+  if (config_.decay_half_life_s > 0.0 && t > entry.updated_at) {
+    entry.score *= std::exp2(-(t - entry.updated_at) /
+                             config_.decay_half_life_s);
+  }
+  entry.updated_at = std::max(entry.updated_at, t);
+  if (entry.open && entry.score < config_.close_threshold) {
+    entry.open = false;
+  }
+}
+
+bool HostCircuitBreaker::record_failure(common::HostId host) {
+  bool opened = false;
+  std::function<void(common::HostId)> on_open;
+  {
+    std::lock_guard lk(mu_);
+    if (!config_.enabled) return false;
+    Entry& entry = entries_[host];
+    refresh_locked(entry, now());
+    entry.score += 1.0;
+    if (!entry.open && entry.score >= config_.open_threshold) {
+      entry.open = true;
+      opened = true;
+      trips_.fetch_add(1, std::memory_order_relaxed);
+      on_open = on_open_;
+    }
+  }
+  // Outside the lock: the callback takes the service lock (counter and
+  // forecaster bookkeeping) and the service lock may be held while
+  // consulting quarantined().
+  if (opened && on_open) on_open(host);
+  return opened;
+}
+
+bool HostCircuitBreaker::quarantined(common::HostId host) {
+  std::lock_guard lk(mu_);
+  if (!config_.enabled) return false;
+  const auto it = entries_.find(host);
+  if (it == entries_.end()) return false;
+  refresh_locked(it->second, now());
+  return it->second.open;
+}
+
+std::vector<common::HostId> HostCircuitBreaker::quarantined_hosts() {
+  std::lock_guard lk(mu_);
+  std::vector<common::HostId> out;
+  if (!config_.enabled) return out;
+  const double t = now();
+  for (auto& [host, entry] : entries_) {
+    refresh_locked(entry, t);
+    if (entry.open) out.push_back(host);
+  }
+  return out;
+}
+
+double HostCircuitBreaker::score(common::HostId host) {
+  std::lock_guard lk(mu_);
+  const auto it = entries_.find(host);
+  if (it == entries_.end()) return 0.0;
+  refresh_locked(it->second, now());
+  return it->second.score;
+}
+
+std::uint64_t HostCircuitBreaker::trips() const {
+  return trips_.load(std::memory_order_relaxed);
+}
 
 const char* to_string(SubmissionState state) {
   switch (state) {
@@ -53,6 +146,7 @@ struct AppSubmissionService::AppRecord {
   sched::AllocationTable allocation;
   double queue_eta_s = 0.0;
   std::size_t grant_index = 0;
+  std::size_t restarts = 0;   // failover restarts consumed
   std::uint64_t seq = 0;      // global submission order (FIFO tie-break)
   bool counted_queued = false;
   bool charged = false;
@@ -68,8 +162,24 @@ AppSubmissionService::AppSubmissionService(
       directory_(&directory),
       registry_(&registry),
       config_(config),
+      breaker_(config.breaker),
       paused_(config.start_paused) {
   config_.slots = std::max<std::size_t>(config_.slots, 1);
+  // An open transition version-bumps every registered forecaster via
+  // forget(host): the prediction cache's epoch moves, so Predict scores
+  // computed while the flapping host looked healthy are unservable.
+  breaker_.set_on_open([this](common::HostId host) {
+    std::lock_guard lk(mu_);
+    ++stats_.breaker_trips;
+    bump("submission.breaker_trips");
+    for (predict::LoadForecaster* f : forecasters_) f->forget(host);
+    common::log_info("submission", "circuit breaker OPEN for host ",
+                     host.value(), " (flapping)");
+    if (common::trace_enabled()) {
+      common::trace_instant("breaker_open", "submission",
+                            {{"host", std::to_string(host.value())}});
+    }
+  });
   workers_.reserve(config_.slots);
   for (std::size_t i = 0; i < config_.slots; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -273,6 +383,117 @@ void AppSubmissionService::release_locked(AppRecord& record) {
   record.charged = false;
 }
 
+FaultTolerance AppSubmissionService::wrap_hooks(FaultTolerance hooks) {
+  if (!config_.breaker.enabled) return hooks;
+  // on_failure: every reported host failure feeds the breaker (task
+  // errors on a live host do not -- a flaky task must not quarantine a
+  // healthy machine).
+  hooks.on_failure = [this, inner = std::move(hooks.on_failure)](
+                         const RescheduleRequest& request) {
+    if (inner) inner(request);
+    if (request.kind == RescheduleRequest::Kind::kHostFailure) {
+      breaker_.record_failure(request.host);
+    }
+  };
+  // host_alive: a quarantined host reads as dead, so in-gang fault
+  // guards refuse it and recovery excludes it even while the flapping
+  // host happens to answer probes.
+  hooks.host_alive = [this, inner = std::move(hooks.host_alive)](
+                         common::HostId host) {
+    if (breaker_.quarantined(host)) return false;
+    return inner ? inner(host) : true;
+  };
+  return hooks;
+}
+
+bool AppSubmissionService::replan_for_restart(AppRecord& rec,
+                                              const std::string& why) {
+  common::ScopedSpan span("app_restart", "submission");
+  if (span.active()) {
+    span.arg("app", rec.app.value());
+    span.arg("restart", rec.restarts + 1);
+    span.arg("reason", why);
+  }
+
+  std::lock_guard lk(mu_);
+  // Quarantine: hosts the health probe reports dead plus everything the
+  // circuit breaker holds open.
+  std::vector<common::HostId> excluded = breaker_.quarantined_hosts();
+  for (const auto& row : rec.allocation.rows()) {
+    const common::HostId host = row.primary_host();
+    const bool dead = health_probe_ && !health_probe_(host);
+    if (dead && std::find(excluded.begin(), excluded.end(), host) ==
+                    excluded.end()) {
+      excluded.push_back(host);
+    }
+  }
+
+  // Release this app's commitments before re-admitting: the residual
+  // capacity it re-checks against must not charge its own old plan.
+  release_locked(rec);
+
+  // Re-place only the *incomplete* subgraph (checkpointed tasks never
+  // re-execute, so their rows only matter as parent-site transfer
+  // anchors) and only rows whose host is quarantined.
+  sched::SiteScheduler scheduler(local_site_, *directory_,
+                                 config_.scheduler);
+  std::size_t moved = 0;
+  for (const TaskId task : rec.request.graph.topological_order()) {
+    if (config_.checkpointing && checkpoints_.completed(rec.app, task)) {
+      continue;
+    }
+    const common::HostId host = rec.allocation.entry(task).primary_host();
+    if (std::find(excluded.begin(), excluded.end(), host) ==
+        excluded.end()) {
+      continue;
+    }
+    // The scheduler only knows the exclusion list, not liveness: a
+    // whole-site outage leaves sibling hosts it would happily pick, so
+    // probe each candidate and widen the quarantine until one is alive.
+    auto replacement = scheduler.reschedule(rec.request.graph,
+                                            rec.allocation, task, excluded);
+    while (replacement && health_probe_ &&
+           !health_probe_(replacement->primary_host())) {
+      excluded.push_back(replacement->primary_host());
+      replacement = scheduler.reschedule(rec.request.graph, rec.allocation,
+                                         task, excluded);
+    }
+    if (!replacement) {
+      rec.error = "failover replan: no feasible host for task " +
+                  std::to_string(task.value()) + " (" + why + ")";
+      if (span.active()) span.arg("outcome", "no_feasible_host");
+      return false;
+    }
+    rec.allocation.replace(*replacement);
+    ++moved;
+  }
+
+  // Residual-capacity re-admission over the surviving plan.
+  rec.admission =
+      sched::check_qos(rec.request.graph, rec.allocation, *directory_,
+                       rec.request.qos, occupancy_);
+  if (!rec.admission.admitted) {
+    rec.error = "failover replan: QoS re-admission refused, slack " +
+                std::to_string(rec.admission.slack_s) + "s (" + why + ")";
+    if (span.active()) span.arg("outcome", "readmission_refused");
+    return false;
+  }
+  charge_locked(rec);
+
+  ++rec.restarts;
+  ++stats_.restarts;
+  bump("submission.restarts");
+  if (span.active()) {
+    span.arg("outcome", "restarting");
+    span.arg("tasks_moved", moved);
+    span.arg("excluded", excluded.size());
+  }
+  common::log_info("submission", "app ", rec.app.value(), " restart ",
+                   rec.restarts, ": ", moved, " tasks re-placed, ",
+                   excluded.size(), " hosts quarantined (", why, ")");
+  return true;
+}
+
 void AppSubmissionService::worker_loop() {
   for (;;) {
     std::shared_ptr<AppRecord> rec;
@@ -291,33 +512,74 @@ void AppSubmissionService::worker_loop() {
     EngineConfig engine_config = config_.engine;
     engine_config.seed = rec->request.seed;
     ExecutionEngine engine(*registry_, engine_config);
-
-    FaultTolerance hooks;
-    const FaultTolerance* hooks_ptr = nullptr;
-    if (fault_hooks_) {
-      hooks = fault_hooks_(rec->request.graph, rec->allocation);
-      hooks_ptr = &hooks;
-    }
+    CheckpointStore* checkpoint =
+        config_.checkpointing ? &checkpoints_ : nullptr;
 
     RunResult result;
     std::string error;
-    {
-      common::ScopedSpan run_span("app_run", "submission");
-      if (run_span.active()) {
-        run_span.rename("run:" + rec->request.graph.name());
-        run_span.arg("app", rec->app.value());
-        run_span.arg("user", rec->request.user);
-        run_span.arg("grant", rec->grant_index);
+    double restart_backoff = config_.restart_backoff_s;
+    for (;;) {
+      FaultTolerance hooks;
+      const FaultTolerance* hooks_ptr = nullptr;
+      if (fault_hooks_) {
+        // Rebuilt per attempt: the factory's closures see the replanned
+        // allocation (stable address inside the record).
+        hooks = wrap_hooks(fault_hooks_(rec->request.graph,
+                                        rec->allocation));
+        hooks_ptr = &hooks;
       }
-      try {
-        result = engine.execute(rec->request.graph, rec->allocation,
-                                feedback_, nullptr, hooks_ptr, rec->app);
-      } catch (const std::exception& e) {
-        error = e.what();
+
+      error.clear();
+      {
+        common::ScopedSpan run_span("app_run", "submission");
+        if (run_span.active()) {
+          run_span.rename("run:" + rec->request.graph.name());
+          run_span.arg("app", rec->app.value());
+          run_span.arg("user", rec->request.user);
+          run_span.arg("grant", rec->grant_index);
+          if (rec->restarts > 0) run_span.arg("restart", rec->restarts);
+        }
+        try {
+          result = engine.execute(rec->request.graph, rec->allocation,
+                                  feedback_, nullptr, hooks_ptr, rec->app,
+                                  checkpoint);
+        } catch (const std::exception& e) {
+          error = e.what();
+        }
+        if (run_span.active()) {
+          run_span.arg("outcome", error.empty() ? "completed" : "failed");
+        }
       }
-      if (run_span.active()) {
-        run_span.arg("outcome", error.empty() ? "completed" : "failed");
+      if (error.empty() ||
+          rec->restarts >= static_cast<std::size_t>(
+                               std::max(config_.max_restarts, 0))) {
+        break;
       }
+      if (!replan_for_restart(*rec, error)) {
+        error = rec->error;  // the replan's refusal reason is terminal
+        break;
+      }
+
+      // Exponential backoff with deterministic jitter seeded from
+      // (engine seed, app, restart attempt): lets the fault window pass
+      // and de-correlates simultaneous failovers without global state.
+      double nap = restart_backoff;
+      if (config_.restart_backoff_jitter > 0.0) {
+        common::Rng jitter(engine_config.seed ^
+                           (static_cast<std::uint64_t>(rec->app.value())
+                            << 32) ^
+                           (0x9E3779B97F4A7C15ull * rec->restarts));
+        nap *= 1.0 + config_.restart_backoff_jitter *
+                         (jitter.uniform() - 0.5);
+      }
+      if (nap > 0.0) {
+        if (hooks.sleep) {
+          hooks.sleep(nap);
+        } else {
+          std::this_thread::sleep_for(std::chrono::duration<double>(nap));
+        }
+      }
+      restart_backoff *= config_.restart_backoff_multiplier;
     }
 
     {
@@ -341,6 +603,8 @@ void AppSubmissionService::worker_loop() {
           .gauge("submission.running")
           .set(static_cast<double>(running_));
     }
+    // Terminal either way: the frontier snapshot is no longer needed.
+    checkpoints_.drop_app(rec->app);
     cv_.notify_all();
   }
 }
@@ -355,6 +619,7 @@ SubmissionStatus AppSubmissionService::snapshot_locked(
   status.queue_eta_s = rec.queue_eta_s;
   status.allocation = rec.allocation;
   status.grant_index = rec.grant_index;
+  status.restarts = rec.restarts;
   status.result = rec.result;
   status.error = rec.error;
   return status;

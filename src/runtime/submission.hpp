@@ -31,6 +31,7 @@
 // so tests fix the queue contents before releasing the workers.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -42,11 +43,76 @@
 #include <vector>
 
 #include "predict/forecaster.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/engine.hpp"
 #include "scheduler/qos.hpp"
 #include "scheduler/site_scheduler.hpp"
 
 namespace vdce::rt {
+
+/// Flapping-host circuit breaker tunables (DESIGN.md D12).  A host
+/// accumulates one point per reported host-failure; the score decays
+/// exponentially with `decay_half_life_s`.  Crossing `open_threshold`
+/// quarantines the host (probes report it dead, replans exclude it);
+/// decaying below `close_threshold` readmits it.
+struct CircuitBreakerConfig {
+  /// Off by default: quarantine changes which hosts the engine trusts,
+  /// so it is an explicit opt-in of the failover deployments.
+  bool enabled = false;
+  double open_threshold = 3.0;
+  double close_threshold = 1.0;
+  double decay_half_life_s = 30.0;
+};
+
+/// Thread-safe decayed-failure-rate quarantine.  Machine threads feed
+/// it via the wrapped FaultTolerance::on_failure hook; probes and the
+/// failover replanner consult quarantined().  The on-open callback
+/// fires OUTSIDE the breaker's lock (it takes the service lock to bump
+/// counters and invalidate forecasters).
+class HostCircuitBreaker {
+ public:
+  explicit HostCircuitBreaker(CircuitBreakerConfig config = {});
+
+  /// Injectable clock (seconds, monotone); tests pin virtual time.
+  /// Default: wall-clock steady_clock seconds.
+  void set_clock(std::function<double()> clock);
+  /// Fired once per open transition, outside the internal lock.
+  void set_on_open(std::function<void(common::HostId)> callback);
+
+  /// Records one failure report; returns true when this report opened
+  /// the breaker (after invoking the on-open callback).
+  bool record_failure(common::HostId host);
+
+  /// Whether the host is currently quarantined (decay is evaluated and
+  /// may close the breaker on the spot).
+  [[nodiscard]] bool quarantined(common::HostId host);
+  [[nodiscard]] std::vector<common::HostId> quarantined_hosts();
+  /// Decayed failure score right now (0 for never-failed hosts).
+  [[nodiscard]] double score(common::HostId host);
+  /// Total open transitions.
+  [[nodiscard]] std::uint64_t trips() const;
+
+  [[nodiscard]] const CircuitBreakerConfig& config() const {
+    return config_;
+  }
+
+ private:
+  struct Entry {
+    double score = 0.0;
+    double updated_at = 0.0;
+    bool open = false;
+  };
+  /// Decays `entry` to `now` and applies the close threshold; lock held.
+  void refresh_locked(Entry& entry, double now) const;
+  [[nodiscard]] double now() const;
+
+  CircuitBreakerConfig config_;
+  std::function<double()> clock_;
+  std::function<void(common::HostId)> on_open_;
+  mutable std::mutex mu_;
+  std::map<common::HostId, Entry> entries_;
+  std::atomic<std::uint64_t> trips_{0};
+};
 
 /// One application submission: the AFG plus the user's QoS contract.
 struct SubmissionRequest {
@@ -92,6 +158,8 @@ struct SubmissionStatus {
   /// Execution grant order (1 = first grant; 0 = never granted).  The
   /// fair-share tests assert on this.
   std::size_t grant_index = 0;
+  /// Site-level failover restarts this submission consumed.
+  std::size_t restarts = 0;
   /// kCompleted only.
   RunResult result;
   /// kRejected / kFailed reason.
@@ -115,6 +183,10 @@ struct SubmissionStats {
   std::uint64_t queued_then_admitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+  /// Site-level failover restarts across all submissions.
+  std::uint64_t restarts = 0;
+  /// Circuit-breaker open transitions.
+  std::uint64_t breaker_trips = 0;
   std::size_t running = 0;
   std::size_t queue_depth = 0;
 };
@@ -139,6 +211,26 @@ struct AppSubmissionConfig {
   /// Engine configuration template; `engine.seed` is overridden by
   /// each submission's own seed.
   EngineConfig engine;
+
+  /// Site-level failover (DESIGN.md D12): when an admitted app's engine
+  /// surfaces an unrecoverable failure, quarantine the hosts the health
+  /// probe reports dead, re-run the Figure-4 scheduler over surviving
+  /// resources for the *incomplete* subgraph, re-admit through
+  /// residual-capacity QoS, and resume from checkpoint.  0 = failover
+  /// off (a fatal engine error fails the submission, the seed
+  /// behaviour).
+  int max_restarts = 0;
+  /// Exponential backoff between restart attempts; jitter is seeded
+  /// from (engine seed, app, restart attempt), never global state.
+  double restart_backoff_s = 0.05;
+  double restart_backoff_multiplier = 2.0;
+  double restart_backoff_jitter = 0.5;
+  /// Capture completions into the service checkpoint store and resume
+  /// restarts from the completed frontier.  Off: restarts re-execute
+  /// the whole graph (the wasted-work baseline of EXPERIMENTS.md E18).
+  bool checkpointing = true;
+  /// Flapping-host circuit breaker (off unless breaker.enabled).
+  CircuitBreakerConfig breaker;
 };
 
 /// Builds the per-application FaultTolerance hook set for one admitted
@@ -172,6 +264,14 @@ class AppSubmissionService {
   void set_fault_hooks(FaultHookFactory factory) {
     fault_hooks_ = std::move(factory);
   }
+  /// Cluster-health probe the failover replanner consults: hosts the
+  /// probe reports dead are quarantined (excluded from replacement
+  /// placements).  Typically the testbed/chaos liveness probe; unset =
+  /// only circuit-breaker quarantine excludes hosts.
+  void set_health_probe(std::function<bool(common::HostId)> probe) {
+    std::lock_guard lk(mu_);
+    health_probe_ = std::move(probe);
+  }
 
   /// Schedules + admits one application; thread-safe, non-blocking
   /// (never waits for execution).  Returns the submission's AppId
@@ -195,6 +295,11 @@ class AppSubmissionService {
   [[nodiscard]] SubmissionStats stats() const;
   [[nodiscard]] const AppSubmissionConfig& config() const { return config_; }
 
+  /// The service's checkpoint store (tests inspect frontier sizes).
+  [[nodiscard]] CheckpointStore& checkpoints() { return checkpoints_; }
+  /// The flapping-host circuit breaker (tests pin its clock).
+  [[nodiscard]] HostCircuitBreaker& breaker() { return breaker_; }
+
  private:
   struct AppRecord;
   struct UserShare {
@@ -202,6 +307,15 @@ class AppSubmissionService {
   };
 
   void worker_loop();
+  /// Site-level failover: quarantine dead/quarantined hosts, re-place
+  /// the incomplete subgraph, re-admit through residual-capacity QoS.
+  /// Returns false (with `rec.error` set) when no feasible restart
+  /// exists; mu_ must NOT be held.
+  [[nodiscard]] bool replan_for_restart(AppRecord& rec,
+                                        const std::string& why);
+  /// Wraps factory-produced hooks with circuit-breaker feeding
+  /// (on_failure) and quarantine-aware liveness (host_alive).
+  [[nodiscard]] FaultTolerance wrap_hooks(FaultTolerance hooks);
   /// Picks the next grant by stride fair-share; mu_ must be held.
   [[nodiscard]] std::shared_ptr<AppRecord> pick_next_locked();
   /// Registers/releases an app's occupancy + forecaster commitments;
@@ -217,6 +331,9 @@ class AppSubmissionService {
   SiteManager* feedback_ = nullptr;
   std::vector<predict::LoadForecaster*> forecasters_;
   FaultHookFactory fault_hooks_;
+  std::function<bool(common::HostId)> health_probe_;
+  CheckpointStore checkpoints_;
+  HostCircuitBreaker breaker_;
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <thread>
 
@@ -267,6 +268,91 @@ TEST_P(BrokerKinds, ClearAppFreesKeys) {
   (void)broker.open_receive(key);
   broker.clear_app(AppId(1));
   EXPECT_NO_THROW((void)broker.open_receive(key));
+}
+
+TEST_P(BrokerKinds, ClearAppAbortsPendingOpenSend) {
+  // Regression (DESIGN.md D12): a feeder blocked in open_send while the
+  // engine tears the app down must abort promptly, not sleep out its
+  // full timeout -- and must never pair with the NEXT recovery round's
+  // registration for the same key.
+  ChannelBroker broker(GetParam());
+  const LinkKey key{AppId(7), TaskId(0), TaskId(1)};
+
+  std::atomic<bool> threw{false};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::jthread feeder([&] {
+    try {
+      (void)broker.open_send(key, /*timeout_s=*/30.0);
+    } catch (const TransportError&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  broker.clear_app(AppId(7));
+  feeder.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_TRUE(threw.load());
+  EXPECT_LT(elapsed, 5.0) << "open_send waited out its timeout";
+}
+
+TEST_P(BrokerKinds, ClearAppIdempotentAndConcurrentSafe) {
+  // clear_app twice in a row is a no-op the second time, and a storm of
+  // concurrent clears racing blocked feeders neither crashes nor
+  // strands a waiter.
+  ChannelBroker broker(GetParam());
+  constexpr int kFeeders = 4;
+  std::atomic<int> aborted{0};
+  {
+    std::vector<std::jthread> feeders;
+    for (int i = 0; i < kFeeders; ++i) {
+      feeders.emplace_back([&broker, &aborted, i] {
+        try {
+          (void)broker.open_send(
+              LinkKey{AppId(9), TaskId(i), TaskId(100 + i)},
+              /*timeout_s=*/30.0);
+        } catch (const TransportError&) {
+          aborted.fetch_add(1);
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    std::jthread clearer_a([&] { broker.clear_app(AppId(9)); });
+    std::jthread clearer_b([&] { broker.clear_app(AppId(9)); });
+  }
+  EXPECT_EQ(aborted.load(), kFeeders);
+
+  // The broker stays usable for the same app after the clears: a fresh
+  // registration pairs with a fresh open_send.
+  const LinkKey key{AppId(9), TaskId(0), TaskId(100)};
+  auto receiver = broker.open_receive(key);
+  std::jthread producer([&] {
+    auto sender = broker.open_send(key, /*timeout_s=*/5.0);
+    sender->send(bytes_of("after clear"));
+    sender->close();
+  });
+  EXPECT_EQ(string_of(*receiver->receive()), "after clear");
+}
+
+TEST_P(BrokerKinds, ClearAppLeavesOtherAppsWaiting) {
+  // Clearing app A must not abort a feeder blocked on app B's link.
+  ChannelBroker broker(GetParam());
+  const LinkKey key{AppId(2), TaskId(0), TaskId(1)};
+  std::shared_ptr<Channel> receiver;
+
+  std::jthread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    receiver = broker.open_receive(key);
+  });
+  std::jthread other_clear([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    broker.clear_app(AppId(1));  // unrelated app
+  });
+  auto sender = broker.open_send(key, /*timeout_s=*/5.0);
+  consumer.join();
+  sender->send(bytes_of("unaffected"));
+  EXPECT_EQ(string_of(*receiver->receive()), "unaffected");
 }
 
 INSTANTIATE_TEST_SUITE_P(Transports, BrokerKinds,
