@@ -1,21 +1,69 @@
 // F7 (paper Figure 7): the Data Manager and the execution-environment
 // setup protocol.
 //
-// Micro-benchmarks over real code paths:
-//   * channel setup/ack rendezvous latency (in-process vs TCP);
-//   * point-to-point throughput vs message size, per transport;
-//   * message-passing library facade overhead (P4/PVM/MPI/NCS);
-//   * heterogeneous data conversion (payload encode/decode) cost.
+// Two modes:
+//   * default: google-benchmark micro-benchmarks over real code paths
+//     (channel setup latency, point-to-point throughput, mp-library
+//     envelope overhead, heterogeneous data conversion);
+//   * --json [path] [--quick]: the D13 before/after sweep.  Runs the
+//     P4 endpoint pipeline over both transports and a range of frame
+//     sizes, once through the legacy copy path (VDCE_DM_LEGACY_COPY
+//     cost model: fresh heap buffer + memcpy per hop, blocking TCP
+//     receive) and once through the pooled zero-copy path, recording
+//     throughput, allocations per frame (via global operator new
+//     interposition), and p99 producer-to-consumer frame latency.
+//     Written to BENCH_datamgr.json by default; cited by EXPERIMENTS.md
+//     E19 and run as the datamgr-perf-smoke CI job.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "datamgr/broker.hpp"
+#include "datamgr/frame.hpp"
 #include "datamgr/mplib.hpp"
 #include "tasklib/payload.hpp"
+
+// ---------------------------------------------------------------------
+// Global allocation counter: every operator new in the process bumps
+// it, so a cell's delta divided by its frame count is the real
+// allocations-per-frame figure, event-loop and queue bookkeeping
+// included.
+//
+// GCC cannot see that the replaced operator new is malloc-backed and
+// flags the free() in the matching operator delete at every call site.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -95,6 +143,48 @@ BENCHMARK(BM_Throughput)
     ->Args({static_cast<int>(TransportKind::kTcp), 1 << 16})
     ->Args({static_cast<int>(TransportKind::kTcp), 1 << 20});
 
+void BM_FrameThroughput(benchmark::State& state) {
+  // The D13 zero-copy path: one pooled frame serialized once via
+  // prepare(), shipped with send_prepared(), received as a view.
+  const auto kind = static_cast<TransportKind>(state.range(0));
+  const auto size = static_cast<std::size_t>(state.range(1));
+  ChannelBroker broker(kind);
+  const LinkKey key{common::AppId(1), common::TaskId(0), common::TaskId(1)};
+  std::shared_ptr<dm::Channel> rx;
+  std::jthread consumer([&] { rx = broker.open_receive(key); });
+  auto tx_ch = broker.open_send(key);
+  consumer.join();
+  MessageEndpoint tx(MpLibrary::kP4, tx_ch);
+  MessageEndpoint rx_ep(MpLibrary::kP4, rx);
+
+  const auto blob = make_blob(size);
+  std::atomic<bool> done{false};
+  std::jthread drain([&] {
+    try {
+      while (rx_ep.receive_frame()) {
+        if (done.load(std::memory_order_relaxed)) break;
+      }
+    } catch (const common::TransportError&) {
+    }
+  });
+  for (auto _ : state) {
+    dm::PreparedFrame prep = tx.prepare(7, blob.size());
+    std::memcpy(prep.body().data(), blob.data(), blob.size());
+    tx.send_prepared(prep.frame.view());
+  }
+  done = true;
+  tx.close();
+  rx_ep.close();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+  state.SetLabel(kind == TransportKind::kInProcess ? "in-process" : "tcp");
+}
+BENCHMARK(BM_FrameThroughput)
+    ->Args({static_cast<int>(TransportKind::kInProcess), 1 << 16})
+    ->Args({static_cast<int>(TransportKind::kInProcess), 1 << 20})
+    ->Args({static_cast<int>(TransportKind::kTcp), 1 << 16})
+    ->Args({static_cast<int>(TransportKind::kTcp), 1 << 20});
+
 void BM_MpLibraryEnvelope(benchmark::State& state) {
   const auto lib = static_cast<MpLibrary>(state.range(0));
   const auto size = static_cast<std::size_t>(state.range(1));
@@ -143,6 +233,225 @@ void BM_DataConversionTracks(benchmark::State& state) {
 }
 BENCHMARK(BM_DataConversionTracks)->Arg(16)->Arg(256);
 
+// ------------------------------------------------------ D13 json sweep
+
+struct CellResult {
+  std::string transport;
+  std::size_t size_bytes = 0;
+  std::string path;  // "legacy_copy" | "zero_copy"
+  std::size_t frames = 0;
+  double throughput_mb_s = 0.0;
+  double allocs_per_frame = 0.0;
+  double p99_latency_us = 0.0;
+};
+
+/// One producer -> consumer P4 pipeline cell.  `legacy` selects the
+/// pre-D13 cost model (heap copy per hop, blocking TCP receive) vs the
+/// pooled zero-copy path; each era is driven through the API that era's
+/// Data Manager used.
+CellResult run_cell(TransportKind kind, std::size_t size, bool legacy,
+                    std::size_t frames) {
+  using Clock = std::chrono::steady_clock;
+  dm::set_legacy_copy_mode(legacy);
+
+  ChannelBroker broker(kind);
+  const LinkKey key{common::AppId(1), common::TaskId(0), common::TaskId(1)};
+  std::shared_ptr<dm::Channel> rx_ch;
+  std::jthread opener([&] { rx_ch = broker.open_receive(key); });
+  auto tx_ch = broker.open_send(key);
+  opener.join();
+  MessageEndpoint tx(MpLibrary::kP4, tx_ch);
+  MessageEndpoint rx(MpLibrary::kP4, rx_ch);
+
+  const auto blob = make_blob(size);
+  const std::size_t kWarmup = 8;
+  std::vector<Clock::time_point> stamps(kWarmup + frames);
+  std::vector<double> latencies(frames);
+
+  const auto send_one = [&] {
+    if (legacy) {
+      tx.send(7, blob);  // the old path: WireWriter copy + vector send
+    } else {
+      dm::PreparedFrame prep = tx.prepare(7, blob.size());
+      std::memcpy(prep.body().data(), blob.data(), blob.size());
+      tx.send_prepared(prep.frame.view());
+    }
+  };
+
+  std::atomic<std::uint64_t> allocs_in_window{0};
+  Clock::time_point t0;
+  Clock::time_point t1;
+  std::jthread consumer([&] {
+    for (std::size_t i = 0; i < kWarmup + frames; ++i) {
+      if (legacy) {
+        auto msg = rx.receive();  // vector-copy receive of the old era
+        if (!msg) return;
+        benchmark::DoNotOptimize(msg->data);
+      } else {
+        auto msg = rx.receive_frame();
+        if (!msg) return;
+        benchmark::DoNotOptimize(msg->data);
+      }
+      if (i >= kWarmup) {
+        latencies[i - kWarmup] = std::chrono::duration<double, std::micro>(
+                                     Clock::now() - stamps[i])
+                                     .count();
+      }
+    }
+  });
+
+  for (std::size_t i = 0; i < kWarmup + frames; ++i) {
+    if (i == kWarmup) {
+      t0 = Clock::now();
+      allocs_in_window.store(g_alloc_count.load(std::memory_order_relaxed));
+    }
+    stamps[i] = Clock::now();
+    send_one();
+  }
+  consumer.join();
+  t1 = Clock::now();
+  const std::uint64_t alloc_delta =
+      g_alloc_count.load(std::memory_order_relaxed) -
+      allocs_in_window.load();
+  tx.close();
+  rx.close();
+
+  std::sort(latencies.begin(), latencies.end());
+  CellResult cell;
+  cell.transport = kind == TransportKind::kInProcess ? "inproc" : "tcp";
+  cell.size_bytes = size;
+  cell.path = legacy ? "legacy_copy" : "zero_copy";
+  cell.frames = frames;
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  cell.throughput_mb_s =
+      static_cast<double>(frames * size) / (1024.0 * 1024.0) / seconds;
+  cell.allocs_per_frame =
+      static_cast<double>(alloc_delta) / static_cast<double>(frames);
+  cell.p99_latency_us =
+      latencies[std::min(frames - 1, (frames * 99) / 100)];
+  return cell;
+}
+
+std::string json_cell(const CellResult& c) {
+  std::string out = "    {";
+  out += "\"transport\": \"" + c.transport + "\", ";
+  out += "\"size_bytes\": " + std::to_string(c.size_bytes) + ", ";
+  out += "\"path\": \"" + c.path + "\", ";
+  out += "\"frames\": " + std::to_string(c.frames) + ", ";
+  out += "\"throughput_mb_s\": " + std::to_string(c.throughput_mb_s) + ", ";
+  out += "\"allocs_per_frame\": " + std::to_string(c.allocs_per_frame) + ", ";
+  out += "\"p99_latency_us\": " + std::to_string(c.p99_latency_us);
+  out += "}";
+  return out;
+}
+
+const CellResult& find_cell(const std::vector<CellResult>& cells,
+                            const std::string& transport, std::size_t size,
+                            const std::string& path) {
+  for (const auto& c : cells) {
+    if (c.transport == transport && c.size_bytes == size && c.path == path) {
+      return c;
+    }
+  }
+  throw common::StateError("missing sweep cell");
+}
+
+int run_json_sweep(const std::string& out_path, bool quick) {
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{1 << 12, 1 << 20}
+            : std::vector<std::size_t>{1 << 12, 1 << 16, 1 << 20, 16 << 20};
+  const std::size_t target_bytes =
+      quick ? (std::size_t{32} << 20) : (std::size_t{256} << 20);
+  const std::size_t largest = sizes.back();
+
+  std::vector<CellResult> cells;
+  for (const auto kind :
+       {TransportKind::kInProcess, TransportKind::kTcp}) {
+    for (const std::size_t size : sizes) {
+      const std::size_t frames =
+          std::clamp<std::size_t>(target_bytes / size, 32, 4096);
+      for (const bool legacy : {true, false}) {
+        cells.push_back(run_cell(kind, size, legacy, frames));
+        const auto& c = cells.back();
+        std::cout << c.transport << " " << c.size_bytes << "B " << c.path
+                  << ": " << c.throughput_mb_s << " MB/s, "
+                  << c.allocs_per_frame << " allocs/frame, p99 "
+                  << c.p99_latency_us << " us\n";
+      }
+    }
+  }
+  dm::set_legacy_copy_mode(false);
+
+  // Headline ratios at the largest frame size (the numbers
+  // EXPERIMENTS.md E19 cites).  The in-process cells isolate the memory
+  // data path, where the copy removal is the whole story; the TCP cells
+  // are loopback-bandwidth-bound on throughput, so their win shows up
+  // in allocations per frame and tail latency instead.
+  const auto ratio = [&](const std::string& transport, auto pick) {
+    const auto& before = find_cell(cells, transport, largest, "legacy_copy");
+    const auto& after = find_cell(cells, transport, largest, "zero_copy");
+    return pick(before) / std::max(pick(after), 1e-9);
+  };
+  const auto throughput = [](const CellResult& c) {
+    return c.throughput_mb_s;
+  };
+  const auto allocs = [](const CellResult& c) { return c.allocs_per_frame; };
+  const double inproc_speedup = 1.0 / ratio("inproc", throughput);
+  const double tcp_speedup = 1.0 / ratio("tcp", throughput);
+  const double inproc_alloc_reduction = ratio("inproc", allocs);
+  const double tcp_alloc_reduction = ratio("tcp", allocs);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"bench\": \"datamgr\",\n";
+  out << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
+  out << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out << json_cell(cells[i]) << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n";
+  out << "  \"summary\": {\n";
+  out << "    \"largest_frame_bytes\": " << largest << ",\n";
+  out << "    \"large_frame_speedup\": " << inproc_speedup << ",\n";
+  out << "    \"large_frame_alloc_reduction\": "
+      << std::min(inproc_alloc_reduction, tcp_alloc_reduction) << ",\n";
+  out << "    \"inproc_large_frame_speedup\": " << inproc_speedup << ",\n";
+  out << "    \"inproc_large_frame_alloc_reduction\": "
+      << inproc_alloc_reduction << ",\n";
+  out << "    \"tcp_large_frame_speedup\": " << tcp_speedup << ",\n";
+  out << "    \"tcp_large_frame_alloc_reduction\": " << tcp_alloc_reduction
+      << "\n";
+  out << "  }\n}\n";
+  std::cout << "wrote " << out_path << " (" << largest
+            << "B frames: " << inproc_speedup
+            << "x in-memory throughput, " << tcp_alloc_reduction
+            << "x fewer allocs/frame over tcp)\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quick = false;
+  std::string out_path = "BENCH_datamgr.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    }
+  }
+  if (json) return run_json_sweep(out_path, quick);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -21,6 +21,10 @@ class LazyAcceptChannel final : public Channel {
     throw common::TransportError("send on a receive-only channel");
   }
 
+  void send_frame(const FrameView&) override {
+    throw common::TransportError("send on a receive-only channel");
+  }
+
   std::optional<std::vector<std::byte>> receive() override {
     ensure_accepted(0.0);
     return inner_ ? inner_->receive() : std::nullopt;
@@ -30,6 +34,16 @@ class LazyAcceptChannel final : public Channel {
       double timeout_s) override {
     ensure_accepted(timeout_s);
     return inner_ ? inner_->receive_for(timeout_s) : std::nullopt;
+  }
+
+  std::optional<FrameView> receive_frame() override {
+    ensure_accepted(0.0);
+    return inner_ ? inner_->receive_frame() : std::nullopt;
+  }
+
+  std::optional<FrameView> receive_frame_for(double timeout_s) override {
+    ensure_accepted(timeout_s);
+    return inner_ ? inner_->receive_frame_for(timeout_s) : std::nullopt;
   }
 
   void close() override {

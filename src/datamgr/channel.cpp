@@ -1,6 +1,7 @@
 #include "datamgr/channel.hpp"
 
 #include <atomic>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
@@ -8,33 +9,68 @@
 
 namespace vdce::dm {
 
+// -- Channel base defaults (for third-party transports) ------------------
+
+void Channel::send_frame(const FrameView& frame) { send(frame.bytes()); }
+
+std::optional<FrameView> Channel::receive_frame() {
+  auto msg = receive();
+  if (!msg) return std::nullopt;
+  return FramePool::global().copy_of(*msg);
+}
+
+std::optional<FrameView> Channel::receive_frame_for(double timeout_s) {
+  auto msg = receive_for(timeout_s);
+  if (!msg) return std::nullopt;
+  return FramePool::global().copy_of(*msg);
+}
+
 namespace {
 
-using Message = std::vector<std::byte>;
-
-/// Shared queue state of an in-process channel pair.
+/// Shared queue state of an in-process channel pair.  The queue carries
+/// frame views: a send moves one refcounted view, not the bytes.
 struct InProcCore {
-  common::MessageQueue<Message> queue;
+  common::MessageQueue<FrameView> queue;
   std::atomic<std::size_t> bytes_sent{0};
 };
+
+[[noreturn]] void wrong_direction(const char* what) {
+  throw common::TransportError(what);
+}
 
 class InProcSender final : public Channel {
  public:
   explicit InProcSender(std::shared_ptr<InProcCore> core)
-      : core_(std::move(core)) {}
+      : core_(std::move(core)), legacy_(legacy_copy_mode()) {}
 
   void send(std::span<const std::byte> message) override {
-    Message copy(message.begin(), message.end());
-    const std::size_t n = copy.size();
-    if (!core_->queue.push(std::move(copy))) {
-      throw common::TransportError("send on closed in-process channel");
+    // One copy: caller's buffer into a frame.  Consumers then share it.
+    Frame frame = legacy_ ? FramePool::global().allocate_bypass(message.size())
+                          : FramePool::global().allocate(message.size());
+    if (!message.empty()) {
+      std::memcpy(frame.data(), message.data(), message.size());
     }
-    core_->bytes_sent += n;
+    push(frame.view(), message.size());
   }
 
-  std::optional<Message> receive() override {
-    throw common::TransportError(
-        "receive on the sending end of an in-process channel");
+  void send_frame(const FrameView& frame) override {
+    if (legacy_) {
+      // Legacy copy mode models the old path: a fresh heap buffer and a
+      // memcpy per send.
+      Frame copy = FramePool::global().allocate_bypass(frame.size());
+      if (!frame.empty()) std::memcpy(copy.data(), frame.data(), frame.size());
+      push(copy.view(), frame.size());
+      return;
+    }
+    push(frame, frame.size());  // zero-copy: refcount bump only
+  }
+
+  std::optional<std::vector<std::byte>> receive() override {
+    wrong_direction("receive on the sending end of an in-process channel");
+  }
+
+  std::optional<std::vector<std::byte>> receive_for(double) override {
+    wrong_direction("receive on the sending end of an in-process channel");
   }
 
   void close() override { core_->queue.close(); }
@@ -42,7 +78,15 @@ class InProcSender final : public Channel {
   std::size_t bytes_sent() const override { return core_->bytes_sent; }
 
  private:
+  void push(FrameView view, std::size_t n) {
+    if (!core_->queue.push(std::move(view))) {
+      throw common::TransportError("send on closed in-process channel");
+    }
+    core_->bytes_sent += n;
+  }
+
   std::shared_ptr<InProcCore> core_;
+  const bool legacy_;
 };
 
 class InProcReceiver final : public Channel {
@@ -51,16 +95,33 @@ class InProcReceiver final : public Channel {
       : core_(std::move(core)) {}
 
   void send(std::span<const std::byte>) override {
-    throw common::TransportError(
-        "send on the receiving end of an in-process channel");
+    wrong_direction("send on the receiving end of an in-process channel");
   }
 
-  std::optional<Message> receive() override { return core_->queue.pop(); }
+  void send_frame(const FrameView&) override {
+    wrong_direction("send on the receiving end of an in-process channel");
+  }
 
-  std::optional<Message> receive_for(double timeout_s) override {
-    if (timeout_s <= 0.0) return receive();
-    auto msg = core_->queue.pop_for(std::chrono::duration<double>(timeout_s));
-    if (msg) return msg;
+  std::optional<std::vector<std::byte>> receive() override {
+    auto view = core_->queue.pop();
+    if (!view) return std::nullopt;
+    return view->to_vector();
+  }
+
+  std::optional<std::vector<std::byte>> receive_for(double timeout_s) override {
+    auto view = receive_frame_for(timeout_s);
+    if (!view) return std::nullopt;
+    return view->to_vector();
+  }
+
+  std::optional<FrameView> receive_frame() override {
+    return core_->queue.pop();
+  }
+
+  std::optional<FrameView> receive_frame_for(double timeout_s) override {
+    if (timeout_s <= 0.0) return receive_frame();
+    auto view = core_->queue.pop_for(std::chrono::duration<double>(timeout_s));
+    if (view) return view;
     // pop_for returns nullopt both on timeout and on an orderly close;
     // only the former is an error.
     if (auto late = core_->queue.try_pop()) return late;

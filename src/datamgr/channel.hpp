@@ -8,6 +8,13 @@
 // loopback transport (real sockets, the paper's "any machine that
 // supports socket programming can be part of VDCE").  Messages are
 // framed: send() delivers a whole message or throws.
+//
+// Two parallel method families exist (design D13):
+//   * vector-based send/receive -- the original copying interface, kept
+//     for callers that want an owned buffer;
+//   * frame-based send_frame/receive_frame -- the zero-copy interface.
+//     A FrameView pins a pooled slab, so passing one through a channel
+//     shares the producer's single allocation with every consumer.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +22,8 @@
 #include <optional>
 #include <span>
 #include <vector>
+
+#include "datamgr/frame.hpp"
 
 namespace vdce::dm {
 
@@ -28,21 +37,31 @@ class Channel {
   /// closed.
   virtual void send(std::span<const std::byte> message) = 0;
 
+  /// Zero-copy send: the channel forwards the view (bumping its slab
+  /// refcount) instead of copying bytes where the transport allows.
+  /// The base default copies via send() for third-party channels.
+  virtual void send_frame(const FrameView& frame);
+
   /// Blocks for the next message; nullopt once the channel is closed
   /// and drained.
   [[nodiscard]] virtual std::optional<std::vector<std::byte>> receive() = 0;
 
   /// Like receive(), but gives up after `timeout_s` seconds, throwing
   /// TransportError — the guard that keeps a machine thread from
-  /// hanging forever on a dead peer.  Both shipped transports (the
-  /// in-process queue and the TCP loopback) honour the timeout; the
-  /// base default falls back to the blocking receive() for third-party
-  /// channels that have not implemented it.  `timeout_s <= 0` blocks.
+  /// hanging forever on a dead peer.  Pure virtual: a transport that
+  /// silently ignored the deadline would defeat the guard, so every
+  /// channel must implement it.  `timeout_s <= 0` blocks.
   [[nodiscard]] virtual std::optional<std::vector<std::byte>> receive_for(
-      double timeout_s) {
-    (void)timeout_s;
-    return receive();
-  }
+      double timeout_s) = 0;
+
+  /// Blocks for the next message as a pooled frame view; nullopt once
+  /// the channel is closed and drained.  The base default copies the
+  /// receive() result into a pooled frame.
+  [[nodiscard]] virtual std::optional<FrameView> receive_frame();
+
+  /// Frame-view variant of receive_for(); same deadline contract.
+  [[nodiscard]] virtual std::optional<FrameView> receive_frame_for(
+      double timeout_s);
 
   /// Closes the channel; pending receives drain, then return nullopt.
   virtual void close() = 0;
@@ -59,7 +78,8 @@ struct InProcPair {
 };
 
 /// Creates a connected in-process channel pair backed by a message
-/// queue.
+/// queue of frame views (zero-copy end to end unless legacy copy mode
+/// was active when the pair was made).
 [[nodiscard]] InProcPair make_inproc_pair();
 
 }  // namespace vdce::dm

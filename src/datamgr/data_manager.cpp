@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <thread>
 
 #include "common/error.hpp"
@@ -57,13 +58,14 @@ tasklib::Payload DataManager::run(const tasklib::TaskRegistry& registry,
       receive_threads.emplace_back([this, i, &received, &errors] {
         try {
           auto msg = recv_timeout_s_ > 0.0
-                         ? inputs_[i].receive_for(recv_timeout_s_)
-                         : inputs_[i].receive();
+                         ? inputs_[i].receive_frame_for(recv_timeout_s_)
+                         : inputs_[i].receive_frame();
           if (!msg) {
             errors[i] = "input channel closed before delivering data";
             return;
           }
-          received[i] = tasklib::Payload::from_wire(std::move(msg->data));
+          // One copy at the decode boundary: Payload owns its bytes.
+          received[i] = tasklib::Payload::from_wire(msg->data.to_vector());
         } catch (const std::exception& e) {
           errors[i] = e.what();
         }
@@ -103,33 +105,91 @@ tasklib::Payload DataManager::run(const tasklib::TaskRegistry& registry,
   }
   if (console != nullptr) console->checkpoint();
 
-  // Send threads: replicate the output on every out-edge.
-  const auto wire = output.to_wire();
+  // Send threads: replicate the output on every out-edge.  On the D13
+  // fast path the wire image is serialized ONCE into a pooled frame
+  // that every link (and the checkpoint capture, via output_frame())
+  // shares; legacy copy mode keeps the old buffer-per-link behaviour.
+  const std::size_t wire_n = output.wire_size();
+  const bool legacy = legacy_copy_mode();
   std::vector<std::string> send_errors(outputs_.size());
-  {
-    std::vector<std::jthread> send_threads;
-    send_threads.reserve(outputs_.size());
-    for (std::size_t i = 0; i < outputs_.size(); ++i) {
-      send_threads.emplace_back([this, i, &wire, &send_errors] {
-        try {
-          outputs_[i].send(kPayloadTag, wire);
-        } catch (const std::exception& e) {
-          send_errors[i] = e.what();
-        }
-      });
+  if (legacy) {
+    const auto wire = output.to_wire();
+    {
+      std::vector<std::jthread> send_threads;
+      send_threads.reserve(outputs_.size());
+      for (std::size_t i = 0; i < outputs_.size(); ++i) {
+        send_threads.emplace_back([this, i, &wire, &send_errors] {
+          try {
+            outputs_[i].send(kPayloadTag, wire);
+          } catch (const std::exception& e) {
+            send_errors[i] = e.what();
+          }
+        });
+      }
+    }  // join all send threads
+    output_frame_ = [&] {
+      Frame capture = FramePool::global().allocate_bypass(wire.size());
+      if (!wire.empty()) {
+        std::memcpy(capture.data(), wire.data(), wire.size());
+      }
+      return capture.view();
+    }();
+    stats_.copied_frames += outputs_.size();
+  } else if (library_ == MpLibrary::kPvm || outputs_.empty()) {
+    // PVM fragments the payload frame itself (no single envelope), and
+    // a sink task still builds the frame so the checkpoint can pin it.
+    Frame body = FramePool::global().allocate(wire_n);
+    output.write_wire(body.span());
+    const FrameView full = body.view();
+    {
+      std::vector<std::jthread> send_threads;
+      send_threads.reserve(outputs_.size());
+      for (std::size_t i = 0; i < outputs_.size(); ++i) {
+        send_threads.emplace_back([this, i, &full, &send_errors] {
+          try {
+            outputs_[i].send_frame(kPayloadTag, full);
+          } catch (const std::exception& e) {
+            send_errors[i] = e.what();
+          }
+        });
+      }
     }
-  }  // join all send threads
+    output_frame_ = full;
+    stats_.zero_copy_frames += outputs_.size();
+  } else {
+    // P4/MPI/NCS: one prepared envelope fans out to every child.  All
+    // output endpoints advance in lockstep (one payload message per
+    // link), so the sequence number prepare() wrote is right for each.
+    PreparedFrame prep = outputs_.front().prepare(kPayloadTag, wire_n);
+    output.write_wire(prep.body());
+    const FrameView full = prep.frame.view();
+    {
+      std::vector<std::jthread> send_threads;
+      send_threads.reserve(outputs_.size());
+      for (std::size_t i = 0; i < outputs_.size(); ++i) {
+        send_threads.emplace_back([this, i, &full, &send_errors] {
+          try {
+            outputs_[i].send_prepared(full);
+          } catch (const std::exception& e) {
+            send_errors[i] = e.what();
+          }
+        });
+      }
+    }
+    output_frame_ = full.subview(prep.body_offset, wire_n);
+    stats_.zero_copy_frames += outputs_.size();
+  }
   for (const std::string& err : send_errors) {
     if (!err.empty()) {
       throw TransportError("task " + library_task + " send failed: " + err);
     }
   }
   stats_.messages_sent += outputs_.size();
-  stats_.bytes_sent += wire.size() * outputs_.size();
+  stats_.bytes_sent += wire_n * outputs_.size();
   {
     auto& metrics = common::MetricsRegistry::global();
     metrics.counter("datamgr.frames_sent").add(outputs_.size());
-    metrics.counter("datamgr.bytes_sent").add(wire.size() * outputs_.size());
+    metrics.counter("datamgr.bytes_sent").add(wire_n * outputs_.size());
   }
 
   return output;

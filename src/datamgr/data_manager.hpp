@@ -43,6 +43,10 @@ struct ExecutionStats {
   std::size_t bytes_sent = 0;
   std::size_t messages_received = 0;
   std::size_t messages_sent = 0;
+  /// Sends that shared one pooled frame across links (D13 fast path).
+  std::size_t zero_copy_frames = 0;
+  /// Sends that fell back to a per-link heap copy (legacy copy mode).
+  std::size_t copied_frames = 0;
 };
 
 /// Per-task Data Manager.
@@ -85,6 +89,14 @@ class DataManager {
   [[nodiscard]] const ExecutionStats& stats() const { return stats_; }
   [[nodiscard]] MpLibrary library() const { return library_; }
 
+  /// The wire image (type tag + body) of the last run()'s output as a
+  /// pooled frame view — the very slab the send threads shipped, so a
+  /// checkpoint capture of it costs a refcount bump, not a copy.
+  /// Invalid before run() completes.
+  [[nodiscard]] const FrameView& output_frame() const {
+    return output_frame_;
+  }
+
  private:
   ChannelBroker* broker_;
   MpLibrary library_;
@@ -94,6 +106,7 @@ class DataManager {
   std::vector<MessageEndpoint> inputs_;   // one per parent, same order
   std::vector<MessageEndpoint> outputs_;  // one per child, same order
   ExecutionStats stats_;
+  FrameView output_frame_;
 };
 
 }  // namespace vdce::dm

@@ -1,0 +1,290 @@
+#include "datamgr/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+
+namespace vdce::dm {
+
+using common::TransportError;
+
+TcpEventLoop::TcpEventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw TransportError(std::string("epoll_create1: ") +
+                         std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw TransportError(std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  thread_ = std::thread([this] { run(); });
+}
+
+TcpEventLoop::~TcpEventLoop() {
+  stop();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  // Any still-registered fds belong to channels that never called
+  // remove(); close them so a short-lived non-global loop cannot leak.
+  for (auto& [fd, st] : channels_) ::close(fd);
+}
+
+void TcpEventLoop::stop() {
+  if (!stop_.exchange(true)) wake();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TcpEventLoop::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void TcpEventLoop::enqueue(Op op) {
+  {
+    std::lock_guard lock(mu_);
+    ops_.push_back(std::move(op));
+  }
+  wake();
+}
+
+void TcpEventLoop::add(int fd, std::shared_ptr<TcpRxState> state) {
+  enqueue(Op{Op::Kind::kAdd, fd, std::move(state)});
+}
+
+void TcpEventLoop::remove(int fd) {
+  enqueue(Op{Op::Kind::kRemove, fd, nullptr});
+}
+
+void TcpEventLoop::rearm(int fd) {
+  enqueue(Op{Op::Kind::kRearm, fd, nullptr});
+}
+
+std::size_t TcpEventLoop::channel_count() const {
+  std::lock_guard lock(mu_);
+  return channels_.size();
+}
+
+void TcpEventLoop::arm(int fd, TcpRxState& st) {
+  if (st.armed) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered: unread bytes keep firing
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    fail_channel(fd, st, std::string("epoll add: ") + std::strerror(errno));
+    return;
+  }
+  st.armed = true;
+}
+
+void TcpEventLoop::disarm(int fd, TcpRxState& st) {
+  if (!st.armed) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  st.armed = false;
+}
+
+void TcpEventLoop::fail_channel(int fd, TcpRxState& st,
+                                const std::string& what) {
+  {
+    std::lock_guard lock(st.error_mu);
+    if (st.error.empty()) st.error = what;
+  }
+  finish_channel(fd, st);
+}
+
+void TcpEventLoop::finish_channel(int fd, TcpRxState& st) {
+  st.done = true;
+  st.body.reset();
+  disarm(fd, st);
+  // Close AFTER the error is recorded: consumers drain queued frames,
+  // hit nullopt, then check for an error to re-throw.
+  st.queue.close();
+}
+
+void TcpEventLoop::apply_ops() {
+  std::vector<Op> ops;
+  {
+    std::lock_guard lock(mu_);
+    ops.swap(ops_);
+  }
+  for (Op& op : ops) {
+    switch (op.kind) {
+      case Op::Kind::kAdd: {
+        TcpRxState& st = *op.state;
+        {
+          std::lock_guard lock(mu_);
+          channels_.emplace(op.fd, std::move(op.state));
+        }
+        arm(op.fd, st);
+        break;
+      }
+      case Op::Kind::kRemove: {
+        const auto it = channels_.find(op.fd);
+        if (it != channels_.end()) {
+          disarm(op.fd, *it->second);
+          std::lock_guard lock(mu_);
+          channels_.erase(op.fd);
+        }
+        ::close(op.fd);
+        break;
+      }
+      case Op::Kind::kRearm: {
+        const auto it = channels_.find(op.fd);
+        if (it == channels_.end() || it->second->done) break;
+        TcpRxState& st = *it->second;
+        if (st.paused.load(std::memory_order_acquire)) {
+          st.paused.store(false, std::memory_order_release);
+          arm(op.fd, st);
+        }
+        break;
+      }
+    }
+  }
+}
+
+bool TcpEventLoop::deliver(int fd, TcpRxState& st) {
+  FrameView view = st.body.view();
+  st.body.reset();
+  st.in_body = false;
+  st.header_fill = 0;
+  const std::size_t n = view.size();
+  st.queued_bytes.fetch_add(n, std::memory_order_release);
+  if (!st.queue.push(std::move(view))) {
+    // Receiver closed the channel: stop reading this connection.
+    st.queued_bytes.fetch_sub(n, std::memory_order_release);
+    finish_channel(fd, st);
+    return false;
+  }
+  if (st.queued_bytes.load(std::memory_order_acquire) >= kHighWaterBytes ||
+      st.queue.size() >= kMaxQueuedFrames) {
+    st.paused.store(true, std::memory_order_release);
+    disarm(fd, st);
+    // Re-check: the consumer may have drained (and skipped its rearm,
+    // seeing paused == false) between the push above and the pause.
+    if (st.queued_bytes.load(std::memory_order_acquire) < kLowWaterBytes &&
+        st.queue.size() < kMaxQueuedFrames) {
+      st.paused.store(false, std::memory_order_release);
+      arm(fd, st);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+void TcpEventLoop::service(int fd, TcpRxState& st) {
+  if (st.done || st.paused.load(std::memory_order_acquire)) return;
+  for (;;) {
+    if (!st.in_body) {
+      const ssize_t r =
+          ::recv(fd, st.header.data() + st.header_fill,
+                 st.header.size() - st.header_fill, 0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        fail_channel(fd, st, std::string("tcp recv: ") + std::strerror(errno));
+        return;
+      }
+      if (r == 0) {
+        if (st.header_fill == 0) {
+          finish_channel(fd, st);  // orderly EOF at a frame boundary
+        } else {
+          fail_channel(fd, st, "tcp peer closed mid-message");
+        }
+        return;
+      }
+      st.header_fill += static_cast<std::size_t>(r);
+      if (st.header_fill < st.header.size()) continue;
+      std::uint32_t n = 0;
+      for (const std::byte b : st.header) {
+        n = (n << 8) | static_cast<std::uint8_t>(b);
+      }
+      // Bounds-check the decoded length before allocating: a corrupt or
+      // hostile header must not provoke a giant allocation.
+      const std::size_t limit =
+          st.max_message_bytes.load(std::memory_order_relaxed);
+      if (n > limit) {
+        fail_channel(
+            fd, st,
+            "tcp frame header claims " + std::to_string(n) +
+                " bytes, above the frame limit of " + std::to_string(limit) +
+                " bytes (corrupt stream?)");
+        return;
+      }
+      st.in_body = true;
+      st.body_fill = 0;
+      st.body = FramePool::global().allocate(n);
+      if (n == 0 && !deliver(fd, st)) return;
+    } else {
+      const ssize_t r = ::recv(fd, st.body.data() + st.body_fill,
+                               st.body.size() - st.body_fill, 0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        fail_channel(fd, st, std::string("tcp recv: ") + std::strerror(errno));
+        return;
+      }
+      if (r == 0) {
+        fail_channel(fd, st, "tcp peer closed mid-message");
+        return;
+      }
+      st.body_fill += static_cast<std::size_t>(r);
+      if (st.body_fill == st.body.size() && !deliver(fd, st)) return;
+    }
+  }
+}
+
+void TcpEventLoop::run() {
+  std::array<epoll_event, 64> events{};
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll fd gone: only happens at teardown
+    }
+    // Service the current batch BEFORE applying ops: an op may close an
+    // fd whose number the kernel could reuse, and a stale event must
+    // never be routed to a newcomer's parse state.
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drain = 0;
+        [[maybe_unused]] ssize_t r = ::read(wake_fd_, &drain, sizeof(drain));
+        continue;
+      }
+      const auto it = channels_.find(fd);
+      if (it != channels_.end()) service(fd, *it->second);
+    }
+    apply_ops();
+  }
+}
+
+TcpEventLoop& TcpEventLoop::global() {
+  static TcpEventLoop* loop = [] {
+    // Force the registry and pool into existence first: their function-
+    // local statics are destroyed after this atexit handler runs, so
+    // the loop thread never touches a dead registry.
+    (void)common::MetricsRegistry::global();
+    (void)FramePool::global();
+    auto* l = new TcpEventLoop;  // leaked on purpose
+    std::atexit([] { TcpEventLoop::global().stop(); });
+    return l;
+  }();
+  return *loop;
+}
+
+}  // namespace vdce::dm

@@ -1,0 +1,143 @@
+// Single-threaded epoll event loop for all TCP channel receives
+// (design D13).
+//
+// Before D13 every TcpChannel receive parked one kernel thread in a
+// blocking recv(); a run with T tasks and E edges burned E threads just
+// waiting for bytes.  The event loop inverts that: one thread owns an
+// epoll set over every registered channel fd, parses the 4-byte
+// length-prefixed frames into pooled Frames, and pushes FrameViews onto
+// a per-channel queue.  Channel::receive()/receive_for() become
+// condition-variable waits on that queue, so the Channel contract
+// (deadlines, orderly EOF as nullopt, errors as TransportError,
+// clear_app abort) is preserved with zero semantic change upstream.
+//
+// Threading rules:
+//   * All epoll registration changes and all parse-state mutation
+//     happen on the loop thread.  Other threads communicate through an
+//     op queue plus an eventfd wakeup.
+//   * The loop owns every registered fd and closes it when the channel
+//     asks for removal.
+//   * Backpressure: a connection that outruns its consumer is paused
+//     (dropped from the epoll set) at a byte high-water mark and
+//     re-armed by the consumer once it drains below the low-water mark,
+//     so a slow consumer bounds memory instead of ballooning its queue.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "datamgr/frame.hpp"
+
+namespace vdce::dm {
+
+/// Per-channel receive state shared between a TcpChannel (consumer
+/// side) and the TcpEventLoop (producer side).
+struct TcpRxState {
+  explicit TcpRxState(std::size_t max_bytes) : max_message_bytes(max_bytes) {}
+
+  // -- consumer-facing (thread-safe) -------------------------------------
+  common::MessageQueue<FrameView> queue;  // loop pushes, channel pops
+  std::atomic<std::size_t> max_message_bytes;
+  std::atomic<std::size_t> queued_bytes{0};
+  std::atomic<bool> paused{false};
+
+  /// Set (under error_mu) before queue.close() on a transport failure;
+  /// the consumer re-throws it once the queue drains.
+  std::mutex error_mu;
+  std::string error;
+
+  [[nodiscard]] std::string take_error() {
+    std::lock_guard lock(error_mu);
+    return error;
+  }
+
+  // -- loop-private parse state (loop thread only) -----------------------
+  std::array<std::byte, 4> header{};
+  std::size_t header_fill = 0;
+  bool in_body = false;
+  Frame body;
+  std::size_t body_fill = 0;
+  bool armed = false;  // fd currently in the epoll interest set
+  bool done = false;   // EOF or error: never read this fd again
+};
+
+/// The epoll loop servicing every TcpChannel fd.  One instance (and one
+/// thread) per process; see global().
+class TcpEventLoop {
+ public:
+  /// Pause reading a connection once this many bytes sit unconsumed in
+  /// its queue; resume once the consumer drains below the low water.
+  static constexpr std::size_t kHighWaterBytes = std::size_t{8} << 20;
+  static constexpr std::size_t kLowWaterBytes = std::size_t{1} << 20;
+  /// Frame-count backstop for floods of tiny messages.
+  static constexpr std::size_t kMaxQueuedFrames = 4096;
+
+  TcpEventLoop();
+  ~TcpEventLoop();
+  TcpEventLoop(const TcpEventLoop&) = delete;
+  TcpEventLoop& operator=(const TcpEventLoop&) = delete;
+
+  /// Registers a connected fd (made non-blocking by the caller).  The
+  /// loop takes ownership: the fd is closed by remove(), not by the
+  /// caller.
+  void add(int fd, std::shared_ptr<TcpRxState> state);
+
+  /// Unregisters the fd and closes it (on the loop thread).
+  void remove(int fd);
+
+  /// Consumer-side request to resume a connection paused by
+  /// backpressure.  Harmless if the fd is unpaused, done, or gone.
+  void rearm(int fd);
+
+  /// Registered connections (test support).
+  [[nodiscard]] std::size_t channel_count() const;
+
+  /// Stops and joins the loop thread.  Called automatically at process
+  /// exit for the global loop.
+  void stop();
+
+  /// The process-wide loop.  Intentionally leaked; an atexit handler
+  /// joins its thread before static destructors tear down the metrics
+  /// registry and frame pool it uses.
+  [[nodiscard]] static TcpEventLoop& global();
+
+ private:
+  struct Op {
+    enum class Kind : std::uint8_t { kAdd, kRemove, kRearm } kind;
+    int fd = -1;
+    std::shared_ptr<TcpRxState> state;
+  };
+
+  void run();
+  void apply_ops();
+  void service(int fd, TcpRxState& st);
+  bool deliver(int fd, TcpRxState& st);
+  void fail_channel(int fd, TcpRxState& st, const std::string& what);
+  void finish_channel(int fd, TcpRxState& st);
+  void arm(int fd, TcpRxState& st);
+  void disarm(int fd, TcpRxState& st);
+  void enqueue(Op op);
+  void wake();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex mu_;  // guards ops_ and channels_ mutations
+  std::vector<Op> ops_;
+  // Written only by the loop thread (under mu_ so channel_count() can
+  // read from other threads); read lock-free by the loop thread.
+  std::unordered_map<int, std::shared_ptr<TcpRxState>> channels_;
+
+  std::thread thread_;
+};
+
+}  // namespace vdce::dm

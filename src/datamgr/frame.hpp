@@ -1,0 +1,210 @@
+// Pooled, reference-counted frame buffers: the zero-copy data path
+// (design decision D13 in DESIGN.md).
+//
+// The Data Manager is the byte-moving heart of VDCE, yet before D13
+// every frame was copied at every hop: producer -> send -> queue ->
+// receive -> checkpoint -> socket.  A Frame is a single slab allocation
+// that serves all of those consumers at once: the producer serializes
+// into it exactly once, and every other party -- in-process queues, the
+// checkpoint store, the TCP writev path -- holds a FrameView, a
+// non-owning window that pins the slab via an atomic refcount.  The
+// pool recycles a slab only after the last reference drops, so a
+// captured checkpoint view stays bit-stable no matter how the pool
+// churns underneath it.
+//
+// Ownership rules:
+//   * Frame   -- owning, move-only, mutable.  Exactly one per slab.
+//   * FrameView -- copyable, read-only.  Copying bumps the refcount;
+//     no bytes move.  subview() carves zero-copy sub-ranges (envelope
+//     bodies, PVM fragments).
+//   * A slab returns to its size-class free list when the owning Frame
+//     and every FrameView are gone.  Bypass slabs (legacy copy mode)
+//     skip the pool and are heap-freed instead.
+//
+// The legacy copy path (one fresh heap allocation + memcpy per hop) is
+// kept for one release behind VDCE_DM_LEGACY_COPY so the win can be
+// measured and the old behavior restored in the field if needed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace vdce::dm {
+
+class FramePool;
+
+namespace detail {
+
+/// One pool slot: a reference-counted byte slab.  While `refs > 0` the
+/// slot cannot be recycled, so every FrameView over it is bit-stable.
+struct Slab {
+  FramePool* pool = nullptr;  // nullptr: bypass slab, heap-freed on release
+  std::size_t capacity = 0;
+  std::size_t size = 0;  // committed bytes of the current frame
+  std::atomic<std::uint32_t> refs{0};
+  std::unique_ptr<std::byte[]> bytes;
+};
+
+void add_ref(Slab* slab) noexcept;
+void release(Slab* slab) noexcept;
+
+}  // namespace detail
+
+/// Non-owning, read-only window onto a pooled frame: a span plus a
+/// reference on the underlying pool slot.  Cheap to copy (one atomic
+/// increment, zero bytes moved).
+class FrameView {
+ public:
+  FrameView() = default;
+  FrameView(const FrameView& other) noexcept;
+  FrameView& operator=(const FrameView& other) noexcept;
+  FrameView(FrameView&& other) noexcept;
+  FrameView& operator=(FrameView&& other) noexcept;
+  ~FrameView();
+
+  [[nodiscard]] bool valid() const { return slab_ != nullptr; }
+  [[nodiscard]] const std::byte* data() const;
+  [[nodiscard]] std::size_t size() const { return length_; }
+  [[nodiscard]] bool empty() const { return length_ == 0; }
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return {data(), length_};
+  }
+  [[nodiscard]] const std::byte* begin() const { return data(); }
+  [[nodiscard]] const std::byte* end() const { return data() + length_; }
+
+  /// A zero-copy sub-range sharing (and pinning) the same slab.
+  /// Throws StateError if [offset, offset+length) exceeds this view.
+  [[nodiscard]] FrameView subview(std::size_t offset,
+                                  std::size_t length) const;
+
+  /// Copies the viewed bytes out (compatibility with vector callers).
+  [[nodiscard]] std::vector<std::byte> to_vector() const;
+
+  /// Drops the reference, leaving an invalid view.
+  void reset();
+
+ private:
+  friend class Frame;
+  friend class FramePool;
+  FrameView(detail::Slab* slab, std::size_t offset, std::size_t length);
+
+  detail::Slab* slab_ = nullptr;
+  std::size_t offset_ = 0;
+  std::size_t length_ = 0;
+};
+
+/// Owning, move-only, mutable handle to one pooled slab.  The producer
+/// serializes into it once; view() shares it read-only from then on.
+class Frame {
+ public:
+  Frame() = default;
+  Frame(const Frame&) = delete;
+  Frame& operator=(const Frame&) = delete;
+  Frame(Frame&& other) noexcept;
+  Frame& operator=(Frame&& other) noexcept;
+  ~Frame();
+
+  [[nodiscard]] bool valid() const { return slab_ != nullptr; }
+  [[nodiscard]] std::byte* data();
+  [[nodiscard]] const std::byte* data() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const;
+  [[nodiscard]] std::span<std::byte> span() { return {data(), size()}; }
+
+  /// Shrinks (or re-grows within capacity) the committed byte count.
+  /// Throws StateError past capacity.
+  void resize(std::size_t n);
+
+  /// A read-only view of the committed bytes (refcount bump).
+  [[nodiscard]] FrameView view() const;
+
+  /// Releases the slab reference, leaving an invalid frame.
+  void reset();
+
+ private:
+  friend class FramePool;
+  explicit Frame(detail::Slab* slab) : slab_(slab) {}
+
+  detail::Slab* slab_ = nullptr;
+};
+
+/// Point-in-time pool statistics (also exported as datamgr.pool.*
+/// metrics through the global registry).
+struct FramePoolStats {
+  std::uint64_t slabs_allocated = 0;  ///< heap slabs ever created
+  std::uint64_t reuse_hits = 0;       ///< allocations served from a free list
+  std::uint64_t reuse_misses = 0;     ///< allocations that went to the heap
+  std::uint64_t bytes_in_use = 0;     ///< pooled slab capacity out on loan
+  std::uint64_t high_water_bytes = 0; ///< max bytes_in_use ever observed
+  std::uint64_t free_slabs = 0;       ///< slabs parked on free lists
+};
+
+/// Slab allocator with power-of-two size classes and per-class free
+/// lists.  Thread-safe; allocation takes one short lock, release of a
+/// pooled slab takes the same lock, release of a bypass slab takes
+/// none.
+class FramePool {
+ public:
+  /// Smallest slab handed out; sub-256B frames share this class.
+  static constexpr std::size_t kMinSlabBytes = 256;
+  /// Free slabs retained per size class; excess is heap-freed.
+  static constexpr std::size_t kMaxFreePerClass = 8;
+
+  FramePool();
+  ~FramePool();
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  /// A pooled frame with size() == size (capacity rounded up to the
+  /// size class).  Contents are uninitialized.
+  [[nodiscard]] Frame allocate(std::size_t size);
+
+  /// A heap frame that bypasses the free lists entirely: freed, not
+  /// recycled, on last release.  This is the faithful cost model of the
+  /// legacy copy path (one malloc per frame).
+  [[nodiscard]] Frame allocate_bypass(std::size_t size);
+
+  /// Pool-allocates a frame holding a copy of `bytes` and returns a
+  /// view of it (the transient owning Frame is dropped; the view keeps
+  /// the slab alive).
+  [[nodiscard]] FrameView copy_of(std::span<const std::byte> bytes);
+
+  [[nodiscard]] FramePoolStats stats() const;
+
+  /// Drops every parked free slab (test support).
+  void trim();
+
+  /// The process-wide pool.  Intentionally leaked: frames may be
+  /// released from detached threads during process teardown, after
+  /// static destructors would have run.
+  [[nodiscard]] static FramePool& global();
+
+ private:
+  friend void detail::release(detail::Slab* slab) noexcept;
+
+  [[nodiscard]] static std::size_t class_capacity(std::size_t size);
+  void recycle(detail::Slab* slab);
+  void note_in_use_locked(std::size_t capacity);
+
+  mutable std::mutex mu_;
+  // free_[c] parks slabs of capacity kMinSlabBytes << c.
+  std::vector<std::vector<detail::Slab*>> free_;
+  FramePoolStats stats_;
+};
+
+/// Whether the Data Manager runs in legacy copy mode (fresh heap buffer
+/// + memcpy per hop, blocking per-channel TCP receive).  Seeded from
+/// the VDCE_DM_LEGACY_COPY environment variable at first use; channels
+/// sample it at construction.  Kept for one release as a fallback.
+[[nodiscard]] bool legacy_copy_mode();
+
+/// Overrides the legacy-mode flag (tests and bench).  Affects channels
+/// constructed after the call.
+void set_legacy_copy_mode(bool on);
+
+}  // namespace vdce::dm

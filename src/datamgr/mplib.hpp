@@ -10,6 +10,13 @@
 // receive; NCS (the multithreaded ATM tool) streams with sequence
 // numbers verified on arrival.  All four interoperate with the same
 // Channel transports.
+//
+// The frame-based API (D13) avoids the per-hop copies of the vector
+// API: prepare()/send_prepared() let a producer serialize its payload
+// directly into the pooled envelope frame and share that one frame
+// across every consumer link, and receive_frame() hands back the
+// payload as a zero-copy subview of the received envelope (P4/MPI/NCS)
+// or one reassembled pooled frame (PVM).
 #pragma once
 
 #include <cstdint>
@@ -35,6 +42,26 @@ struct TaggedMessage {
   std::vector<std::byte> data;
 };
 
+/// A tagged message whose payload is a zero-copy view into the received
+/// envelope frame (P4/MPI/NCS) or a reassembled pooled frame (PVM).
+struct TaggedFrame {
+  int tag = 0;
+  FrameView data;
+};
+
+/// A pooled envelope frame with the library header already written and
+/// room for the payload at body().  Fill the body, then pass
+/// frame.view() to send_prepared() — on every consumer link: the whole
+/// point is that ONE prepared frame fans out to all of them.
+struct PreparedFrame {
+  Frame frame;
+  std::size_t body_offset = 0;
+
+  [[nodiscard]] std::span<std::byte> body() {
+    return frame.span().subspan(body_offset);
+  }
+};
+
 /// One endpoint of a message-passing session over a channel.
 ///
 /// A sending endpoint wraps the sending channel end; a receiving
@@ -51,6 +78,23 @@ class MessageEndpoint {
   /// Sends one tagged message using the library's envelope.
   void send(int tag, std::span<const std::byte> data);
 
+  /// Zero-copy send of an already-framed payload: P4/MPI/NCS copy it
+  /// once into the pooled envelope; PVM sends the header then each
+  /// fragment as a subview of `data` (no fragment copies at all).
+  void send_frame(int tag, const FrameView& data);
+
+  /// Allocates the envelope frame for a `body_size`-byte payload with
+  /// the header written (P4/MPI/NCS; PVM fragments, so it has no single
+  /// envelope — StateError).  Does NOT advance NCS send state: that
+  /// happens in send_prepared(), so one prepared frame may be sent on
+  /// several endpoints as long as they agree on the sequence number
+  /// (all fresh endpoints do — they start at 0 and the engine sends
+  /// exactly one payload message per link).
+  [[nodiscard]] PreparedFrame prepare(int tag, std::size_t body_size);
+
+  /// Sends a frame built by prepare() (advancing NCS send state).
+  void send_prepared(const FrameView& envelope);
+
   /// Receives the next message; nullopt when the channel closes.
   /// Throws TransportError on an envelope violation (wrong library,
   /// wrong communicator, out-of-order NCS sequence, missing PVM
@@ -62,16 +106,24 @@ class MessageEndpoint {
   /// dead-peer guard).  `timeout_s <= 0` blocks.
   [[nodiscard]] std::optional<TaggedMessage> receive_for(double timeout_s);
 
+  /// Frame-view variants of receive()/receive_for(); same contracts.
+  [[nodiscard]] std::optional<TaggedFrame> receive_frame();
+  [[nodiscard]] std::optional<TaggedFrame> receive_frame_for(
+      double timeout_s);
+
   void close() { channel_->close(); }
 
   [[nodiscard]] MpLibrary library() const { return library_; }
 
  private:
-  [[nodiscard]] std::optional<TaggedMessage> receive_impl(double timeout_s);
+  [[nodiscard]] std::optional<TaggedFrame> receive_frame_impl(
+      double timeout_s);
+  void send_via_writer(int tag, std::span<const std::byte> data);
 
   MpLibrary library_;
   std::shared_ptr<Channel> channel_;
   std::uint32_t communicator_;
+  const bool legacy_;
   std::uint32_t send_seq_ = 0;
   std::uint32_t recv_seq_ = 0;
 };

@@ -1,10 +1,12 @@
 #include "datamgr/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -39,10 +41,47 @@ void send_all(int fd, const std::byte* data, std::size_t n) {
   }
 }
 
+/// One scatter/gather write of header + body (the writev path of D13:
+/// sendmsg is vectored like writev but honours MSG_NOSIGNAL).  The fd
+/// may be non-blocking; EAGAIN waits for POLLOUT and resumes.
+void sendv_all(int fd, std::span<const std::byte> header,
+               std::span<const std::byte> body) {
+  iovec iov[2] = {
+      {const_cast<std::byte*>(header.data()), header.size()},
+      {const_cast<std::byte*>(body.data()), body.size()},
+  };
+  const int count = body.empty() ? 1 : 2;
+  int idx = 0;
+  while (idx < count) {
+    msghdr msg{};
+    msg.msg_iov = &iov[idx];
+    msg.msg_iovlen = static_cast<std::size_t>(count - idx);
+    const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd pfd{fd, POLLOUT, 0};
+        if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) fail("tcp send poll");
+        continue;
+      }
+      fail("tcp send");
+    }
+    std::size_t left = static_cast<std::size_t>(w);
+    while (idx < count && left >= iov[idx].iov_len) {
+      left -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < count && left > 0) {
+      iov[idx].iov_base = static_cast<std::byte*>(iov[idx].iov_base) + left;
+      iov[idx].iov_len -= left;
+    }
+  }
+}
+
 /// Reads exactly n bytes; returns false on orderly EOF at a message
 /// boundary (off == 0), throws on mid-message EOF or errors.  A
 /// positive `timeout_s` arms SO_RCVTIMEO for the duration of the read;
-/// hitting it throws TransportError.
+/// hitting it throws TransportError.  Legacy copy mode only.
 bool recv_all(int fd, std::byte* data, std::size_t n,
               double timeout_s = 0.0) {
   std::size_t off = 0;
@@ -80,54 +119,104 @@ void set_recv_deadline(int fd, double timeout_s) {
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
-}  // namespace
-
-TcpChannel::TcpChannel(int fd) : fd_(fd) {
-  int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-}
-
-TcpChannel::~TcpChannel() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
-  }
-}
-
-void TcpChannel::send(std::span<const std::byte> message) {
-  if (fd_ < 0 || shut_) throw TransportError("send on closed tcp channel");
-  // The 4-byte length header cannot represent more than 4 GiB - 1; a
-  // plain cast would silently truncate and desynchronise the frame
-  // stream for every later message.  Reject instead.
-  if (message.size() > max_message_bytes_) {
-    throw TransportError(
-        "tcp message of " + std::to_string(message.size()) +
-        " bytes exceeds the frame limit of " +
-        std::to_string(max_message_bytes_) + " bytes");
-  }
-  std::byte header[4];
-  const auto n = static_cast<std::uint32_t>(message.size());
+void encode_header(std::byte (&header)[4], std::size_t size) {
+  const auto n = static_cast<std::uint32_t>(size);
   header[0] = std::byte{static_cast<std::uint8_t>(n >> 24)};
   header[1] = std::byte{static_cast<std::uint8_t>(n >> 16)};
   header[2] = std::byte{static_cast<std::uint8_t>(n >> 8)};
   header[3] = std::byte{static_cast<std::uint8_t>(n)};
-  send_all(fd_, header, 4);
-  send_all(fd_, message.data(), message.size());
-  bytes_sent_ += message.size();
 }
 
-std::optional<std::vector<std::byte>> TcpChannel::receive() {
-  return receive_impl(0.0);
+}  // namespace
+
+TcpChannel::TcpChannel(int fd) : fd_(fd), legacy_(legacy_copy_mode()) {
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (!legacy_) {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    rx_ = std::make_shared<TcpRxState>(kDefaultMaxMessageBytes);
+    TcpEventLoop::global().add(fd_, rx_);
+  }
 }
 
-std::optional<std::vector<std::byte>> TcpChannel::receive_for(
-    double timeout_s) {
-  return receive_impl(timeout_s);
+TcpChannel::~TcpChannel() {
+  if (fd_ < 0) return;
+  ::shutdown(fd_, SHUT_RDWR);
+  if (legacy_) {
+    ::close(fd_);
+  } else {
+    TcpEventLoop::global().remove(fd_);  // the loop owns and closes the fd
+  }
+  fd_ = -1;
 }
 
-std::optional<std::vector<std::byte>> TcpChannel::receive_impl(
-    double timeout_s) {
+void TcpChannel::send_bytes(std::span<const std::byte> body) {
+  if (fd_ < 0 || shut_.load(std::memory_order_acquire)) {
+    throw TransportError("send on closed tcp channel");
+  }
+  // The 4-byte length header cannot represent more than 4 GiB - 1; a
+  // plain cast would silently truncate and desynchronise the frame
+  // stream for every later message.  Reject instead.
+  const std::size_t limit = max_message_bytes_.load(std::memory_order_relaxed);
+  if (body.size() > limit) {
+    throw TransportError("tcp message of " + std::to_string(body.size()) +
+                         " bytes exceeds the frame limit of " +
+                         std::to_string(limit) + " bytes");
+  }
+  std::byte header[4];
+  encode_header(header, body.size());
+  if (legacy_) {
+    send_all(fd_, header, 4);
+    send_all(fd_, body.data(), body.size());
+  } else {
+    sendv_all(fd_, std::span<const std::byte>(header, 4), body);
+  }
+  bytes_sent_.fetch_add(body.size(), std::memory_order_relaxed);
+}
+
+void TcpChannel::send(std::span<const std::byte> message) {
+  send_bytes(message);
+}
+
+void TcpChannel::send_frame(const FrameView& frame) {
+  send_bytes(frame.bytes());  // straight out of the pooled slab
+}
+
+std::optional<FrameView> TcpChannel::queue_pop(double timeout_s) {
+  auto finish = [this](std::optional<FrameView> view)
+      -> std::optional<FrameView> {
+    if (view) {
+      const std::size_t before = rx_->queued_bytes.fetch_sub(
+          view->size(), std::memory_order_acq_rel);
+      if (rx_->paused.load(std::memory_order_acquire) &&
+          before - view->size() < TcpEventLoop::kLowWaterBytes) {
+        TcpEventLoop::global().rearm(fd_);
+      }
+      return view;
+    }
+    // Queue closed and drained: orderly EOF is nullopt, a transport
+    // failure re-throws here on the consumer thread.
+    const std::string error = rx_->take_error();
+    if (!error.empty()) throw TransportError(error);
+    return std::nullopt;
+  };
+
+  if (timeout_s <= 0.0) return finish(rx_->queue.pop());
+  auto view = rx_->queue.pop_for(std::chrono::duration<double>(timeout_s));
+  if (view) return finish(std::move(view));
+  // pop_for returns nullopt both on timeout and on close; only the
+  // former is a deadline expiry.
+  if (auto late = rx_->queue.try_pop()) return finish(std::move(late));
+  if (rx_->queue.closed()) return finish(std::nullopt);
+  common::MetricsRegistry::global()
+      .counter("datamgr.deadline_expiries")
+      .add(1);
+  throw TransportError("tcp receive timed out after " +
+                       std::to_string(timeout_s) + "s");
+}
+
+std::optional<FrameView> TcpChannel::legacy_receive(double timeout_s) {
   if (fd_ < 0) return std::nullopt;
   if (timeout_s > 0.0) set_recv_deadline(fd_, timeout_s);
   struct DeadlineReset {
@@ -143,39 +232,59 @@ std::optional<std::vector<std::byte>> TcpChannel::receive_impl(
   for (int i = 0; i < 4; ++i) {
     n = (n << 8) | static_cast<std::uint8_t>(header[i]);
   }
-  // Bounds-check the decoded length before allocating: a corrupt or
-  // hostile header must not provoke a giant allocation.
-  if (n > max_message_bytes_) {
-    throw TransportError(
-        "tcp frame header claims " + std::to_string(n) +
-        " bytes, above the frame limit of " +
-        std::to_string(max_message_bytes_) + " bytes (corrupt stream?)");
+  const std::size_t limit = max_message_bytes_.load(std::memory_order_relaxed);
+  if (n > limit) {
+    throw TransportError("tcp frame header claims " + std::to_string(n) +
+                         " bytes, above the frame limit of " +
+                         std::to_string(limit) + " bytes (corrupt stream?)");
   }
-  std::vector<std::byte> body(n);
+  // A fresh heap buffer per message: the faithful pre-D13 cost model.
+  Frame body = FramePool::global().allocate_bypass(n);
   if (n > 0 && !recv_all(fd_, body.data(), n, timeout_s)) {
     throw TransportError("tcp peer closed mid-message");
   }
-  return body;
+  return body.view();
+}
+
+std::optional<std::vector<std::byte>> TcpChannel::receive() {
+  auto view = receive_frame();
+  if (!view) return std::nullopt;
+  return view->to_vector();
+}
+
+std::optional<std::vector<std::byte>> TcpChannel::receive_for(
+    double timeout_s) {
+  auto view = receive_frame_for(timeout_s);
+  if (!view) return std::nullopt;
+  return view->to_vector();
+}
+
+std::optional<FrameView> TcpChannel::receive_frame() {
+  return legacy_ ? legacy_receive(0.0) : queue_pop(0.0);
+}
+
+std::optional<FrameView> TcpChannel::receive_frame_for(double timeout_s) {
+  return legacy_ ? legacy_receive(timeout_s) : queue_pop(timeout_s);
 }
 
 void TcpChannel::set_max_message_bytes(std::size_t limit) {
   common::expects(limit > 0 &&
                       limit <= std::numeric_limits<std::uint32_t>::max(),
                   "frame limit must fit the 4-byte length header");
-  max_message_bytes_ = limit;
+  max_message_bytes_.store(limit, std::memory_order_relaxed);
+  if (rx_) rx_->max_message_bytes.store(limit, std::memory_order_relaxed);
 }
 
 void TcpChannel::close() {
-  // Shut down only: a peer thread blocked in recv() gets an orderly EOF
+  // Shut down only: the peer (and our event loop) gets an orderly EOF
   // instead of racing a reused descriptor.  The fd itself is released
-  // by the destructor.
-  if (fd_ >= 0 && !shut_) {
-    ::shutdown(fd_, SHUT_RDWR);
-    shut_ = true;
-  }
+  // by the destructor (legacy) or the event loop (remove()).
+  if (fd_ >= 0 && !shut_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
 }
 
-std::size_t TcpChannel::bytes_sent() const { return bytes_sent_; }
+std::size_t TcpChannel::bytes_sent() const {
+  return bytes_sent_.load(std::memory_order_relaxed);
+}
 
 TcpListener::TcpListener() : fd_(::socket(AF_INET, SOCK_STREAM, 0)) {
   if (fd_ < 0) fail("tcp socket");

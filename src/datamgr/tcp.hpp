@@ -4,17 +4,28 @@
 // network; here both endpoints live on 127.0.0.1 but traverse the full
 // kernel socket path.  Messages are framed with a 4-byte big-endian
 // length prefix.
+//
+// Since D13 the receive side is serviced by the shared TcpEventLoop:
+// the channel's fd is non-blocking and owned by the loop, which parses
+// frames into pooled buffers and fills a per-channel queue;
+// receive()/receive_for() wait on that queue.  Sends are a single
+// scatter/gather sendmsg of header + body straight out of the caller's
+// buffer (or pooled frame) — no concatenation copy.  Legacy copy mode
+// (VDCE_DM_LEGACY_COPY) keeps the old blocking per-call receive and
+// two-syscall send for one release.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "datamgr/channel.hpp"
+#include "datamgr/event_loop.hpp"
 
 namespace vdce::dm {
 
-/// A channel over a connected TCP socket (owns the fd).
+/// A channel over a connected TCP socket.
 class TcpChannel final : public Channel {
  public:
   /// Largest frame either direction accepts by default.  The 4-byte
@@ -26,7 +37,9 @@ class TcpChannel final : public Channel {
   static constexpr std::size_t kDefaultMaxMessageBytes =
       std::size_t{1} << 30;  // 1 GiB
 
-  /// Takes ownership of a connected socket fd.
+  /// Takes a connected socket fd.  In event-loop mode the fd becomes
+  /// non-blocking and its ownership passes to the loop; in legacy mode
+  /// the channel keeps it.
   explicit TcpChannel(int fd);
   ~TcpChannel() override;
 
@@ -34,8 +47,12 @@ class TcpChannel final : public Channel {
   TcpChannel& operator=(const TcpChannel&) = delete;
 
   void send(std::span<const std::byte> message) override;
+  void send_frame(const FrameView& frame) override;
   [[nodiscard]] std::optional<std::vector<std::byte>> receive() override;
   [[nodiscard]] std::optional<std::vector<std::byte>> receive_for(
+      double timeout_s) override;
+  [[nodiscard]] std::optional<FrameView> receive_frame() override;
+  [[nodiscard]] std::optional<FrameView> receive_frame_for(
       double timeout_s) override;
   void close() override;
   [[nodiscard]] std::size_t bytes_sent() const override;
@@ -45,13 +62,16 @@ class TcpChannel final : public Channel {
   void set_max_message_bytes(std::size_t limit);
 
  private:
-  [[nodiscard]] std::optional<std::vector<std::byte>> receive_impl(
-      double timeout_s);
+  [[nodiscard]] std::optional<FrameView> queue_pop(double timeout_s);
+  [[nodiscard]] std::optional<FrameView> legacy_receive(double timeout_s);
+  void send_bytes(std::span<const std::byte> body);
 
   int fd_;
-  bool shut_ = false;
-  std::size_t bytes_sent_ = 0;
-  std::size_t max_message_bytes_ = kDefaultMaxMessageBytes;
+  const bool legacy_;
+  std::atomic<bool> shut_{false};
+  std::atomic<std::size_t> bytes_sent_{0};
+  std::atomic<std::size_t> max_message_bytes_{kDefaultMaxMessageBytes};
+  std::shared_ptr<TcpRxState> rx_;  // event-loop mode only
 };
 
 /// A listening socket on 127.0.0.1 with a kernel-assigned port.

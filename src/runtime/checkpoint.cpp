@@ -3,7 +3,7 @@
 namespace vdce::rt {
 
 void CheckpointStore::record(AppId app, TaskId task, int attempt,
-                             HostId host, const tasklib::Payload& output,
+                             HostId host, dm::FrameView frame,
                              Duration compute_s) {
   std::lock_guard lk(mu_);
   auto& tasks = apps_[app];
@@ -20,10 +20,18 @@ void CheckpointStore::record(AppId app, TaskId task, int attempt,
   entry.task = task;
   entry.attempt = attempt;
   entry.host = host;
-  entry.frame = output.to_wire();
+  entry.frame = std::move(frame);  // refcount bump upstream, no copy here
   entry.compute_s = compute_s;
   stats_.bytes_captured += entry.frame.size();
   tasks[task] = std::move(entry);
+}
+
+void CheckpointStore::record(AppId app, TaskId task, int attempt,
+                             HostId host, const tasklib::Payload& output,
+                             Duration compute_s) {
+  const auto wire = output.to_wire();
+  record(app, task, attempt, host, dm::FramePool::global().copy_of(wire),
+         compute_s);
 }
 
 bool CheckpointStore::completed(AppId app, TaskId task) const {

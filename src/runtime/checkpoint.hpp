@@ -26,6 +26,7 @@
 
 #include "common/clock.hpp"
 #include "common/ids.hpp"
+#include "datamgr/frame.hpp"
 #include "tasklib/payload.hpp"
 
 namespace vdce::rt {
@@ -45,9 +46,12 @@ struct CheckpointEntry {
   int attempt = 1;
   /// The host the completing attempt ran on.
   HostId host;
-  /// Wire-encoded output payload -- exactly the frame every consumer
-  /// link carried, so a replay is indistinguishable from the live send.
-  std::vector<std::byte> frame;
+  /// Wire-encoded output payload, pinned in the frame pool -- since D13
+  /// this is a VIEW of the very slab every consumer link carried, so
+  /// the capture costs a refcount bump instead of a copy, and the pool
+  /// cannot recycle the slab while the store holds the view (the
+  /// bit-identity guarantee replay depends on).
+  dm::FrameView frame;
   /// Compute-phase seconds of the completing attempt (restored into the
   /// restarted run's records so turnaround accounting survives).
   Duration compute_s = 0.0;
@@ -68,8 +72,14 @@ struct CheckpointStats {
 /// Durable completed-frontier snapshots, one per in-flight application.
 class CheckpointStore {
  public:
-  /// Captures one finished task's output.  Idempotent per (app, task,
-  /// attempt); a higher attempt replaces the stored entry.
+  /// Captures one finished task's output frame (the wire image, shared
+  /// zero-copy with the links that carried it).  Idempotent per (app,
+  /// task, attempt); a higher attempt replaces the stored entry.
+  void record(AppId app, TaskId task, int attempt, HostId host,
+              dm::FrameView frame, Duration compute_s);
+
+  /// Convenience: captures a payload by copying its wire image into a
+  /// pooled frame (tests and callers without a frame at hand).
   void record(AppId app, TaskId task, int attempt, HostId host,
               const tasklib::Payload& output, Duration compute_s);
 

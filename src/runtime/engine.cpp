@@ -131,8 +131,11 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
       slot.attempts = entry->attempt;
       slot.outcome.completed = true;
       slot.outcome.compute_elapsed_s = entry->compute_s;
-      slot.outcome.payload = tasklib::Payload::from_wire(
-          std::move(entry->frame));
+      slot.outcome.payload =
+          tasklib::Payload::from_wire(entry->frame.to_vector());
+      // Keep the pinned frame: replay feeders send it zero-copy, and a
+      // re-capture below shares the same slab.
+      slot.outcome.output_frame = std::move(entry->frame);
       --live_count;
     }
     if (live_count != slots.size()) {
@@ -248,8 +251,12 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
             dm::MessageEndpoint out(
                 config_.library,
                 broker.open_send(dm::LinkKey{app, done, child}));
-            out.send(kPayloadTag,
-                     slots[slot_of.at(done)].outcome.payload.to_wire());
+            const Slot& src = slots[slot_of.at(done)];
+            if (src.outcome.output_frame.valid()) {
+              out.send_frame(kPayloadTag, src.outcome.output_frame);
+            } else {
+              out.send(kPayloadTag, src.outcome.payload.to_wire());
+            }
             out.close();
           } catch (const std::exception&) {
             // The consuming task's own receive error is authoritative.
@@ -332,6 +339,12 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
                 attempt_span.arg("outcome", slot.outcome.reschedule
                                                 ? "refused"
                                                 : "completed");
+                if (slot.outcome.completed) {
+                  attempt_span.arg("send_path",
+                                   slot.outcome.io_stats.copied_frames > 0
+                                       ? "heap_copy"
+                                       : "zero_copy");
+                }
               }
             }
             if (!slot.outcome.reschedule) break;
@@ -497,6 +510,12 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
                              !attempt_error.empty()  ? "error"
                              : outcome.reschedule    ? "refused"
                                                      : "completed");
+            if (attempt_error.empty() && outcome.completed) {
+              attempt_span.arg("send_path",
+                               outcome.io_stats.copied_frames > 0
+                                   ? "heap_copy"
+                                   : "zero_copy");
+            }
           }
           attempt_done.release();
         });
@@ -511,9 +530,12 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
                 dm::MessageEndpoint out(
                     config_.library,
                     broker.open_send(dm::LinkKey{app, parent, task}));
-                const auto wire =
-                    slots[slot_of.at(parent)].outcome.payload.to_wire();
-                out.send(kPayloadTag, wire);
+                const Slot& src = slots[slot_of.at(parent)];
+                if (src.outcome.output_frame.valid()) {
+                  out.send_frame(kPayloadTag, src.outcome.output_frame);
+                } else {
+                  out.send(kPayloadTag, src.outcome.payload.to_wire());
+                }
                 out.close();
               } catch (const std::exception&) {
                 // The attempt's own receive error is authoritative.
@@ -583,11 +605,20 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
           !slot.outcome.completed || slot.outcome.reschedule) {
         continue;
       }
-      checkpoint->record(app, slot.node->id, slot.attempts, slot.host,
-                         slot.outcome.payload,
-                         slot.outcome.compute_elapsed_s);
+      if (slot.outcome.output_frame.valid()) {
+        // Zero-copy capture: the store pins the very frame the send
+        // threads shipped.
+        checkpoint->record(app, slot.node->id, slot.attempts, slot.host,
+                           slot.outcome.output_frame,
+                           slot.outcome.compute_elapsed_s);
+        m_ckpt_bytes.add(slot.outcome.output_frame.size());
+      } else {
+        checkpoint->record(app, slot.node->id, slot.attempts, slot.host,
+                           slot.outcome.payload,
+                           slot.outcome.compute_elapsed_s);
+        m_ckpt_bytes.add(slot.outcome.payload.to_wire().size());
+      }
       m_ckpt_captured.add(1);
-      m_ckpt_bytes.add(slot.outcome.payload.to_wire().size());
     }
   }
 

@@ -144,6 +144,16 @@ std::vector<std::byte> Payload::to_wire() const {
   return out;
 }
 
+void Payload::write_wire(std::span<std::byte> out) const {
+  if (out.size() != wire_size()) {
+    throw StateError("write_wire buffer size mismatch");
+  }
+  out[0] = std::byte{static_cast<std::uint8_t>(type_)};
+  if (!bytes_.empty()) {
+    std::memcpy(out.data() + 1, bytes_.data(), bytes_.size());
+  }
+}
+
 Payload Payload::from_wire(std::vector<std::byte> wire) {
   if (wire.empty()) throw ParseError("empty payload wire image");
   const auto tag = static_cast<std::uint8_t>(wire.front());

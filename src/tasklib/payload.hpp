@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,15 @@ class Payload {
 
   /// The full wire image (type tag + body) to put on a channel.
   [[nodiscard]] std::vector<std::byte> to_wire() const;
+
+  /// Size of the full wire image in bytes (1 tag byte + body).
+  [[nodiscard]] std::size_t wire_size() const { return bytes_.size() + 1; }
+
+  /// Serializes the full wire image into a caller-provided buffer of
+  /// exactly wire_size() bytes — the allocation-free variant of
+  /// to_wire() used to fill pooled frames.  Throws StateError on a
+  /// size mismatch.
+  void write_wire(std::span<std::byte> out) const;
 
   // -- accessors (throw StateError on a type mismatch) -------------------
   [[nodiscard]] double as_scalar() const;

@@ -6,6 +6,7 @@
 // and produces output bit-identical to a fault-free run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -52,7 +53,7 @@ TEST(CheckpointStore, CapturesReplaysAndDrops) {
   EXPECT_EQ(entry->attempt, 1);
   EXPECT_EQ(entry->host, HostId(3));
   EXPECT_EQ(entry->compute_s, 0.5);
-  EXPECT_EQ(entry->frame, out.to_wire());
+  EXPECT_EQ(entry->frame.to_vector(), out.to_wire());
 
   EXPECT_FALSE(store.replay(app, TaskId(9)).has_value());
   EXPECT_FALSE(store.replay(AppId(2), TaskId(0)).has_value());
@@ -82,7 +83,7 @@ TEST(CheckpointStore, RecordIsIdempotentPerAttempt) {
   const auto entry = store.replay(app, TaskId(0));
   EXPECT_EQ(entry->attempt, 3);
   EXPECT_EQ(entry->host, HostId(5));
-  EXPECT_EQ(entry->frame, b.to_wire());
+  EXPECT_EQ(entry->frame.to_vector(), b.to_wire());
 
   store.record(app, TaskId(0), 2, HostId(9), a, 0.4);  // lower: ignored
   EXPECT_EQ(store.replay(app, TaskId(0))->attempt, 3);
@@ -91,6 +92,35 @@ TEST(CheckpointStore, RecordIsIdempotentPerAttempt) {
   EXPECT_EQ(stats.tasks_captured, 1u);
   EXPECT_EQ(stats.tasks_replaced, 1u);
   EXPECT_EQ(stats.bytes_captured, b.to_wire().size());
+}
+
+TEST(CheckpointStore, ReplayBitIdenticalAfterSlabRecycled) {
+  // D13 regression: the store holds a refcounted VIEW of the pooled
+  // frame, not a copy.  The view must pin its slab, so pool churn in the
+  // same size class after the originating Frame is gone cannot corrupt
+  // the captured bytes.
+  CheckpointStore store;
+  auto& pool = dm::FramePool::global();
+  const AppId app(7);
+
+  std::vector<std::byte> wire;
+  wire.reserve(4096);
+  for (int i = 0; i < 4096; ++i) {
+    wire.push_back(static_cast<std::byte>((i * 31) & 0xFF));
+  }
+  store.record(app, TaskId(1), 1, HostId(2), pool.copy_of(wire), 0.1);
+
+  // Churn the captured frame's size class hard; every one of these
+  // slabs is allocated, scribbled over, and recycled.
+  for (int i = 0; i < 256; ++i) {
+    dm::Frame f = pool.allocate(wire.size());
+    std::fill_n(f.data(), f.size(), std::byte{0xAA});
+  }
+
+  const auto entry = store.replay(app, TaskId(1));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->frame.to_vector(), wire);
+  store.drop_app(app);
 }
 
 // -------------------------------------------------- HostCircuitBreaker
