@@ -5,15 +5,16 @@
 //   * default: google-benchmark micro-benchmarks over real code paths
 //     (channel setup latency, point-to-point throughput, mp-library
 //     envelope overhead, heterogeneous data conversion);
-//   * --json [path] [--quick]: the D13 before/after sweep.  Runs the
-//     P4 endpoint pipeline over both transports and a range of frame
-//     sizes, once through the legacy copy path (VDCE_DM_LEGACY_COPY
-//     cost model: fresh heap buffer + memcpy per hop, blocking TCP
-//     receive) and once through the pooled zero-copy path, recording
-//     throughput, allocations per frame (via global operator new
-//     interposition), and p99 producer-to-consumer frame latency.
-//     Written to BENCH_datamgr.json by default; cited by EXPERIMENTS.md
-//     E19 and run as the datamgr-perf-smoke CI job.
+//   * --json [path] [--quick]: the D13/D14 sweep.  Runs the P4
+//     endpoint pipeline over both transports and a range of frame
+//     sizes; the TCP cells run twice, once with the event loop
+//     publishing every parsed frame individually (one queue lock +
+//     notify per frame) and once with batched publication (one lock +
+//     notify per wakeup), recording throughput, allocations per frame
+//     (via global operator new interposition), and p99
+//     producer-to-consumer frame latency.  Written to
+//     BENCH_datamgr.json by default; cited by EXPERIMENTS.md E19 and
+//     run as the datamgr-perf-smoke CI job.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -31,6 +32,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "datamgr/broker.hpp"
+#include "datamgr/event_loop.hpp"
 #include "datamgr/frame.hpp"
 #include "datamgr/mplib.hpp"
 #include "tasklib/payload.hpp"
@@ -238,21 +240,22 @@ BENCHMARK(BM_DataConversionTracks)->Arg(16)->Arg(256);
 struct CellResult {
   std::string transport;
   std::size_t size_bytes = 0;
-  std::string path;  // "legacy_copy" | "zero_copy"
+  std::string path;  // "per_frame_notify" | "batched_notify" | "zero_copy"
   std::size_t frames = 0;
   double throughput_mb_s = 0.0;
   double allocs_per_frame = 0.0;
   double p99_latency_us = 0.0;
 };
 
-/// One producer -> consumer P4 pipeline cell.  `legacy` selects the
-/// pre-D13 cost model (heap copy per hop, blocking TCP receive) vs the
-/// pooled zero-copy path; each era is driven through the API that era's
-/// Data Manager used.
-CellResult run_cell(TransportKind kind, std::size_t size, bool legacy,
+/// One producer -> consumer P4 pipeline cell over the pooled zero-copy
+/// path.  `batched` toggles the event loop's frame publication mode:
+/// off, every parsed frame pays its own queue lock + notify; on, a
+/// wakeup's worth of frames is published at once (only TCP cells go
+/// through the event loop, so the toggle is a no-op in-process).
+CellResult run_cell(TransportKind kind, std::size_t size, bool batched,
                     std::size_t frames) {
   using Clock = std::chrono::steady_clock;
-  dm::set_legacy_copy_mode(legacy);
+  dm::TcpEventLoop::set_batch_publish(batched);
 
   ChannelBroker broker(kind);
   const LinkKey key{common::AppId(1), common::TaskId(0), common::TaskId(1)};
@@ -269,13 +272,9 @@ CellResult run_cell(TransportKind kind, std::size_t size, bool legacy,
   std::vector<double> latencies(frames);
 
   const auto send_one = [&] {
-    if (legacy) {
-      tx.send(7, blob);  // the old path: WireWriter copy + vector send
-    } else {
-      dm::PreparedFrame prep = tx.prepare(7, blob.size());
-      std::memcpy(prep.body().data(), blob.data(), blob.size());
-      tx.send_prepared(prep.frame.view());
-    }
+    dm::PreparedFrame prep = tx.prepare(7, blob.size());
+    std::memcpy(prep.body().data(), blob.data(), blob.size());
+    tx.send_prepared(prep.frame.view());
   };
 
   std::atomic<std::uint64_t> allocs_in_window{0};
@@ -283,15 +282,9 @@ CellResult run_cell(TransportKind kind, std::size_t size, bool legacy,
   Clock::time_point t1;
   std::jthread consumer([&] {
     for (std::size_t i = 0; i < kWarmup + frames; ++i) {
-      if (legacy) {
-        auto msg = rx.receive();  // vector-copy receive of the old era
-        if (!msg) return;
-        benchmark::DoNotOptimize(msg->data);
-      } else {
-        auto msg = rx.receive_frame();
-        if (!msg) return;
-        benchmark::DoNotOptimize(msg->data);
-      }
+      auto msg = rx.receive_frame();
+      if (!msg) return;
+      benchmark::DoNotOptimize(msg->data);
       if (i >= kWarmup) {
         latencies[i - kWarmup] = std::chrono::duration<double, std::micro>(
                                      Clock::now() - stamps[i])
@@ -320,7 +313,9 @@ CellResult run_cell(TransportKind kind, std::size_t size, bool legacy,
   CellResult cell;
   cell.transport = kind == TransportKind::kInProcess ? "inproc" : "tcp";
   cell.size_bytes = size;
-  cell.path = legacy ? "legacy_copy" : "zero_copy";
+  cell.path = kind == TransportKind::kInProcess
+                  ? "zero_copy"
+                  : (batched ? "batched_notify" : "per_frame_notify");
   cell.frames = frames;
   const double seconds = std::chrono::duration<double>(t1 - t0).count();
   cell.throughput_mb_s =
@@ -362,7 +357,7 @@ int run_json_sweep(const std::string& out_path, bool quick) {
             : std::vector<std::size_t>{1 << 12, 1 << 16, 1 << 20, 16 << 20};
   const std::size_t target_bytes =
       quick ? (std::size_t{32} << 20) : (std::size_t{256} << 20);
-  const std::size_t largest = sizes.back();
+  const std::size_t smallest = sizes.front();
 
   std::vector<CellResult> cells;
   for (const auto kind :
@@ -370,8 +365,13 @@ int run_json_sweep(const std::string& out_path, bool quick) {
     for (const std::size_t size : sizes) {
       const std::size_t frames =
           std::clamp<std::size_t>(target_bytes / size, 32, 4096);
-      for (const bool legacy : {true, false}) {
-        cells.push_back(run_cell(kind, size, legacy, frames));
+      // The batching toggle only reaches the event loop, so in-process
+      // cells run once; TCP cells run before/after.
+      const std::vector<bool> modes = kind == TransportKind::kInProcess
+                                          ? std::vector<bool>{true}
+                                          : std::vector<bool>{false, true};
+      for (const bool batched : modes) {
+        cells.push_back(run_cell(kind, size, batched, frames));
         const auto& c = cells.back();
         std::cout << c.transport << " " << c.size_bytes << "B " << c.path
                   << ": " << c.throughput_mb_s << " MB/s, "
@@ -380,26 +380,27 @@ int run_json_sweep(const std::string& out_path, bool quick) {
       }
     }
   }
-  dm::set_legacy_copy_mode(false);
+  dm::TcpEventLoop::set_batch_publish(true);
 
-  // Headline ratios at the largest frame size (the numbers
-  // EXPERIMENTS.md E19 cites).  The in-process cells isolate the memory
-  // data path, where the copy removal is the whole story; the TCP cells
-  // are loopback-bandwidth-bound on throughput, so their win shows up
-  // in allocations per frame and tail latency instead.
-  const auto ratio = [&](const std::string& transport, auto pick) {
-    const auto& before = find_cell(cells, transport, largest, "legacy_copy");
-    const auto& after = find_cell(cells, transport, largest, "zero_copy");
-    return pick(before) / std::max(pick(after), 1e-9);
-  };
-  const auto throughput = [](const CellResult& c) {
-    return c.throughput_mb_s;
-  };
-  const auto allocs = [](const CellResult& c) { return c.allocs_per_frame; };
-  const double inproc_speedup = 1.0 / ratio("inproc", throughput);
-  const double tcp_speedup = 1.0 / ratio("tcp", throughput);
-  const double inproc_alloc_reduction = ratio("inproc", allocs);
-  const double tcp_alloc_reduction = ratio("tcp", allocs);
+  // Headline ratios at the smallest frame size (the numbers
+  // EXPERIMENTS.md E19 cites): tiny frames are where the per-frame
+  // lock + notify handoff dominated, so that cell shows the batching
+  // win; large frames are loopback-bandwidth-bound either way.
+  const auto& before = find_cell(cells, "tcp", smallest, "per_frame_notify");
+  const auto& after = find_cell(cells, "tcp", smallest, "batched_notify");
+  const double small_frame_speedup =
+      after.throughput_mb_s / std::max(before.throughput_mb_s, 1e-9);
+  const double small_frame_p99_improvement =
+      before.p99_latency_us / std::max(after.p99_latency_us, 1e-9);
+  // Regression guard: the zero-copy path must stay allocation-lean (a
+  // PR reintroducing per-hop copies shows up as this figure jumping).
+  double max_allocs_per_frame = 0.0;
+  for (const auto& c : cells) {
+    if (c.path != "per_frame_notify") {
+      max_allocs_per_frame = std::max(max_allocs_per_frame,
+                                      c.allocs_per_frame);
+    }
+  }
 
   std::ofstream out(out_path);
   if (!out) {
@@ -414,21 +415,17 @@ int run_json_sweep(const std::string& out_path, bool quick) {
   }
   out << "  ],\n";
   out << "  \"summary\": {\n";
-  out << "    \"largest_frame_bytes\": " << largest << ",\n";
-  out << "    \"large_frame_speedup\": " << inproc_speedup << ",\n";
-  out << "    \"large_frame_alloc_reduction\": "
-      << std::min(inproc_alloc_reduction, tcp_alloc_reduction) << ",\n";
-  out << "    \"inproc_large_frame_speedup\": " << inproc_speedup << ",\n";
-  out << "    \"inproc_large_frame_alloc_reduction\": "
-      << inproc_alloc_reduction << ",\n";
-  out << "    \"tcp_large_frame_speedup\": " << tcp_speedup << ",\n";
-  out << "    \"tcp_large_frame_alloc_reduction\": " << tcp_alloc_reduction
-      << "\n";
+  out << "    \"smallest_frame_bytes\": " << smallest << ",\n";
+  out << "    \"tcp_small_frame_batching_speedup\": " << small_frame_speedup
+      << ",\n";
+  out << "    \"tcp_small_frame_p99_improvement\": "
+      << small_frame_p99_improvement << ",\n";
+  out << "    \"max_allocs_per_frame\": " << max_allocs_per_frame << "\n";
   out << "  }\n}\n";
-  std::cout << "wrote " << out_path << " (" << largest
-            << "B frames: " << inproc_speedup
-            << "x in-memory throughput, " << tcp_alloc_reduction
-            << "x fewer allocs/frame over tcp)\n";
+  std::cout << "wrote " << out_path << " (" << smallest
+            << "B tcp frames: " << small_frame_speedup
+            << "x throughput, " << small_frame_p99_improvement
+            << "x lower p99 with batched publication)\n";
   return 0;
 }
 

@@ -1,0 +1,169 @@
+#include "daemon/site_daemon.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+
+#include "afg/serialize.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "netsim/config.hpp"
+#include "runtime/wire.hpp"
+
+namespace vdce::daemon {
+
+namespace wire = rt::wire;
+using common::TransportError;
+
+SiteDaemon::SiteDaemon(SiteDaemonConfig config)
+    : config_(config),
+      testbed_(netsim::make_campus_testbed(config.seed)) {
+  // Mirror the in-process per-site wiring exactly (the integration
+  // fixture's recipe): same repository contents, same forecaster, same
+  // Group Manager layout -- determinism depends on it.
+  for (const auto& name : tasklib::builtin_registry().all_tasks()) {
+    registry_.add(tasklib::builtin_registry().get(name));
+  }
+  repository_ = std::make_unique<repo::SiteRepository>(config_.site);
+  registry_.install_defaults(repository_->tasks());
+  testbed_.populate_repository(*repository_, config_.site);
+  repository_->users().add_user("hpdc", "nynet", 1, "wan");
+  forecaster_ = std::make_unique<predict::LoadForecaster>();
+  manager_ = std::make_unique<rt::SiteManager>(config_.site, *repository_,
+                                               *forecaster_);
+  control_ = std::make_unique<rt::ControlManager>(testbed_, config_.site,
+                                                  *manager_);
+  if (config_.heartbeat_port != 0) {
+    heartbeat_ = std::thread([this] { heartbeat_loop(); });
+  }
+}
+
+SiteDaemon::~SiteDaemon() {
+  request_stop();
+  if (heartbeat_.joinable()) heartbeat_.join();
+}
+
+void SiteDaemon::request_stop() {
+  if (!stop_.exchange(true)) listener_.close();
+}
+
+void SiteDaemon::heartbeat_loop() {
+  try {
+    auto channel = dm::tcp_connect(config_.heartbeat_port);
+    wire::Heartbeat beat;
+    beat.site = config_.site;
+    beat.pid = static_cast<std::int64_t>(::getpid());
+    beat.rpc_port = listener_.port();
+    beat.incarnation = config_.incarnation;
+    while (!stop_.load(std::memory_order_acquire)) {
+      ++beat.seq;
+      channel->send(wire::encode(beat));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(config_.heartbeat_period_s));
+    }
+  } catch (const TransportError& e) {
+    // The watchdog is gone: a daemon without a supervisor must not
+    // linger as an orphan.  Unblock serve() and exit.
+    common::log_warn("site_daemon", "heartbeat link lost (", e.what(),
+                     "), shutting down");
+    request_stop();
+  }
+}
+
+bool SiteDaemon::session(dm::TcpChannel& channel) {
+  for (;;) {
+    std::optional<std::vector<std::byte>> frame;
+    try {
+      frame = channel.receive();
+    } catch (const TransportError&) {
+      return true;  // coordinator vanished mid-frame: await the next one
+    }
+    if (!frame) return true;  // orderly disconnect: accept a successor
+    std::vector<std::byte> reply;
+    try {
+      switch (wire::peek_type(*frame)) {
+        case wire::MsgType::kTickRequest: {
+          const wire::TickRequest req = wire::decode_tick_request(*frame);
+          control_->tick(req.now);
+          reply = wire::encode(wire::Ack{});
+          break;
+        }
+        case wire::MsgType::kHostSelectionRequest: {
+          const wire::HostSelectionRequest req =
+              wire::decode_host_selection_request(*frame);
+          const afg::FlowGraph graph = afg::from_text(req.graph_text);
+          wire::HostSelectionResponse resp;
+          resp.selection =
+              manager_->host_selection_request(graph, req.threads);
+          reply = wire::encode(resp);
+          break;
+        }
+        case wire::MsgType::kReselectionRequest: {
+          const wire::ReselectionRequest req =
+              wire::decode_reselection_request(*frame);
+          afg::TaskNode node;
+          node.id = req.task;
+          node.library_task = req.library_task;
+          node.label = req.label;
+          node.props.input_size = req.input_size;
+          node.props.num_processors = req.num_processors;
+          node.props.mode = req.parallel ? afg::ComputeMode::kParallel
+                                         : afg::ComputeMode::kSequential;
+          wire::ReselectionResponse resp;
+          resp.selection = manager_->reschedule_request(node, req.excluded);
+          reply = wire::encode(resp);
+          break;
+        }
+        case wire::MsgType::kRecordTaskTime: {
+          const wire::RecordTaskTime req =
+              wire::decode_record_task_time(*frame);
+          manager_->record_task_time(req.library_task, req.elapsed_s);
+          reply = wire::encode(wire::Ack{});
+          break;
+        }
+        case wire::MsgType::kRescheduleRequest: {
+          control_->report_task_failure(
+              wire::decode_reschedule_request(*frame));
+          reply = wire::encode(wire::Ack{});
+          break;
+        }
+        case wire::MsgType::kShutdownRequest:
+          channel.send(wire::encode(wire::Ack{}));
+          return false;
+        default:
+          reply = wire::encode(wire::ErrorReply{
+              std::string("unexpected RPC message type: ") +
+              wire::to_string(wire::peek_type(*frame))});
+          break;
+      }
+    } catch (const common::VdceError& e) {
+      // Garbage frames, truncated payloads, and handler failures all
+      // surface to the coordinator as an ErrorReply; the session
+      // itself survives (one bad request must not take the site down).
+      reply = wire::encode(wire::ErrorReply{e.what()});
+    }
+    try {
+      channel.send(reply);
+    } catch (const TransportError&) {
+      return true;  // coordinator vanished between request and reply
+    }
+  }
+}
+
+int SiteDaemon::serve() {
+  common::log_info("site_daemon", "site ", config_.site.value(),
+                   " incarnation ", config_.incarnation, " serving on port ",
+                   listener_.port());
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::unique_ptr<dm::TcpChannel> channel;
+    try {
+      channel = listener_.accept();
+    } catch (const TransportError&) {
+      break;  // listener closed by request_stop()
+    }
+    if (!session(*channel)) break;
+  }
+  return 0;
+}
+
+}  // namespace vdce::daemon

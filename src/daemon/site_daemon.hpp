@@ -1,0 +1,93 @@
+// The site daemon: one site's control plane in its own OS process
+// (design D14).
+//
+// "At each site, the VDCE Server runs the server software, called site
+//  manager" (Section 2) -- and a server is a PROCESS, not an object in
+// the coordinator's address space.  `vdce_site_daemon` hosts exactly
+// the per-site stack the in-process wiring builds (SiteRepository +
+// LoadForecaster + SiteManager + ControlManager with its Group
+// Managers and Monitors) and speaks the wire.hpp protocol:
+//
+//   * an RPC listener on a kernel-assigned port serves one coordinator
+//     connection at a time (tick / host-selection / reselection /
+//     task-time / task-failure / shutdown); after a coordinator
+//     disconnect it accepts the next connection, which is how a
+//     restarted coordinator -- or a coordinator reattaching to a
+//     restarted daemon -- resumes;
+//   * a heartbeat connection beats into the watchdog, announcing the
+//     RPC port; losing that connection terminates the daemon (an
+//     orphan without a supervisor must not linger).
+//
+// Determinism: the daemon rebuilds its testbed from (preset seed)
+// alone, and the coordinator drives Control Manager ticks explicitly
+// over RPC, so a daemon-mode deployment reproduces the in-process
+// repository state tick for tick.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "datamgr/tcp.hpp"
+#include "netsim/testbed.hpp"
+#include "predict/forecaster.hpp"
+#include "repository/repository.hpp"
+#include "runtime/control_manager.hpp"
+#include "runtime/site_manager.hpp"
+#include "tasklib/registry.hpp"
+
+namespace vdce::daemon {
+
+struct SiteDaemonConfig {
+  common::SiteId site;
+  /// Campus-testbed seed; must match the coordinator's.
+  std::uint64_t seed = 13;
+  /// Watchdog heartbeat port; 0 = unsupervised (tests drive the RPC
+  /// port directly).
+  std::uint16_t heartbeat_port = 0;
+  double heartbeat_period_s = 0.05;
+  std::uint32_t incarnation = 1;
+};
+
+/// One site's out-of-process control plane.
+class SiteDaemon {
+ public:
+  /// Rebuilds the site stack and binds the RPC listener.
+  explicit SiteDaemon(SiteDaemonConfig config);
+  ~SiteDaemon();
+
+  SiteDaemon(const SiteDaemon&) = delete;
+  SiteDaemon& operator=(const SiteDaemon&) = delete;
+
+  [[nodiscard]] std::uint16_t rpc_port() const { return listener_.port(); }
+  [[nodiscard]] rt::SiteManager& manager() { return *manager_; }
+  [[nodiscard]] rt::ControlManager& control() { return *control_; }
+
+  /// Serves coordinator connections until a shutdown RPC arrives (or
+  /// the heartbeat link dies).  Returns the process exit code.
+  int serve();
+
+  /// Asks a serve() loop (possibly on another thread) to wind down
+  /// after its current session.
+  void request_stop();
+
+ private:
+  /// Serves one coordinator session; returns false when the daemon
+  /// should exit.
+  bool session(dm::TcpChannel& channel);
+  void heartbeat_loop();
+
+  SiteDaemonConfig config_;
+  netsim::VirtualTestbed testbed_;
+  tasklib::TaskRegistry registry_;
+  std::unique_ptr<repo::SiteRepository> repository_;
+  std::unique_ptr<predict::LoadForecaster> forecaster_;
+  std::unique_ptr<rt::SiteManager> manager_;
+  std::unique_ptr<rt::ControlManager> control_;
+  dm::TcpListener listener_;
+  std::atomic<bool> stop_{false};
+  std::thread heartbeat_;
+};
+
+}  // namespace vdce::daemon

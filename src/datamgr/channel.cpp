@@ -41,12 +41,11 @@ struct InProcCore {
 class InProcSender final : public Channel {
  public:
   explicit InProcSender(std::shared_ptr<InProcCore> core)
-      : core_(std::move(core)), legacy_(legacy_copy_mode()) {}
+      : core_(std::move(core)) {}
 
   void send(std::span<const std::byte> message) override {
     // One copy: caller's buffer into a frame.  Consumers then share it.
-    Frame frame = legacy_ ? FramePool::global().allocate_bypass(message.size())
-                          : FramePool::global().allocate(message.size());
+    Frame frame = FramePool::global().allocate(message.size());
     if (!message.empty()) {
       std::memcpy(frame.data(), message.data(), message.size());
     }
@@ -54,14 +53,6 @@ class InProcSender final : public Channel {
   }
 
   void send_frame(const FrameView& frame) override {
-    if (legacy_) {
-      // Legacy copy mode models the old path: a fresh heap buffer and a
-      // memcpy per send.
-      Frame copy = FramePool::global().allocate_bypass(frame.size());
-      if (!frame.empty()) std::memcpy(copy.data(), frame.data(), frame.size());
-      push(copy.view(), frame.size());
-      return;
-    }
     push(frame, frame.size());  // zero-copy: refcount bump only
   }
 
@@ -86,7 +77,6 @@ class InProcSender final : public Channel {
   }
 
   std::shared_ptr<InProcCore> core_;
-  const bool legacy_;
 };
 
 class InProcReceiver final : public Channel {

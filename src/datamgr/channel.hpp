@@ -78,8 +78,7 @@ struct InProcPair {
 };
 
 /// Creates a connected in-process channel pair backed by a message
-/// queue of frame views (zero-copy end to end unless legacy copy mode
-/// was active when the pair was made).
+/// queue of frame views (zero-copy end to end).
 [[nodiscard]] InProcPair make_inproc_pair();
 
 }  // namespace vdce::dm

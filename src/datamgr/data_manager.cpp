@@ -105,37 +105,12 @@ tasklib::Payload DataManager::run(const tasklib::TaskRegistry& registry,
   }
   if (console != nullptr) console->checkpoint();
 
-  // Send threads: replicate the output on every out-edge.  On the D13
-  // fast path the wire image is serialized ONCE into a pooled frame
-  // that every link (and the checkpoint capture, via output_frame())
-  // shares; legacy copy mode keeps the old buffer-per-link behaviour.
+  // Send threads: replicate the output on every out-edge.  The wire
+  // image is serialized ONCE into a pooled frame that every link (and
+  // the checkpoint capture, via output_frame()) shares.
   const std::size_t wire_n = output.wire_size();
-  const bool legacy = legacy_copy_mode();
   std::vector<std::string> send_errors(outputs_.size());
-  if (legacy) {
-    const auto wire = output.to_wire();
-    {
-      std::vector<std::jthread> send_threads;
-      send_threads.reserve(outputs_.size());
-      for (std::size_t i = 0; i < outputs_.size(); ++i) {
-        send_threads.emplace_back([this, i, &wire, &send_errors] {
-          try {
-            outputs_[i].send(kPayloadTag, wire);
-          } catch (const std::exception& e) {
-            send_errors[i] = e.what();
-          }
-        });
-      }
-    }  // join all send threads
-    output_frame_ = [&] {
-      Frame capture = FramePool::global().allocate_bypass(wire.size());
-      if (!wire.empty()) {
-        std::memcpy(capture.data(), wire.data(), wire.size());
-      }
-      return capture.view();
-    }();
-    stats_.copied_frames += outputs_.size();
-  } else if (library_ == MpLibrary::kPvm || outputs_.empty()) {
+  if (library_ == MpLibrary::kPvm || outputs_.empty()) {
     // PVM fragments the payload frame itself (no single envelope), and
     // a sink task still builds the frame so the checkpoint can pin it.
     Frame body = FramePool::global().allocate(wire_n);

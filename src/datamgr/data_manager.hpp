@@ -45,8 +45,6 @@ struct ExecutionStats {
   std::size_t messages_sent = 0;
   /// Sends that shared one pooled frame across links (D13 fast path).
   std::size_t zero_copy_frames = 0;
-  /// Sends that fell back to a per-link heap copy (legacy copy mode).
-  std::size_t copied_frames = 0;
 };
 
 /// Per-task Data Manager.

@@ -16,6 +16,18 @@ namespace vdce::dm {
 
 using common::TransportError;
 
+namespace {
+std::atomic<bool> g_batch_publish{true};
+}  // namespace
+
+void TcpEventLoop::set_batch_publish(bool on) {
+  g_batch_publish.store(on, std::memory_order_relaxed);
+}
+
+bool TcpEventLoop::batch_publish() {
+  return g_batch_publish.load(std::memory_order_relaxed);
+}
+
 TcpEventLoop::TcpEventLoop() {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) {
@@ -62,10 +74,12 @@ void TcpEventLoop::enqueue(Op op) {
 }
 
 void TcpEventLoop::add(int fd, std::shared_ptr<TcpRxState> state) {
+  registered_.fetch_add(1, std::memory_order_relaxed);
   enqueue(Op{Op::Kind::kAdd, fd, std::move(state)});
 }
 
 void TcpEventLoop::remove(int fd) {
+  registered_.fetch_sub(1, std::memory_order_relaxed);
   enqueue(Op{Op::Kind::kRemove, fd, nullptr});
 }
 
@@ -74,8 +88,7 @@ void TcpEventLoop::rearm(int fd) {
 }
 
 std::size_t TcpEventLoop::channel_count() const {
-  std::lock_guard lock(mu_);
-  return channels_.size();
+  return registered_.load(std::memory_order_relaxed);
 }
 
 void TcpEventLoop::arm(int fd, TcpRxState& st) {
@@ -106,7 +119,18 @@ void TcpEventLoop::fail_channel(int fd, TcpRxState& st,
 }
 
 void TcpEventLoop::finish_channel(int fd, TcpRxState& st) {
+  if (st.done) return;
   st.done = true;
+  if (!st.pending.empty()) {
+    // Publish frames parsed before the EOF/error; if the receiver
+    // already closed, drop them and undo the byte accounting.
+    std::size_t bytes = 0;
+    for (const FrameView& v : st.pending) bytes += v.size();
+    if (st.queue.push_many(st.pending) == 0) {
+      st.queued_bytes.fetch_sub(bytes, std::memory_order_release);
+      st.pending.clear();
+    }
+  }
   st.body.reset();
   disarm(fd, st);
   // Close AFTER the error is recorded: consumers drain queued frames,
@@ -155,6 +179,20 @@ void TcpEventLoop::apply_ops() {
   }
 }
 
+bool TcpEventLoop::flush(int fd, TcpRxState& st) {
+  if (st.pending.empty()) return true;
+  std::size_t bytes = 0;
+  for (const FrameView& v : st.pending) bytes += v.size();
+  if (st.queue.push_many(st.pending) == 0) {
+    // Receiver closed the channel: stop reading this connection.
+    st.queued_bytes.fetch_sub(bytes, std::memory_order_release);
+    st.pending.clear();
+    finish_channel(fd, st);
+    return false;
+  }
+  return true;
+}
+
 bool TcpEventLoop::deliver(int fd, TcpRxState& st) {
   FrameView view = st.body.view();
   st.body.reset();
@@ -162,18 +200,14 @@ bool TcpEventLoop::deliver(int fd, TcpRxState& st) {
   st.header_fill = 0;
   const std::size_t n = view.size();
   st.queued_bytes.fetch_add(n, std::memory_order_release);
-  if (!st.queue.push(std::move(view))) {
-    // Receiver closed the channel: stop reading this connection.
-    st.queued_bytes.fetch_sub(n, std::memory_order_release);
-    finish_channel(fd, st);
-    return false;
-  }
+  st.pending.push_back(std::move(view));
   if (st.queued_bytes.load(std::memory_order_acquire) >= kHighWaterBytes ||
-      st.queue.size() >= kMaxQueuedFrames) {
+      st.queue.size() + st.pending.size() >= kMaxQueuedFrames) {
+    if (!flush(fd, st)) return false;
     st.paused.store(true, std::memory_order_release);
     disarm(fd, st);
     // Re-check: the consumer may have drained (and skipped its rearm,
-    // seeing paused == false) between the push above and the pause.
+    // seeing paused == false) between the flush above and the pause.
     if (st.queued_bytes.load(std::memory_order_acquire) < kLowWaterBytes &&
         st.queue.size() < kMaxQueuedFrames) {
       st.paused.store(false, std::memory_order_release);
@@ -181,12 +215,17 @@ bool TcpEventLoop::deliver(int fd, TcpRxState& st) {
     } else {
       return false;
     }
+  } else if (!batch_publish() || st.pending.size() >= kFlushBatchFrames) {
+    if (!flush(fd, st)) return false;
   }
   return true;
 }
 
 void TcpEventLoop::service(int fd, TcpRxState& st) {
   if (st.done || st.paused.load(std::memory_order_acquire)) return;
+  // Parse until the socket runs dry, batching parsed frames in
+  // st.pending; the flush below publishes the whole wakeup's worth
+  // with one queue lock and one notify.
   for (;;) {
     if (!st.in_body) {
       const ssize_t r =
@@ -194,7 +233,7 @@ void TcpEventLoop::service(int fd, TcpRxState& st) {
                  st.header.size() - st.header_fill, 0);
       if (r < 0) {
         if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         fail_channel(fd, st, std::string("tcp recv: ") + std::strerror(errno));
         return;
       }
@@ -233,7 +272,7 @@ void TcpEventLoop::service(int fd, TcpRxState& st) {
                                st.body.size() - st.body_fill, 0);
       if (r < 0) {
         if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         fail_channel(fd, st, std::string("tcp recv: ") + std::strerror(errno));
         return;
       }
@@ -245,6 +284,7 @@ void TcpEventLoop::service(int fd, TcpRxState& st) {
       if (st.body_fill == st.body.size() && !deliver(fd, st)) return;
     }
   }
+  flush(fd, st);
 }
 
 void TcpEventLoop::run() {

@@ -67,6 +67,10 @@ struct TcpRxState {
   std::size_t body_fill = 0;
   bool armed = false;  // fd currently in the epoll interest set
   bool done = false;   // EOF or error: never read this fd again
+  /// Frames parsed this wakeup but not yet published to the queue;
+  /// flushed as one push_many (single lock + notify) when the socket
+  /// runs dry or the batch budget is hit.
+  std::vector<FrameView> pending;
 };
 
 /// The epoll loop servicing every TcpChannel fd.  One instance (and one
@@ -79,6 +83,9 @@ class TcpEventLoop {
   static constexpr std::size_t kLowWaterBytes = std::size_t{1} << 20;
   /// Frame-count backstop for floods of tiny messages.
   static constexpr std::size_t kMaxQueuedFrames = 4096;
+  /// Largest pending batch before a mid-service flush: bounds how long
+  /// a blocked consumer waits while the loop keeps parsing.
+  static constexpr std::size_t kFlushBatchFrames = 64;
 
   TcpEventLoop();
   ~TcpEventLoop();
@@ -97,7 +104,9 @@ class TcpEventLoop {
   /// backpressure.  Harmless if the fd is unpaused, done, or gone.
   void rearm(int fd);
 
-  /// Registered connections (test support).
+  /// Logically registered connections: counted at add()/remove() time,
+  /// not when the loop thread applies the op, so callers observe their
+  /// own registrations immediately (test support).
   [[nodiscard]] std::size_t channel_count() const;
 
   /// Stops and joins the loop thread.  Called automatically at process
@@ -108,6 +117,13 @@ class TcpEventLoop {
   /// joins its thread before static destructors tear down the metrics
   /// registry and frame pool it uses.
   [[nodiscard]] static TcpEventLoop& global();
+
+  /// Process-wide toggle for batched frame publication (on by default).
+  /// Off, every parsed frame is published with its own lock + notify —
+  /// the pre-batching behaviour kept for the bench_datamgr before/after
+  /// sweep.
+  static void set_batch_publish(bool on);
+  [[nodiscard]] static bool batch_publish();
 
  private:
   struct Op {
@@ -120,6 +136,7 @@ class TcpEventLoop {
   void apply_ops();
   void service(int fd, TcpRxState& st);
   bool deliver(int fd, TcpRxState& st);
+  bool flush(int fd, TcpRxState& st);
   void fail_channel(int fd, TcpRxState& st, const std::string& what);
   void finish_channel(int fd, TcpRxState& st);
   void arm(int fd, TcpRxState& st);
@@ -133,6 +150,10 @@ class TcpEventLoop {
 
   mutable std::mutex mu_;  // guards ops_ and channels_ mutations
   std::vector<Op> ops_;
+  // add()/remove() are exactly paired per channel (TcpChannel ctor and
+  // dtor), so this is the logical registration count -- channels_ only
+  // catches up once the loop thread applies the queued ops.
+  std::atomic<std::size_t> registered_{0};
   // Written only by the loop thread (under mu_ so channel_count() can
   // read from other threads); read lock-free by the loop thread.
   std::unordered_map<int, std::shared_ptr<TcpRxState>> channels_;

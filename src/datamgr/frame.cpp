@@ -1,9 +1,7 @@
 #include "datamgr/frame.hpp"
 
 #include <bit>
-#include <cstdlib>
 #include <cstring>
-#include <string_view>
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
@@ -22,11 +20,7 @@ void release(Slab* slab) noexcept {
   // acq_rel: the last releaser must observe every write the other
   // holders made before dropping their references.
   if (slab->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    if (slab->pool != nullptr) {
-      slab->pool->recycle(slab);
-    } else {
-      delete slab;  // bypass slab: heap-freed, never recycled
-    }
+    slab->pool->recycle(slab);
   }
 }
 
@@ -237,16 +231,6 @@ Frame FramePool::allocate(std::size_t size) {
   return Frame(slab);
 }
 
-Frame FramePool::allocate_bypass(std::size_t size) {
-  auto* slab = new detail::Slab;
-  slab->pool = nullptr;
-  slab->capacity = size;
-  slab->size = size;
-  slab->bytes = std::make_unique<std::byte[]>(size);
-  slab->refs.store(1, std::memory_order_relaxed);
-  return Frame(slab);
-}
-
 FrameView FramePool::copy_of(std::span<const std::byte> bytes) {
   Frame frame = allocate(bytes.size());
   if (!bytes.empty()) std::memcpy(frame.data(), bytes.data(), bytes.size());
@@ -292,28 +276,6 @@ FramePool& FramePool::global() {
   // local statics outlive every atexit-joined user of the pool.
   static FramePool* pool = new FramePool;
   return *pool;
-}
-
-// -- legacy copy mode ----------------------------------------------------
-
-namespace {
-
-std::atomic<bool>& legacy_flag() {
-  static std::atomic<bool> flag{[] {
-    const char* env = std::getenv("VDCE_DM_LEGACY_COPY");
-    return env != nullptr && *env != '\0' && std::string_view(env) != "0";
-  }()};
-  return flag;
-}
-
-}  // namespace
-
-bool legacy_copy_mode() {
-  return legacy_flag().load(std::memory_order_relaxed);
-}
-
-void set_legacy_copy_mode(bool on) {
-  legacy_flag().store(on, std::memory_order_relaxed);
 }
 
 }  // namespace vdce::dm

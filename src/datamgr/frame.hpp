@@ -18,12 +18,7 @@
 //     no bytes move.  subview() carves zero-copy sub-ranges (envelope
 //     bodies, PVM fragments).
 //   * A slab returns to its size-class free list when the owning Frame
-//     and every FrameView are gone.  Bypass slabs (legacy copy mode)
-//     skip the pool and are heap-freed instead.
-//
-// The legacy copy path (one fresh heap allocation + memcpy per hop) is
-// kept for one release behind VDCE_DM_LEGACY_COPY so the win can be
-// measured and the old behavior restored in the field if needed.
+//     and every FrameView are gone.
 #pragma once
 
 #include <atomic>
@@ -43,7 +38,7 @@ namespace detail {
 /// One pool slot: a reference-counted byte slab.  While `refs > 0` the
 /// slot cannot be recycled, so every FrameView over it is bit-stable.
 struct Slab {
-  FramePool* pool = nullptr;  // nullptr: bypass slab, heap-freed on release
+  FramePool* pool = nullptr;
   std::size_t capacity = 0;
   std::size_t size = 0;  // committed bytes of the current frame
   std::atomic<std::uint32_t> refs{0};
@@ -164,11 +159,6 @@ class FramePool {
   /// size class).  Contents are uninitialized.
   [[nodiscard]] Frame allocate(std::size_t size);
 
-  /// A heap frame that bypasses the free lists entirely: freed, not
-  /// recycled, on last release.  This is the faithful cost model of the
-  /// legacy copy path (one malloc per frame).
-  [[nodiscard]] Frame allocate_bypass(std::size_t size);
-
   /// Pool-allocates a frame holding a copy of `bytes` and returns a
   /// view of it (the transient owning Frame is dropped; the view keeps
   /// the slab alive).
@@ -196,15 +186,5 @@ class FramePool {
   std::vector<std::vector<detail::Slab*>> free_;
   FramePoolStats stats_;
 };
-
-/// Whether the Data Manager runs in legacy copy mode (fresh heap buffer
-/// + memcpy per hop, blocking per-channel TCP receive).  Seeded from
-/// the VDCE_DM_LEGACY_COPY environment variable at first use; channels
-/// sample it at construction.  Kept for one release as a fallback.
-[[nodiscard]] bool legacy_copy_mode();
-
-/// Overrides the legacy-mode flag (tests and bench).  Affects channels
-/// constructed after the call.
-void set_legacy_copy_mode(bool on);
 
 }  // namespace vdce::dm

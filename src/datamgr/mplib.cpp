@@ -58,45 +58,8 @@ MessageEndpoint::MessageEndpoint(MpLibrary library,
                                  std::uint32_t communicator)
     : library_(library),
       channel_(std::move(channel)),
-      communicator_(communicator),
-      legacy_(legacy_copy_mode()) {
+      communicator_(communicator) {
   common::expects(channel_ != nullptr, "MessageEndpoint needs a channel");
-}
-
-void MessageEndpoint::send_via_writer(int tag,
-                                      std::span<const std::byte> data) {
-  // Pre-D13 envelope construction: a WireWriter buffer per message.
-  // Wire-compatible with the prepared-frame path.
-  switch (library_) {
-    case MpLibrary::kP4: {
-      WireWriter w;
-      w.write_u8(static_cast<std::uint8_t>(MpLibrary::kP4));
-      w.write_u32(static_cast<std::uint32_t>(tag));
-      w.write_bytes(data);
-      channel_->send(w.bytes());
-      return;
-    }
-    case MpLibrary::kMpi: {
-      WireWriter w;
-      w.write_u8(static_cast<std::uint8_t>(MpLibrary::kMpi));
-      w.write_u32(communicator_);
-      w.write_u32(static_cast<std::uint32_t>(tag));
-      w.write_bytes(data);
-      channel_->send(w.bytes());
-      return;
-    }
-    case MpLibrary::kNcs: {
-      WireWriter w;
-      w.write_u8(static_cast<std::uint8_t>(MpLibrary::kNcs));
-      w.write_u32(send_seq_++);
-      w.write_u32(static_cast<std::uint32_t>(tag));
-      w.write_bytes(data);
-      channel_->send(w.bytes());
-      return;
-    }
-    case MpLibrary::kPvm:
-      break;  // handled by the caller
-  }
 }
 
 void MessageEndpoint::send(int tag, std::span<const std::byte> data) {
@@ -116,10 +79,6 @@ void MessageEndpoint::send(int tag, std::span<const std::byte> data) {
       const std::size_t len = std::min(kPvmFragment, data.size() - off);
       channel_->send(data.subspan(off, len));
     }
-    return;
-  }
-  if (legacy_) {
-    send_via_writer(tag, data);
     return;
   }
   // One pooled envelope, payload copied in exactly once.
@@ -148,10 +107,6 @@ void MessageEndpoint::send_frame(int tag, const FrameView& data) {
     }
     return;
   }
-  if (legacy_) {
-    send_via_writer(tag, data.bytes());
-    return;
-  }
   PreparedFrame prep = prepare(tag, data.size());
   if (!data.empty()) {
     std::memcpy(prep.body().data(), data.data(), data.size());
@@ -162,9 +117,7 @@ void MessageEndpoint::send_frame(int tag, const FrameView& data) {
 PreparedFrame MessageEndpoint::prepare(int tag, std::size_t body_size) {
   const std::size_t header = header_bytes(library_);
   PreparedFrame out;
-  out.frame = legacy_
-                  ? FramePool::global().allocate_bypass(header + body_size)
-                  : FramePool::global().allocate(header + body_size);
+  out.frame = FramePool::global().allocate(header + body_size);
   out.body_offset = header;
   std::byte* p = out.frame.data();
   p[0] = std::byte{static_cast<std::uint8_t>(library_)};
@@ -252,8 +205,7 @@ std::optional<TaggedFrame> MessageEndpoint::receive_frame_impl(
       msg.tag = static_cast<int>(r.read_u32());
       const std::uint32_t nfrag = r.read_u32();
       const std::uint64_t total = r.read_u64();
-      Frame out = legacy_ ? FramePool::global().allocate_bypass(total)
-                          : FramePool::global().allocate(total);
+      Frame out = FramePool::global().allocate(total);
       std::size_t fill = 0;
       for (std::uint32_t i = 0; i < nfrag; ++i) {
         auto frag = next_frame();

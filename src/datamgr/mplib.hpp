@@ -118,12 +118,10 @@ class MessageEndpoint {
  private:
   [[nodiscard]] std::optional<TaggedFrame> receive_frame_impl(
       double timeout_s);
-  void send_via_writer(int tag, std::span<const std::byte> data);
 
   MpLibrary library_;
   std::shared_ptr<Channel> channel_;
   std::uint32_t communicator_;
-  const bool legacy_;
   std::uint32_t send_seq_ = 0;
   std::uint32_t recv_seq_ = 0;
 };

@@ -11,7 +11,6 @@
 
 #include <cerrno>
 #include <chrono>
-#include <cmath>
 #include <cstring>
 #include <limits>
 #include <thread>
@@ -27,18 +26,6 @@ namespace {
 
 [[noreturn]] void fail(const std::string& what) {
   throw TransportError(what + ": " + std::strerror(errno));
-}
-
-void send_all(int fd, const std::byte* data, std::size_t n) {
-  std::size_t off = 0;
-  while (off < n) {
-    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      fail("tcp send");
-    }
-    off += static_cast<std::size_t>(w);
-  }
 }
 
 /// One scatter/gather write of header + body (the writev path of D13:
@@ -78,47 +65,6 @@ void sendv_all(int fd, std::span<const std::byte> header,
   }
 }
 
-/// Reads exactly n bytes; returns false on orderly EOF at a message
-/// boundary (off == 0), throws on mid-message EOF or errors.  A
-/// positive `timeout_s` arms SO_RCVTIMEO for the duration of the read;
-/// hitting it throws TransportError.  Legacy copy mode only.
-bool recv_all(int fd, std::byte* data, std::size_t n,
-              double timeout_s = 0.0) {
-  std::size_t off = 0;
-  while (off < n) {
-    const ssize_t r = ::recv(fd, data + off, n - off, 0);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      if (timeout_s > 0.0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        vdce::common::MetricsRegistry::global()
-            .counter("datamgr.deadline_expiries")
-            .add(1);
-        throw TransportError("tcp receive timed out after " +
-                             std::to_string(timeout_s) + "s");
-      }
-      fail("tcp recv");
-    }
-    if (r == 0) {
-      if (off == 0) return false;
-      throw TransportError("tcp peer closed mid-message");
-    }
-    off += static_cast<std::size_t>(r);
-  }
-  return true;
-}
-
-/// Sets (timeout_s > 0) or clears (timeout_s == 0) SO_RCVTIMEO.
-void set_recv_deadline(int fd, double timeout_s) {
-  timeval tv{};
-  if (timeout_s > 0.0) {
-    tv.tv_sec = static_cast<time_t>(timeout_s);
-    tv.tv_usec = static_cast<suseconds_t>(
-        (timeout_s - std::floor(timeout_s)) * 1e6);
-    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
-  }
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-}
-
 void encode_header(std::byte (&header)[4], std::size_t size) {
   const auto n = static_cast<std::uint32_t>(size);
   header[0] = std::byte{static_cast<std::uint8_t>(n >> 24)};
@@ -129,25 +75,19 @@ void encode_header(std::byte (&header)[4], std::size_t size) {
 
 }  // namespace
 
-TcpChannel::TcpChannel(int fd) : fd_(fd), legacy_(legacy_copy_mode()) {
+TcpChannel::TcpChannel(int fd) : fd_(fd) {
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  if (!legacy_) {
-    const int flags = ::fcntl(fd_, F_GETFL, 0);
-    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
-    rx_ = std::make_shared<TcpRxState>(kDefaultMaxMessageBytes);
-    TcpEventLoop::global().add(fd_, rx_);
-  }
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  rx_ = std::make_shared<TcpRxState>(kDefaultMaxMessageBytes);
+  TcpEventLoop::global().add(fd_, rx_);
 }
 
 TcpChannel::~TcpChannel() {
   if (fd_ < 0) return;
   ::shutdown(fd_, SHUT_RDWR);
-  if (legacy_) {
-    ::close(fd_);
-  } else {
-    TcpEventLoop::global().remove(fd_);  // the loop owns and closes the fd
-  }
+  TcpEventLoop::global().remove(fd_);  // the loop owns and closes the fd
   fd_ = -1;
 }
 
@@ -166,12 +106,7 @@ void TcpChannel::send_bytes(std::span<const std::byte> body) {
   }
   std::byte header[4];
   encode_header(header, body.size());
-  if (legacy_) {
-    send_all(fd_, header, 4);
-    send_all(fd_, body.data(), body.size());
-  } else {
-    sendv_all(fd_, std::span<const std::byte>(header, 4), body);
-  }
+  sendv_all(fd_, std::span<const std::byte>(header, 4), body);
   bytes_sent_.fetch_add(body.size(), std::memory_order_relaxed);
 }
 
@@ -216,36 +151,6 @@ std::optional<FrameView> TcpChannel::queue_pop(double timeout_s) {
                        std::to_string(timeout_s) + "s");
 }
 
-std::optional<FrameView> TcpChannel::legacy_receive(double timeout_s) {
-  if (fd_ < 0) return std::nullopt;
-  if (timeout_s > 0.0) set_recv_deadline(fd_, timeout_s);
-  struct DeadlineReset {
-    int fd;
-    bool armed;
-    ~DeadlineReset() {
-      if (armed) set_recv_deadline(fd, 0.0);
-    }
-  } reset{fd_, timeout_s > 0.0};
-  std::byte header[4];
-  if (!recv_all(fd_, header, 4, timeout_s)) return std::nullopt;
-  std::uint32_t n = 0;
-  for (int i = 0; i < 4; ++i) {
-    n = (n << 8) | static_cast<std::uint8_t>(header[i]);
-  }
-  const std::size_t limit = max_message_bytes_.load(std::memory_order_relaxed);
-  if (n > limit) {
-    throw TransportError("tcp frame header claims " + std::to_string(n) +
-                         " bytes, above the frame limit of " +
-                         std::to_string(limit) + " bytes (corrupt stream?)");
-  }
-  // A fresh heap buffer per message: the faithful pre-D13 cost model.
-  Frame body = FramePool::global().allocate_bypass(n);
-  if (n > 0 && !recv_all(fd_, body.data(), n, timeout_s)) {
-    throw TransportError("tcp peer closed mid-message");
-  }
-  return body.view();
-}
-
 std::optional<std::vector<std::byte>> TcpChannel::receive() {
   auto view = receive_frame();
   if (!view) return std::nullopt;
@@ -259,12 +164,10 @@ std::optional<std::vector<std::byte>> TcpChannel::receive_for(
   return view->to_vector();
 }
 
-std::optional<FrameView> TcpChannel::receive_frame() {
-  return legacy_ ? legacy_receive(0.0) : queue_pop(0.0);
-}
+std::optional<FrameView> TcpChannel::receive_frame() { return queue_pop(0.0); }
 
 std::optional<FrameView> TcpChannel::receive_frame_for(double timeout_s) {
-  return legacy_ ? legacy_receive(timeout_s) : queue_pop(timeout_s);
+  return queue_pop(timeout_s);
 }
 
 void TcpChannel::set_max_message_bytes(std::size_t limit) {
@@ -278,7 +181,7 @@ void TcpChannel::set_max_message_bytes(std::size_t limit) {
 void TcpChannel::close() {
   // Shut down only: the peer (and our event loop) gets an orderly EOF
   // instead of racing a reused descriptor.  The fd itself is released
-  // by the destructor (legacy) or the event loop (remove()).
+  // by the event loop (remove()).
   if (fd_ >= 0 && !shut_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
 }
 
@@ -308,9 +211,10 @@ TcpListener::TcpListener() : fd_(::socket(AF_INET, SOCK_STREAM, 0)) {
 TcpListener::~TcpListener() { close(); }
 
 std::unique_ptr<TcpChannel> TcpListener::accept() {
-  if (fd_ < 0) throw TransportError("accept on closed listener");
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) throw TransportError("accept on closed listener");
   for (;;) {
-    const int conn = ::accept(fd_, nullptr, nullptr);
+    const int conn = ::accept(fd, nullptr, nullptr);
     if (conn >= 0) return std::make_unique<TcpChannel>(conn);
     if (errno == EINTR) continue;
     fail("tcp accept");
@@ -319,11 +223,24 @@ std::unique_ptr<TcpChannel> TcpListener::accept() {
 
 std::unique_ptr<TcpChannel> TcpListener::accept_for(double timeout_s) {
   if (timeout_s <= 0.0) return accept();
-  if (fd_ < 0) throw TransportError("accept on closed listener");
-  pollfd pfd{fd_, POLLIN, 0};
-  const int timeout_ms = static_cast<int>(timeout_s * 1e3);
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) throw TransportError("accept on closed listener");
+  // Remaining time is recomputed from a monotonic deadline on every
+  // pass: an EINTR (or a connection that vanishes from the backlog)
+  // must not restart the full timeout, or a signal storm could stall
+  // the caller indefinitely past its deadline.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  pollfd pfd{fd, POLLIN, 0};
   for (;;) {
-    const int ready = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : 1);
+    const auto left = deadline - std::chrono::steady_clock::now();
+    const auto left_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(left).count();
+    if (left_ms <= 0) {
+      throw TransportError("tcp accept timed out after " +
+                           std::to_string(timeout_s) + "s");
+    }
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left_ms));
     if (ready < 0) {
       if (errno == EINTR) continue;
       fail("tcp accept poll");
@@ -337,9 +254,12 @@ std::unique_ptr<TcpChannel> TcpListener::accept_for(double timeout_s) {
 }
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    // close() alone does NOT wake a thread blocked in accept(2); only
+    // shutdown() forces the in-flight call to return (with EINVAL).
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

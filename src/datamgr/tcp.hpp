@@ -10,9 +10,7 @@
 // frames into pooled buffers and fills a per-channel queue;
 // receive()/receive_for() wait on that queue.  Sends are a single
 // scatter/gather sendmsg of header + body straight out of the caller's
-// buffer (or pooled frame) — no concatenation copy.  Legacy copy mode
-// (VDCE_DM_LEGACY_COPY) keeps the old blocking per-call receive and
-// two-syscall send for one release.
+// buffer (or pooled frame) — no concatenation copy.
 #pragma once
 
 #include <atomic>
@@ -37,9 +35,8 @@ class TcpChannel final : public Channel {
   static constexpr std::size_t kDefaultMaxMessageBytes =
       std::size_t{1} << 30;  // 1 GiB
 
-  /// Takes a connected socket fd.  In event-loop mode the fd becomes
-  /// non-blocking and its ownership passes to the loop; in legacy mode
-  /// the channel keeps it.
+  /// Takes a connected socket fd.  The fd becomes non-blocking and its
+  /// receive side is owned by the shared event loop.
   explicit TcpChannel(int fd);
   ~TcpChannel() override;
 
@@ -63,11 +60,9 @@ class TcpChannel final : public Channel {
 
  private:
   [[nodiscard]] std::optional<FrameView> queue_pop(double timeout_s);
-  [[nodiscard]] std::optional<FrameView> legacy_receive(double timeout_s);
   void send_bytes(std::span<const std::byte> body);
 
   int fd_;
-  const bool legacy_;
   std::atomic<bool> shut_{false};
   std::atomic<std::size_t> bytes_sent_{0};
   std::atomic<std::size_t> max_message_bytes_{kDefaultMaxMessageBytes};
@@ -98,7 +93,9 @@ class TcpListener {
   void close();
 
  private:
-  int fd_;
+  // Atomic because close() is the documented cross-thread way to wake
+  // a blocked accept(): the waker races the accepting thread's reads.
+  std::atomic<int> fd_;
   std::uint16_t port_ = 0;
 };
 

@@ -28,6 +28,7 @@ const char* to_string(ChaosEventKind kind) {
     case ChaosEventKind::kPartition: return "partition";
     case ChaosEventKind::kGrayHost: return "gray_host";
     case ChaosEventKind::kDeadlineStorm: return "deadline_storm";
+    case ChaosEventKind::kDaemonKill: return "daemon_kill";
   }
   return "unknown";
 }
@@ -141,8 +142,23 @@ void ChaosSchedule::apply(VirtualTestbed& bed) const {
       }
       case ChaosEventKind::kPartition:
         break;  // served via reachable(), never installed
+      case ChaosEventKind::kDaemonKill:
+        break;  // real process death: delivered by apply_processes()
     }
   }
+}
+
+void ChaosSchedule::apply_processes(
+    const std::function<void(SiteId)>& kill) const {
+  std::vector<const ChaosEvent*> kills;
+  for (const ChaosEvent& event : events_) {
+    if (event.kind == ChaosEventKind::kDaemonKill) kills.push_back(&event);
+  }
+  std::sort(kills.begin(), kills.end(),
+            [](const ChaosEvent* a, const ChaosEvent* b) {
+              return a->start < b->start;
+            });
+  for (const ChaosEvent* event : kills) kill(event->site);
 }
 
 bool ChaosSchedule::partitioned(SiteId a, SiteId b, TimePoint t) const {
@@ -192,6 +208,9 @@ std::string ChaosSchedule::summary() const {
       case ChaosEventKind::kPartition:
         out << " sites=" << event.site.value() << "<->"
             << event.other_site.value();
+        break;
+      case ChaosEventKind::kDaemonKill:
+        out << " site=" << event.site.value();
         break;
     }
     out << '\n';

@@ -21,7 +21,12 @@
 //                      the load guard, not the fault guard);
 //   * kDeadlineStorm   a burst of short crash pulses on one host --
 //                      receive deadlines fire repeatedly, which is
-//                      what trips the flapping-host circuit breaker.
+//                      what trips the flapping-host circuit breaker;
+//   * kDaemonKill      SIGKILL the site daemon PROCESS of one site
+//                      (D14): not a simulated window but a real
+//                      process death, delivered through the killer
+//                      callback of apply_processes() -- typically
+//                      Watchdog::kill_daemon.
 //
 // apply() installs the crash windows and load spikes into a
 // VirtualTestbed; partitions are kept inside the schedule and served
@@ -43,6 +48,7 @@ enum class ChaosEventKind {
   kPartition,
   kGrayHost,
   kDeadlineStorm,
+  kDaemonKill,
 };
 
 [[nodiscard]] const char* to_string(ChaosEventKind kind);
@@ -113,6 +119,13 @@ class ChaosSchedule {
   /// applying twice doubles nothing logically (windows merely overlap);
   /// call it once per testbed.
   void apply(VirtualTestbed& bed) const;
+
+  /// Fires every kDaemonKill event through `kill` (ordered by start
+  /// time).  The callback owns the mechanics -- in the daemon
+  /// deployments it is Watchdog::kill_daemon(site, SIGKILL), so the
+  /// schedule stays process-agnostic and composable with the simulated
+  /// fault kinds, which apply() installs separately.
+  void apply_processes(const std::function<void(SiteId)>& kill) const;
 
   /// Whether `host` is reachable from an observer in `observer` site at
   /// time `t`: the host must be truly alive (testbed windows) and no

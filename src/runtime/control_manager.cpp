@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "runtime/wire.hpp"
 
 namespace vdce::rt {
 
@@ -9,25 +10,37 @@ ControlManager::ControlManager(netsim::VirtualTestbed& testbed, SiteId site,
                                SiteManager& site_manager,
                                Duration monitor_period_s,
                                GroupManagerConfig group_config)
-    : site_manager_(&site_manager) {
+    : site_manager_(&site_manager),
+      transport_(std::make_unique<LoopbackControlTransport>(
+          static_cast<ControlSink&>(*this))) {
   for (const GroupId group : testbed.groups_in_site(site)) {
     group_managers_.emplace_back(testbed, group, monitor_period_s,
                                  group_config);
   }
 }
 
+void ControlManager::set_transport(
+    std::unique_ptr<ControlTransport> transport) {
+  common::expects(transport != nullptr, "control transport must be non-null");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  transport_ = std::move(transport);
+}
+
 void ControlManager::tick(TimePoint now) {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (GroupManager& gm : group_managers_) {
     GroupTickOutput out = gm.tick(now);
+    // Every message crosses the transport in wire form; with the
+    // default loopback the dispatch below lands back in on_workload /
+    // on_liveness / on_network synchronously.
     for (const WorkloadUpdate& u : out.workload_updates) {
-      site_manager_->handle_workload(u);
+      transport_->publish(wire::encode(u));
     }
     for (const LivenessChange& c : out.liveness_changes) {
-      site_manager_->handle_liveness(c);
+      transport_->publish(wire::encode(c));
     }
     for (const NetworkMeasurement& m : out.network_measurements) {
-      site_manager_->handle_network(m);
+      transport_->publish(wire::encode(m));
     }
   }
 }
@@ -42,6 +55,22 @@ void ControlManager::run_until(TimePoint from, TimePoint to,
 
 void ControlManager::report_task_failure(const RescheduleRequest& request) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  transport_->publish(wire::encode(request));
+}
+
+void ControlManager::on_workload(const WorkloadUpdate& update) {
+  site_manager_->handle_workload(update);
+}
+
+void ControlManager::on_liveness(const LivenessChange& change) {
+  site_manager_->handle_liveness(change);
+}
+
+void ControlManager::on_network(const NetworkMeasurement& measurement) {
+  site_manager_->handle_network(measurement);
+}
+
+void ControlManager::on_reschedule(const RescheduleRequest& request) {
   ++reschedule_requests_;
   common::MetricsRegistry::global()
       .counter("control.reschedule_requests")
@@ -67,6 +96,8 @@ ControlManagerStats ControlManager::stats() const {
     total.recoveries_detected += gm.stats().recoveries_detected;
   }
   total.reschedule_requests = reschedule_requests_;
+  total.control_messages_sent = transport_->stats().messages;
+  total.control_bytes_sent = transport_->stats().bytes;
   return total;
 }
 

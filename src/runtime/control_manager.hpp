@@ -8,11 +8,18 @@
 // tick(now) advances every Group Manager (which advances its Monitors)
 // and routes their outputs into the Site Manager; driving tick from a
 // VirtualClock gives a deterministic control plane.
+//
+// Since D14 every routed message crosses a ControlTransport in its
+// versioned wire encoding: the default loopback transport serializes,
+// decodes and dispatches synchronously, so the in-process deployments
+// exercise the exact byte format the site daemons speak.
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "runtime/control_transport.hpp"
 #include "runtime/group_manager.hpp"
 #include "runtime/site_manager.hpp"
 
@@ -26,10 +33,14 @@ struct ControlManagerStats {
   std::size_t recoveries_detected = 0;
   /// Reschedule requests routed through report_task_failure.
   std::size_t reschedule_requests = 0;
+  /// Control messages published through the transport, and their total
+  /// encoded size (the D14 coordination-traffic record).
+  std::size_t control_messages_sent = 0;
+  std::size_t control_bytes_sent = 0;
 };
 
 /// Per-site Resource Controller.
-class ControlManager {
+class ControlManager : private ControlSink {
  public:
   /// Builds one Group Manager per group of `site`.  `testbed` and
   /// `site_manager` must outlive the Control Manager.
@@ -55,6 +66,14 @@ class ControlManager {
   /// driver.
   void report_task_failure(const RescheduleRequest& request);
 
+  /// Replaces the default loopback transport.  The sink side of a
+  /// remote transport must dispatch into this site's Site Manager; set
+  /// before the first tick().
+  void set_transport(std::unique_ptr<ControlTransport> transport);
+  [[nodiscard]] const ControlTransport& transport() const {
+    return *transport_;
+  }
+
   [[nodiscard]] ControlManagerStats stats() const;
   [[nodiscard]] const std::vector<GroupManager>& group_managers() const {
     return group_managers_;
@@ -62,8 +81,17 @@ class ControlManager {
   [[nodiscard]] SiteManager& site_manager() { return *site_manager_; }
 
  private:
+  // ControlSink: the receiving half of the loopback transport.  Called
+  // synchronously under mutex_ (loopback publish happens inside
+  // tick()/report_task_failure()), so these must not re-lock.
+  void on_workload(const WorkloadUpdate& update) override;
+  void on_liveness(const LivenessChange& change) override;
+  void on_network(const NetworkMeasurement& measurement) override;
+  void on_reschedule(const RescheduleRequest& request) override;
+
   SiteManager* site_manager_;
   std::vector<GroupManager> group_managers_;
+  std::unique_ptr<ControlTransport> transport_;
   /// Serialises tick() and report_task_failure() over the Group
   /// Managers' tracking state and the Site Manager handlers.
   mutable std::mutex mutex_;

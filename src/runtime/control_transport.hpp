@@ -1,0 +1,116 @@
+// Control-plane transport abstraction (design D14).
+//
+// A ControlTransport carries ENCODED control messages (wire.hpp frames)
+// from a producer (Group Managers, Application Controllers) to a
+// ControlSink that decodes and dispatches them.  Two implementations:
+//
+//   * LoopbackControlTransport -- serialize, decode, dispatch
+//     synchronously in-process.  The default inside ControlManager, so
+//     every deployment (including the all-in-one-process tests) pays
+//     and validates the wire format on every message; a message that
+//     cannot round-trip fails in unit tests, not in the first
+//     multi-process deployment.
+//   * ChannelControlTransport -- publish each frame over a Data
+//     Manager Channel (in-proc pair or real TCP).  The remote end
+//     pumps frames into its own sink via drain_control_channel(); this
+//     is the Site-Manager-over-the-wire path the site daemon uses.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "datamgr/channel.hpp"
+#include "runtime/messages.hpp"
+
+namespace vdce::rt {
+
+/// Receiver of decoded control messages (the Site Manager side).
+class ControlSink {
+ public:
+  virtual ~ControlSink() = default;
+  virtual void on_workload(const WorkloadUpdate& update) = 0;
+  virtual void on_liveness(const LivenessChange& change) = 0;
+  virtual void on_network(const NetworkMeasurement& measurement) = 0;
+  virtual void on_reschedule(const RescheduleRequest& request) = 0;
+};
+
+/// Sink adapter dispatching straight into a SiteManager's handlers.
+/// Reschedule requests are dropped (the Site Manager is not their
+/// consumer; ControlManager overrides that route).
+class SiteManager;
+class SiteManagerSink final : public ControlSink {
+ public:
+  explicit SiteManagerSink(SiteManager& manager) : manager_(&manager) {}
+  void on_workload(const WorkloadUpdate& update) override;
+  void on_liveness(const LivenessChange& change) override;
+  void on_network(const NetworkMeasurement& measurement) override;
+  void on_reschedule(const RescheduleRequest&) override {}
+
+ private:
+  SiteManager* manager_;
+};
+
+/// Decodes one wire frame and routes it into `sink`.  Throws ParseError
+/// for garbage/truncated frames and for non-control message types (RPCs
+/// do not belong on a control channel).
+void dispatch_control_frame(std::span<const std::byte> frame,
+                            ControlSink& sink);
+
+/// Per-transport traffic counters.
+struct ControlTransportStats {
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+};
+
+/// One-way carrier of encoded control messages.
+class ControlTransport {
+ public:
+  virtual ~ControlTransport() = default;
+  /// Publishes one encoded control message (a wire.hpp frame).
+  virtual void publish(std::span<const std::byte> frame) = 0;
+  [[nodiscard]] const ControlTransportStats& stats() const { return stats_; }
+
+ protected:
+  void count(std::size_t bytes) {
+    ++stats_.messages;
+    stats_.bytes += bytes;
+  }
+
+ private:
+  ControlTransportStats stats_;
+};
+
+/// In-process transport: every publish decodes the frame and dispatches
+/// it to the sink before returning.  `sink` must outlive the transport.
+class LoopbackControlTransport final : public ControlTransport {
+ public:
+  explicit LoopbackControlTransport(ControlSink& sink) : sink_(&sink) {}
+  void publish(std::span<const std::byte> frame) override;
+
+ private:
+  ControlSink* sink_;
+};
+
+/// Socket-backed transport: frames travel over a Channel; the remote
+/// end drains them with drain_control_channel().  `channel` must
+/// outlive the transport.
+class ChannelControlTransport final : public ControlTransport {
+ public:
+  explicit ChannelControlTransport(dm::Channel& channel)
+      : channel_(&channel) {}
+  void publish(std::span<const std::byte> frame) override;
+
+ private:
+  dm::Channel* channel_;
+};
+
+/// Receives control frames from `channel` and dispatches each into
+/// `sink` until the channel closes (returns the number dispatched) or
+/// `max_messages` frames arrived (0 = unlimited).  ParseError from a
+/// garbage frame propagates — a control channel carrying junk is a
+/// wiring bug, not something to paper over.
+std::size_t drain_control_channel(dm::Channel& channel, ControlSink& sink,
+                                  std::size_t max_messages = 0);
+
+}  // namespace vdce::rt

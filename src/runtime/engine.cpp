@@ -339,12 +339,6 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
                 attempt_span.arg("outcome", slot.outcome.reschedule
                                                 ? "refused"
                                                 : "completed");
-                if (slot.outcome.completed) {
-                  attempt_span.arg("send_path",
-                                   slot.outcome.io_stats.copied_frames > 0
-                                       ? "heap_copy"
-                                       : "zero_copy");
-                }
               }
             }
             if (!slot.outcome.reschedule) break;
@@ -510,12 +504,6 @@ RunResult ExecutionEngine::execute(const afg::FlowGraph& graph,
                              !attempt_error.empty()  ? "error"
                              : outcome.reschedule    ? "refused"
                                                      : "completed");
-            if (attempt_error.empty() && outcome.completed) {
-              attempt_span.arg("send_path",
-                               outcome.io_stats.copied_frames > 0
-                                   ? "heap_copy"
-                                   : "zero_copy");
-            }
           }
           attempt_done.release();
         });

@@ -1,0 +1,351 @@
+#include "runtime/watchdog.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <optional>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "runtime/wire.hpp"
+
+namespace vdce::rt {
+
+using common::TransportError;
+
+double Watchdog::now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(std::move(config)) {
+  common::expects(!config_.daemon_path.empty(),
+                  "watchdog needs the site daemon binary path");
+  acceptor_ = std::thread([this] { accept_loop(); });
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::set_on_site_down(std::function<void(SiteId)> callback) {
+  const std::lock_guard lock(mu_);
+  on_site_down_ = std::move(callback);
+}
+
+void Watchdog::set_on_site_up(std::function<void(SiteId)> callback) {
+  const std::lock_guard lock(mu_);
+  on_site_up_ = std::move(callback);
+}
+
+std::uint16_t Watchdog::heartbeat_port() const { return listener_.port(); }
+
+void Watchdog::launch_locked(Daemon& d) {
+  ++d.incarnation;
+  if (d.incarnation > 1) {
+    ++d.restarts;
+    common::MetricsRegistry::global().counter("watchdog.restarts").add(1);
+  }
+  d.rpc_port = 0;
+  d.up = false;
+  d.last_beat_s = now_s();  // grace: the timeout clock starts at launch
+
+  const std::string site_arg = std::to_string(d.site.value());
+  const std::string seed_arg = std::to_string(config_.seed);
+  const std::string port_arg = std::to_string(listener_.port());
+  const std::string period_arg = std::to_string(config_.heartbeat_period_s);
+  const std::string incarnation_arg = std::to_string(d.incarnation);
+  const char* argv[] = {config_.daemon_path.c_str(),
+                        "--site", site_arg.c_str(),
+                        "--seed", seed_arg.c_str(),
+                        "--heartbeat-port", port_arg.c_str(),
+                        "--heartbeat-period", period_arg.c_str(),
+                        "--incarnation", incarnation_arg.c_str(),
+                        nullptr};
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw TransportError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec.
+    ::execv(config_.daemon_path.c_str(), const_cast<char* const*>(argv));
+    ::_exit(127);
+  }
+  d.pid = pid;
+}
+
+void Watchdog::spawn(SiteId site) {
+  const std::lock_guard lock(mu_);
+  common::expects(!stopping_, "watchdog is stopping");
+  auto [it, inserted] = daemons_.emplace(site, Daemon{});
+  common::expects(inserted, "site already supervised");
+  it->second.site = site;
+  launch_locked(it->second);
+}
+
+void Watchdog::accept_loop() {
+  for (;;) {
+    std::shared_ptr<dm::TcpChannel> channel;
+    try {
+      channel = listener_.accept();
+    } catch (const TransportError&) {
+      return;  // listener closed: shutting down
+    }
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    beat_channels_.push_back(channel);
+    readers_.emplace_back([this, channel] { beat_loop(channel); });
+  }
+}
+
+void Watchdog::beat_loop(std::shared_ptr<dm::TcpChannel> channel) {
+  // The (site, incarnation) this connection authenticated as via its
+  // first accepted beat; EOF of an authenticated current-incarnation
+  // connection is a death signal in its own right.
+  SiteId bound_site = SiteId::invalid();
+  std::uint32_t bound_incarnation = 0;
+  for (;;) {
+    std::optional<std::vector<std::byte>> frame;
+    try {
+      frame = channel->receive();
+    } catch (const TransportError&) {
+      frame.reset();  // mid-frame EOF: same as an orderly close here
+    }
+    if (!frame) break;
+    wire::Heartbeat beat;
+    try {
+      beat = wire::decode_heartbeat(*frame);
+    } catch (const common::ParseError& e) {
+      common::log_warn("watchdog", "dropping bad heartbeat frame: ",
+                       e.what());
+      continue;
+    }
+    bool fire_up = false;
+    std::function<void(SiteId)> up_cb;
+    {
+      std::lock_guard lock(mu_);
+      const auto it = daemons_.find(beat.site);
+      if (it == daemons_.end()) continue;
+      Daemon& d = it->second;
+      if (beat.incarnation != d.incarnation) continue;  // stale process
+      bound_site = beat.site;
+      bound_incarnation = beat.incarnation;
+      d.last_beat_s = now_s();
+      d.rpc_port = beat.rpc_port;
+      ++d.heartbeats;
+      if (!d.up) {
+        d.up = true;
+        fire_up = true;
+        up_cb = on_site_up_;
+      }
+    }
+    cv_.notify_all();
+    if (fire_up && up_cb) up_cb(bound_site);
+  }
+  // Connection gone.  If it belonged to the current incarnation and the
+  // daemon was considered up, that is a crash notice faster than the
+  // heartbeat deadline.
+  if (bound_incarnation == 0) return;
+  bool fire_down = false;
+  std::function<void(SiteId)> down_cb;
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    const auto it = daemons_.find(bound_site);
+    if (it == daemons_.end()) return;
+    Daemon& d = it->second;
+    if (d.incarnation != bound_incarnation || !d.up) return;
+    declare_down(d, "heartbeat connection lost");
+    fire_down = true;
+    down_cb = on_site_down_;
+  }
+  if (fire_down && down_cb) down_cb(bound_site);
+}
+
+void Watchdog::declare_down(Daemon& d, const std::string& why) {
+  // Lock held by the caller.  The daemon may still be running (hung);
+  // make the death real before restarting so two incarnations never
+  // serve the same site.
+  common::log_warn("watchdog", "site ", d.site.value(), " down (", why,
+                   "), pid ", d.pid);
+  common::MetricsRegistry::global().counter("watchdog.site_down").add(1);
+  d.up = false;
+  d.rpc_port = 0;
+  if (d.pid > 0) {
+    ::kill(static_cast<pid_t>(d.pid), SIGKILL);
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(d.pid), &status, 0);
+    d.pid = -1;
+  }
+  if (static_cast<int>(d.restarts) >= config_.max_restarts) {
+    d.abandoned = true;
+    return;
+  }
+  const double backoff =
+      config_.restart_backoff_s *
+      std::pow(config_.restart_backoff_multiplier,
+               static_cast<double>(d.restarts));
+  restart_queue_.emplace_back(now_s() + backoff, d.site);
+}
+
+void Watchdog::monitor_loop() {
+  const auto poll = std::chrono::duration<double>(
+      std::max(0.01, config_.heartbeat_period_s / 2.0));
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, poll, [this] { return stopping_; });
+    if (stopping_) return;
+    const double now = now_s();
+    std::vector<SiteId> downs;
+    for (auto& [site, d] : daemons_) {
+      if (d.pid <= 0) continue;
+      // A reaped child is the fastest SIGKILL detector...
+      int status = 0;
+      const pid_t reaped =
+          ::waitpid(static_cast<pid_t>(d.pid), &status, WNOHANG);
+      if (reaped == static_cast<pid_t>(d.pid)) {
+        d.pid = -1;
+        declare_down(d, "process exited");
+        downs.push_back(site);
+        continue;
+      }
+      // ...and the heartbeat deadline catches hangs and partitions.
+      if (d.up && now - d.last_beat_s > config_.heartbeat_timeout_s) {
+        declare_down(d, "missed heartbeat deadline");
+        downs.push_back(site);
+      } else if (!d.up && !d.abandoned &&
+                 now - d.last_beat_s > config_.heartbeat_timeout_s +
+                                           config_.restart_backoff_s) {
+        // Launched but never beat (crashed before the first beat).
+        declare_down(d, "no heartbeat after launch");
+        downs.push_back(site);
+      }
+    }
+    // Due restarts.
+    std::vector<std::pair<double, SiteId>> later;
+    for (const auto& [when, site] : restart_queue_) {
+      if (when > now) {
+        later.emplace_back(when, site);
+        continue;
+      }
+      const auto it = daemons_.find(site);
+      if (it == daemons_.end() || it->second.abandoned) continue;
+      launch_locked(it->second);
+    }
+    restart_queue_ = std::move(later);
+
+    if (!downs.empty()) {
+      auto cb = on_site_down_;
+      lock.unlock();
+      if (cb) {
+        for (const SiteId site : downs) cb(site);
+      }
+      lock.lock();
+    }
+  }
+}
+
+std::uint16_t Watchdog::rpc_port(SiteId site, double timeout_s) {
+  std::unique_lock lock(mu_);
+  const bool ok = cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_s), [&] {
+        const auto it = daemons_.find(site);
+        return stopping_ ||
+               (it != daemons_.end() && it->second.up &&
+                it->second.rpc_port != 0) ||
+               (it != daemons_.end() && it->second.abandoned);
+      });
+  const auto it = daemons_.find(site);
+  if (!ok || it == daemons_.end() || !it->second.up ||
+      it->second.rpc_port == 0) {
+    throw TransportError("no live daemon for site " +
+                         std::to_string(site.value()) + " within " +
+                         std::to_string(timeout_s) + "s");
+  }
+  return it->second.rpc_port;
+}
+
+DaemonStatus Watchdog::status(SiteId site) const {
+  const std::lock_guard lock(mu_);
+  const auto it = daemons_.find(site);
+  common::expects(it != daemons_.end(), "site not supervised");
+  const Daemon& d = it->second;
+  DaemonStatus s;
+  s.site = d.site;
+  s.pid = d.pid;
+  s.rpc_port = d.rpc_port;
+  s.incarnation = d.incarnation;
+  s.heartbeats = d.heartbeats;
+  s.up = d.up;
+  s.restarts = d.restarts;
+  s.abandoned = d.abandoned;
+  return s;
+}
+
+std::size_t Watchdog::total_restarts() const {
+  const std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [site, d] : daemons_) total += d.restarts;
+  return total;
+}
+
+void Watchdog::kill_daemon(SiteId site, int sig) {
+  std::int64_t pid = -1;
+  {
+    const std::lock_guard lock(mu_);
+    const auto it = daemons_.find(site);
+    common::expects(it != daemons_.end(), "site not supervised");
+    pid = it->second.pid;
+  }
+  if (pid > 0) ::kill(static_cast<pid_t>(pid), sig);
+}
+
+void Watchdog::stop() {
+  std::vector<std::shared_ptr<dm::TcpChannel>> channels;
+  std::vector<std::int64_t> pids;
+  {
+    const std::lock_guard lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    restart_queue_.clear();
+    channels = beat_channels_;
+    for (auto& [site, d] : daemons_) {
+      if (d.pid > 0) pids.push_back(d.pid);
+    }
+  }
+  cv_.notify_all();
+  listener_.close();  // unblocks accept_loop
+  for (const std::int64_t pid : pids) {
+    ::kill(static_cast<pid_t>(pid), SIGTERM);
+  }
+  // Brief grace, then make it final.
+  const double deadline = now_s() + 1.0;
+  for (const std::int64_t pid : pids) {
+    int status = 0;
+    for (;;) {
+      const pid_t r = ::waitpid(static_cast<pid_t>(pid), &status, WNOHANG);
+      if (r != 0) break;
+      if (now_s() > deadline) {
+        ::kill(static_cast<pid_t>(pid), SIGKILL);
+        ::waitpid(static_cast<pid_t>(pid), &status, 0);
+        break;
+      }
+      ::usleep(5000);
+    }
+  }
+  for (auto& channel : channels) channel->close();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (monitor_.joinable()) monitor_.join();
+  for (std::thread& t : readers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace vdce::rt

@@ -1,0 +1,157 @@
+// Process watchdog for site daemons (design D14).
+//
+// When the control plane leaves the coordinator's address space, the
+// per-site Site Manager runs inside a `vdce_site_daemon` OS process.
+// Something must notice when such a process dies -- SIGKILL leaves no
+// chance for a goodbye message -- and bring it back.  The Watchdog:
+//
+//   * spawns one daemon per supervised site (fork/exec of the
+//     vdce_site_daemon binary) and reaps it with waitpid;
+//   * listens on a TCP heartbeat port every daemon beats into; the
+//     first beat of an incarnation announces the daemon's
+//     kernel-assigned RPC port (the coordinator connects there);
+//   * declares a site DOWN on a missed-heartbeat deadline, a heartbeat
+//     connection EOF, or a reaped child -- whichever fires first --
+//     and invokes on_site_down (the hook the submission service's
+//     failover/circuit-breaker path subscribes to);
+//   * restarts the daemon with exponential backoff, bumping the
+//     incarnation so stale beats of the dead process are ignored, and
+//     invokes on_site_up once the reincarnation's first beat lands.
+//
+// Wall-clock by design: process supervision is inherently real-time
+// (there is no virtual clock across address spaces), so the tunables
+// below are real seconds and the tests use short periods.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "datamgr/tcp.hpp"
+
+namespace vdce::rt {
+
+using common::SiteId;
+
+struct WatchdogConfig {
+  /// Path to the vdce_site_daemon binary (tests inject the build-tree
+  /// path via the VDCE_SITE_DAEMON_PATH compile definition).
+  std::string daemon_path;
+  /// Testbed seed every daemon rebuilds its site from; must match the
+  /// coordinator's testbed for placement decisions to agree.
+  std::uint64_t seed = 13;
+  /// How often daemons beat (passed to them on the command line).
+  double heartbeat_period_s = 0.05;
+  /// Silence longer than this declares the site down.
+  double heartbeat_timeout_s = 1.0;
+  /// Restarts per site before the watchdog gives the site up for good.
+  int max_restarts = 3;
+  /// Exponential backoff before each restart attempt.
+  double restart_backoff_s = 0.05;
+  double restart_backoff_multiplier = 2.0;
+};
+
+/// Point-in-time supervision state of one daemon.
+struct DaemonStatus {
+  SiteId site;
+  std::int64_t pid = 0;
+  std::uint16_t rpc_port = 0;
+  std::uint32_t incarnation = 0;
+  std::uint64_t heartbeats = 0;
+  bool up = false;
+  std::size_t restarts = 0;
+  /// Set when the restart budget ran out.
+  bool abandoned = false;
+};
+
+/// Supervises site daemon processes over the heartbeat protocol.
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogConfig config);
+  /// Terminates every supervised daemon (SIGTERM, then SIGKILL) and
+  /// joins the supervision threads.
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Fired (outside the watchdog lock) when a site is declared down.
+  void set_on_site_down(std::function<void(SiteId)> callback);
+  /// Fired once a (re)started daemon's first heartbeat lands.
+  void set_on_site_up(std::function<void(SiteId)> callback);
+
+  /// Launches and supervises the daemon of `site`.
+  void spawn(SiteId site);
+
+  /// Blocks until the current incarnation's RPC port is known (first
+  /// heartbeat received) or `timeout_s` elapses; throws TransportError
+  /// on timeout.  After a restart this returns the NEW port.
+  [[nodiscard]] std::uint16_t rpc_port(SiteId site, double timeout_s = 10.0);
+
+  [[nodiscard]] DaemonStatus status(SiteId site) const;
+  /// Total restarts across all sites.
+  [[nodiscard]] std::size_t total_restarts() const;
+
+  /// Chaos support: delivers `sig` (e.g. SIGKILL) to the daemon of
+  /// `site`.  The death is then detected and handled exactly like any
+  /// organic crash.
+  void kill_daemon(SiteId site, int sig);
+
+  /// The heartbeat listener port (daemons connect here).
+  [[nodiscard]] std::uint16_t heartbeat_port() const;
+
+  /// Stops supervision and shuts every daemon down.  Idempotent.
+  void stop();
+
+ private:
+  struct Daemon {
+    SiteId site;
+    std::int64_t pid = -1;
+    std::uint32_t incarnation = 0;
+    std::uint16_t rpc_port = 0;
+    std::uint64_t heartbeats = 0;
+    /// steady-clock seconds of the last accepted beat.
+    double last_beat_s = 0.0;
+    bool up = false;
+    std::size_t restarts = 0;
+    bool abandoned = false;
+  };
+
+  void accept_loop();
+  void beat_loop(std::shared_ptr<dm::TcpChannel> channel);
+  void monitor_loop();
+  /// Fork/execs one daemon for `d` (lock held); bumps the incarnation.
+  void launch_locked(Daemon& d);
+  /// Declares `d` down and schedules its restart; returns the
+  /// callback to fire outside the lock (or nullptr).
+  void declare_down(Daemon& d, const std::string& why);
+  [[nodiscard]] static double now_s();
+
+  WatchdogConfig config_;
+  std::function<void(SiteId)> on_site_down_;
+  std::function<void(SiteId)> on_site_up_;
+
+  dm::TcpListener listener_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::map<SiteId, Daemon> daemons_;
+  /// Heartbeat channels, closed on stop() to unblock readers.
+  std::vector<std::shared_ptr<dm::TcpChannel>> beat_channels_;
+  /// Pending restart deadlines: (steady seconds, site).
+  std::vector<std::pair<double, SiteId>> restart_queue_;
+
+  std::thread acceptor_;
+  std::thread monitor_;
+  std::vector<std::thread> readers_;
+};
+
+}  // namespace vdce::rt

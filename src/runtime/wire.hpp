@@ -1,0 +1,180 @@
+// Versioned wire format for the control plane (design D14).
+//
+// Up to PR 6 the Resource Controller messages of messages.hpp travelled
+// as C++ structs inside one address space.  To host Site Managers in
+// separate OS processes every control message needs an explicit,
+// versioned serialization.  Each encoded message is
+//
+//     u8 magic (0xC7) | u8 version (1) | u8 type | payload
+//
+// carried as ONE Data Manager frame (the 4-byte length prefix of the
+// TCP transport delimits messages, so the wire format never needs its
+// own length field).  All scalars use the big-endian WireWriter codec.
+//
+// Compatibility contract:
+//   * decoders reject a wrong magic or an unknown version outright
+//     (ParseError) -- no silent misparse of foreign bytes;
+//   * decoders IGNORE trailing bytes after the fields they know, so a
+//     version-1 reader accepts a version-1 message extended with new
+//     trailing fields by a newer writer (the append-only evolution
+//     rule);
+//   * truncated payloads throw ParseError from the underlying reader.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "runtime/messages.hpp"
+#include "scheduler/host_selection.hpp"
+
+namespace vdce::afg {
+struct TaskNode;
+}
+
+namespace vdce::rt::wire {
+
+inline constexpr std::uint8_t kMagic = 0xC7;
+inline constexpr std::uint8_t kVersion = 1;
+
+/// Message discriminator (third header byte).  Append-only: existing
+/// values never change meaning.
+enum class MsgType : std::uint8_t {
+  kMonitorReport = 1,
+  kWorkloadUpdate = 2,
+  kLivenessChange = 3,
+  kNetworkMeasurement = 4,
+  kRescheduleRequest = 5,
+  kHeartbeat = 6,
+  // -- daemon RPCs ------------------------------------------------------
+  kTickRequest = 7,
+  kHostSelectionRequest = 8,
+  kHostSelectionResponse = 9,
+  kReselectionRequest = 10,
+  kReselectionResponse = 11,
+  kRecordTaskTime = 12,
+  kShutdownRequest = 13,
+  kAck = 14,
+  kErrorReply = 15,
+};
+
+[[nodiscard]] const char* to_string(MsgType type);
+
+/// A site daemon's liveness beacon to its watchdog.  The first beacon
+/// after a (re)start also announces the kernel-assigned RPC port.
+struct Heartbeat {
+  common::SiteId site;
+  std::int64_t pid = 0;
+  std::uint64_t seq = 0;
+  std::uint16_t rpc_port = 0;
+  /// Restart generation: 1 for the first launch, bumped by the
+  /// watchdog on every respawn so a stale pre-kill beacon can never be
+  /// mistaken for the reincarnation's.
+  std::uint32_t incarnation = 1;
+};
+
+/// Coordinator -> daemon: advance the site's Control Manager to `now`.
+struct TickRequest {
+  common::TimePoint now = 0.0;
+};
+
+/// Coordinator -> daemon: run the Host Selection Algorithm over the
+/// AFG (shipped in afg::to_text form).
+struct HostSelectionRequest {
+  std::string graph_text;
+  std::uint32_t threads = 1;
+};
+
+struct HostSelectionResponse {
+  sched::HostSelectionMap selection;
+};
+
+/// Coordinator -> daemon: re-place one task, excluding dead hosts.
+struct ReselectionRequest {
+  common::TaskId task;
+  std::string library_task;
+  std::string label;
+  double input_size = 1.0;
+  std::uint32_t num_processors = 1;
+  bool parallel = false;
+  std::vector<common::HostId> excluded;
+};
+
+struct ReselectionResponse {
+  sched::HostSelection selection;
+};
+
+/// Coordinator -> daemon: post-execution feedback for the
+/// task-performance database.
+struct RecordTaskTime {
+  std::string library_task;
+  common::Duration elapsed_s = 0.0;
+};
+
+/// Daemon -> coordinator: RPC succeeded with no payload.
+struct Ack {};
+
+/// Daemon -> coordinator: RPC failed; `what` carries the error text.
+struct ErrorReply {
+  std::string what;
+};
+
+// -- encoding ------------------------------------------------------------
+
+[[nodiscard]] std::vector<std::byte> encode(const MonitorReport& m);
+[[nodiscard]] std::vector<std::byte> encode(const WorkloadUpdate& m);
+[[nodiscard]] std::vector<std::byte> encode(const LivenessChange& m);
+[[nodiscard]] std::vector<std::byte> encode(const NetworkMeasurement& m);
+[[nodiscard]] std::vector<std::byte> encode(const RescheduleRequest& m);
+[[nodiscard]] std::vector<std::byte> encode(const Heartbeat& m);
+[[nodiscard]] std::vector<std::byte> encode(const TickRequest& m);
+[[nodiscard]] std::vector<std::byte> encode(const HostSelectionRequest& m);
+[[nodiscard]] std::vector<std::byte> encode(const HostSelectionResponse& m);
+[[nodiscard]] std::vector<std::byte> encode(const ReselectionRequest& m);
+[[nodiscard]] std::vector<std::byte> encode(const ReselectionResponse& m);
+[[nodiscard]] std::vector<std::byte> encode(const RecordTaskTime& m);
+[[nodiscard]] std::vector<std::byte> encode(const Ack&);
+[[nodiscard]] std::vector<std::byte> encode(const ErrorReply& m);
+/// ShutdownRequest carries no payload; encoded directly.
+[[nodiscard]] std::vector<std::byte> encode_shutdown();
+
+/// Builds a ReselectionRequest from an AFG node (the coordinator-side
+/// convenience; the daemon reconstructs an equivalent node).
+[[nodiscard]] ReselectionRequest make_reselection_request(
+    const afg::TaskNode& node, const std::vector<common::HostId>& excluded);
+
+// -- decoding ------------------------------------------------------------
+
+/// Validates the 3-byte header and returns the message type.  Throws
+/// ParseError on a short buffer, wrong magic, or unknown version.
+[[nodiscard]] MsgType peek_type(std::span<const std::byte> frame);
+
+[[nodiscard]] MonitorReport decode_monitor_report(
+    std::span<const std::byte> frame);
+[[nodiscard]] WorkloadUpdate decode_workload_update(
+    std::span<const std::byte> frame);
+[[nodiscard]] LivenessChange decode_liveness_change(
+    std::span<const std::byte> frame);
+[[nodiscard]] NetworkMeasurement decode_network_measurement(
+    std::span<const std::byte> frame);
+[[nodiscard]] RescheduleRequest decode_reschedule_request(
+    std::span<const std::byte> frame);
+[[nodiscard]] Heartbeat decode_heartbeat(std::span<const std::byte> frame);
+[[nodiscard]] TickRequest decode_tick_request(
+    std::span<const std::byte> frame);
+[[nodiscard]] HostSelectionRequest decode_host_selection_request(
+    std::span<const std::byte> frame);
+[[nodiscard]] HostSelectionResponse decode_host_selection_response(
+    std::span<const std::byte> frame);
+[[nodiscard]] ReselectionRequest decode_reselection_request(
+    std::span<const std::byte> frame);
+[[nodiscard]] ReselectionResponse decode_reselection_response(
+    std::span<const std::byte> frame);
+[[nodiscard]] RecordTaskTime decode_record_task_time(
+    std::span<const std::byte> frame);
+[[nodiscard]] ErrorReply decode_error_reply(std::span<const std::byte> frame);
+
+}  // namespace vdce::rt::wire

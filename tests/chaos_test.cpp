@@ -225,6 +225,7 @@ TEST(ChaosSchedule, ProtectedSitesAreNeverTargeted) {
         EXPECT_NE(bed.site_of(event.host), SiteId(0));
         break;
       case netsim::ChaosEventKind::kSiteOutage:
+      case netsim::ChaosEventKind::kDaemonKill:
         EXPECT_NE(event.site, SiteId(0));
         break;
       case netsim::ChaosEventKind::kPartition:

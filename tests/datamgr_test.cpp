@@ -728,18 +728,6 @@ TEST(FramePool, SubviewSharesTheSlab) {
   EXPECT_THROW((void)whole.subview(60, 8), StateError);
 }
 
-TEST(FramePool, BypassSlabsSkipTheFreeLists) {
-  FramePool pool;
-  {
-    Frame f = pool.allocate_bypass(4096);
-    EXPECT_GE(f.capacity(), 4096u);
-    f.data()[0] = std::byte{1};
-  }
-  // Freed, not parked: the legacy cost model keeps its malloc-per-frame.
-  EXPECT_EQ(pool.stats().free_slabs, 0u);
-  EXPECT_EQ(pool.stats().bytes_in_use, 0u);
-}
-
 TEST(FramePool, HighWaterTracksPeakUse) {
   FramePool pool;
   {
@@ -887,39 +875,6 @@ TEST(TcpChannel, EventLoopKeepsThreadCountFlat) {
   EXPECT_EQ(string_of(*ends[0]->receive()), "ping");
   ends[33]->send(bytes_of("pong"));
   EXPECT_EQ(string_of(*ends[32]->receive()), "pong");
-}
-
-TEST(LegacyCopyMode, ChannelsRoundTripIdentically) {
-  // The VDCE_DM_LEGACY_COPY fallback must behave exactly like the
-  // zero-copy path at the message level (only the cost model differs).
-  struct Guard {
-    Guard() { set_legacy_copy_mode(true); }
-    ~Guard() { set_legacy_copy_mode(false); }
-  } guard;
-
-  auto pair = make_inproc_pair();
-  pair.sender->send(bytes_of("legacy bytes"));
-  EXPECT_EQ(string_of(*pair.receiver->receive()), "legacy bytes");
-  pair.sender->send_frame(FramePool::global().copy_of(bytes_of("legacy frame")));
-  EXPECT_EQ(string_of(pair.receiver->receive_frame()->to_vector()),
-            "legacy frame");
-
-  TcpListener listener;
-  std::unique_ptr<TcpChannel> server_end;
-  std::jthread acceptor([&] { server_end = listener.accept(); });
-  auto client_end = tcp_connect(listener.port());
-  acceptor.join();
-  client_end->send(bytes_of("legacy tcp"));
-  EXPECT_EQ(string_of(*server_end->receive()), "legacy tcp");
-
-  auto mp_pair = make_inproc_pair();
-  MessageEndpoint tx(MpLibrary::kP4, mp_pair.sender);
-  MessageEndpoint rx(MpLibrary::kP4, mp_pair.receiver);
-  tx.send(3, bytes_of("legacy envelope"));
-  const auto msg = rx.receive();
-  ASSERT_TRUE(msg.has_value());
-  EXPECT_EQ(msg->tag, 3);
-  EXPECT_EQ(string_of(msg->data), "legacy envelope");
 }
 
 TEST_P(MpLibSweep, FrameRoundTrip) {
