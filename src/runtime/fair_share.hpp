@@ -1,0 +1,175 @@
+// Sharded stride fair-share ready queue (DESIGN.md D15).
+//
+// The admission front door of PR 4 picked the next grant with an O(n)
+// scan over every queued submission and kept every user's stride pass
+// in one flat map under the service's global lock -- fine at 32
+// submitters, hopeless at the paper's "many users share the VDCE"
+// scale.  This queue is the sublinear replacement:
+//
+//   * per-user FIFOs keyed by submission sequence number, with an
+//     ordered (pass, head-seq) index per shard: a grant is "take the
+//     globally lowest (pass, seq)" in O(shards + log users);
+//   * users are sharded by name hash, each shard behind its own lock,
+//     so concurrent submitters contend per shard rather than on one
+//     global mutex;
+//   * the stride virtual clock renormalizes itself before double
+//     precision can swallow low-weight pass increments (the 2^53
+//     drift bug), and idle users whose pass has been overtaken by the
+//     grant clock are evicted -- dropping them is invisible, because a
+//     returning user is clamped to the grant clock anyway;
+//   * a (priority, seq) index per shard supports the load-shedding
+//     tiers: preempt-the-lowest-priority-youngest on queue overflow,
+//     and bulk shedding below a priority cutoff.
+//
+// Stride semantics are exactly PR 4's: the queued submission whose
+// user has the lowest pass wins, ties break on global submission
+// order, and a grant advances the winner's pass by 1/weight.  New and
+// returning users join at the current grant pass, never behind it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace vdce::rt {
+
+/// Tunables of the sharded stride queue.
+struct FairShareConfig {
+  /// User-hash shards (each with its own lock and indexes).
+  std::size_t shards = 16;
+  /// Renormalize every pass against the grant clock once the clock
+  /// crosses this value, so pass increments as small as 1/max-weight
+  /// never fall below double precision (the 2^53 drift bug).
+  double renorm_threshold = 1e9;
+  /// Per-shard bound on tracked users.  Idle users with the least
+  /// outstanding stride debt are evicted first once a shard exceeds
+  /// it; users with queued work are never evicted.
+  std::size_t max_shares_per_shard = 4096;
+};
+
+/// One queued submission inside the fair-share race.
+struct FairShareEntry {
+  common::AppId app;
+  /// Global submission order (FIFO tie-break within and across users).
+  std::uint64_t seq = 0;
+  /// Admission priority tier (higher survives shedding longer).
+  int priority = 0;
+  /// Stride weight of the submission (> 0); the grant advances the
+  /// user's pass by 1/weight.
+  double weight = 1.0;
+  /// Entries admitted straight into a free slot are not eligible for
+  /// preemption or shedding (their admission already counted them as
+  /// running work, not queue backlog).
+  bool preemptible = true;
+};
+
+/// Point-in-time queue counters.
+struct FairShareStats {
+  std::size_t queued = 0;
+  std::size_t users = 0;
+  std::uint64_t renormalizations = 0;
+  std::uint64_t shares_evicted = 0;
+};
+
+/// Thread-safe sharded stride scheduler.  All operations are safe to
+/// call concurrently; pop/preempt/shed serialize on an internal grant
+/// lock (grant order must be a total order), while push only takes the
+/// owning user's shard lock.
+class FairShareQueue {
+ public:
+  explicit FairShareQueue(FairShareConfig config = {});
+
+  /// Enqueues one submission for `user`.  First-seen and returning
+  /// (previously idle) users join at the current grant pass -- a user
+  /// who sat out while others raced can never return with a stale low
+  /// pass and sweep every grant (the PR 8 starvation fix).
+  void push(const std::string& user, FairShareEntry entry);
+
+  /// Removes and returns the stride winner: lowest user pass, FIFO
+  /// seq tie-break.  Advances the winner's pass by 1/weight and the
+  /// grant clock to the winner's pre-advance pass.  Empty queue
+  /// returns nullopt.
+  [[nodiscard]] std::optional<FairShareEntry> pop();
+
+  /// Load-shedding tier 2: removes and returns the youngest entry of
+  /// the lowest priority tier strictly below `priority`, or nullopt
+  /// when nothing preemptible qualifies.  Does not advance the grant
+  /// clock (the victim never ran).
+  [[nodiscard]] std::optional<FairShareEntry> preempt_below(int priority);
+
+  /// Load-shedding tier 3: removes every preemptible entry with
+  /// priority strictly below `priority` (ascending seq order).
+  [[nodiscard]] std::vector<FairShareEntry> shed_below(int priority);
+
+  /// Lowest priority currently queued among preemptible entries.
+  [[nodiscard]] std::optional<int> lowest_priority() const;
+
+  [[nodiscard]] std::size_t size() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t user_count() const;
+  /// The stride virtual clock: the pass of the latest grant.
+  [[nodiscard]] double grant_pass() const {
+    return grant_pass_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] FairShareStats stats() const;
+  [[nodiscard]] const FairShareConfig& config() const { return config_; }
+
+  /// Test hook: jumps the grant clock (e.g. next to 2^53) so the
+  /// precision-drift regression test does not need 10^15 real grants.
+  void set_grant_pass_for_test(double pass);
+
+ private:
+  /// One user's stride state: the pass plus a seq-ordered FIFO.
+  struct Share {
+    double pass = 0.0;
+    std::map<std::uint64_t, FairShareEntry> fifo;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Share> shares;
+    /// (pass, head seq) -> user, for users with queued work.  The
+    /// begin() of this map is the shard's stride winner.
+    std::map<std::pair<double, std::uint64_t>, std::string> order;
+    /// (priority, seq) -> user, one per preemptible queued entry.
+    std::map<std::pair<int, std::uint64_t>, std::string> prio;
+    /// (pass, user) for idle users (empty FIFO), ordered by how little
+    /// stride debt they still owe -- the eviction order.
+    std::set<std::pair<double, std::string>> idle;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& user);
+  /// Drops idle users the grant clock has overtaken (invisible: they
+  /// would be clamped back to the clock on return anyway) and, over
+  /// the per-shard cap, the least-indebted idle users.  Shard lock
+  /// held.
+  void sweep_idle_locked(Shard& shard);
+  /// Removes the queued entry `seq` of `user` from every index.
+  /// Shard lock held.
+  FairShareEntry remove_entry_locked(Shard& shard, const std::string& user,
+                                     std::uint64_t seq);
+  /// Subtracts the grant clock from every pass once it crosses the
+  /// renormalization threshold.  Grant lock held, no shard lock held.
+  void maybe_renormalize();
+
+  FairShareConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Serializes grant-order decisions (pop/preempt/shed/renormalize).
+  mutable std::mutex grant_mu_;
+  std::atomic<double> grant_pass_{0.0};
+  std::atomic<std::size_t> total_{0};
+  std::atomic<std::uint64_t> renormalizations_{0};
+  std::atomic<std::uint64_t> shares_evicted_{0};
+};
+
+}  // namespace vdce::rt

@@ -151,8 +151,17 @@ struct AppSubmissionService::AppRecord {
   bool counted_queued = false;
   bool charged = false;
   sched::HostOccupancy charge;  // exactly what charge_locked added
+  double pred_charged = 0.0;    // ETA charge added to pending_pred_s_
   RunResult result;
   std::string error;
+};
+
+/// One submission mid-flight through submit_batch's phases: the record
+/// plus whether placement succeeded (phase C) and admission still owes
+/// it a QoS verdict (phase D).
+struct AppSubmissionService::Prepared {
+  std::shared_ptr<AppRecord> rec;
+  bool needs_qos = false;
 };
 
 AppSubmissionService::AppSubmissionService(
@@ -163,6 +172,7 @@ AppSubmissionService::AppSubmissionService(
       registry_(&registry),
       config_(config),
       breaker_(config.breaker),
+      queue_(config.fair_share),
       paused_(config.start_paused) {
   config_.slots = std::max<std::size_t>(config_.slots, 1);
   // An open transition version-bumps every registered forecaster via
@@ -202,151 +212,238 @@ void AppSubmissionService::add_forecaster(
 }
 
 common::AppId AppSubmissionService::submit(SubmissionRequest request) {
-  request.graph.validate();
-  auto rec = std::make_shared<AppRecord>();
-  rec->request = std::move(request);
-
-  std::lock_guard lk(mu_);
-  if (shutdown_) {
-    throw common::StateError("submission service is shut down");
-  }
-  rec->app = common::AppId{next_ticket_++};
-  rec->seq = next_seq_++;
-  ++stats_.submitted;
-  bump("submission.submitted");
-  records_.emplace(rec->app, rec);
-
-  common::ScopedSpan span("submit", "submission");
-  if (span.active()) {
-    span.rename("submit:" + rec->request.graph.name());
-    span.arg("app", rec->app.value());
-    span.arg("user", rec->request.user);
-  }
-
-  // Figure 4: a per-submission Site Scheduler places the AFG against
-  // the directory's current view (serialised under mu_, so admission
-  // bookkeeping is deterministic in submission order).
-  try {
-    sched::SiteScheduler scheduler(local_site_, *directory_,
-                                   config_.scheduler);
-    rec->allocation = scheduler.schedule(rec->request.graph);
-  } catch (const std::exception& e) {
-    rec->state = SubmissionState::kRejected;
-    rec->error = std::string("scheduling failed: ") + e.what();
-    ++stats_.rejected;
-    bump("submission.rejected");
-    if (span.active()) span.arg("outcome", "rejected");
-    cv_.notify_all();
-    return rec->app;
-  }
-
-  // Residual-capacity QoS admission: charge every already-admitted,
-  // not-yet-finished application's predicted host occupancy.
-  rec->admission = sched::check_qos(rec->request.graph, rec->allocation,
-                                    *directory_, rec->request.qos,
-                                    occupancy_);
-  if (!rec->admission.admitted) {
-    rec->state = SubmissionState::kRejected;
-    rec->error = "QoS deadline unmet: slack " +
-                 std::to_string(rec->admission.slack_s) + "s";
-    ++stats_.rejected;
-    bump("submission.rejected");
-    if (span.active()) span.arg("outcome", "rejected");
-    cv_.notify_all();
-    return rec->app;
-  }
-  if (ready_.size() >= config_.max_queue) {
-    rec->state = SubmissionState::kRejected;
-    rec->error = "ready queue full (backpressure)";
-    ++stats_.rejected;
-    bump("submission.rejected");
-    bump("submission.backpressure");
-    if (span.active()) span.arg("outcome", "backpressure");
-    cv_.notify_all();
-    return rec->app;
-  }
-
-  charge_locked(*rec);
-  // New fair-share users join at the current grant virtual time, not
-  // at zero, so a latecomer cannot claim a historical backlog.
-  if (!shares_.contains(rec->request.user)) {
-    shares_[rec->request.user].pass = grant_pass_;
-  }
-
-  const bool immediate =
-      !paused_ && ready_.empty() && running_ < config_.slots;
-  if (immediate) {
-    ++stats_.admitted;
-    bump("submission.admitted");
-    if (span.active()) span.arg("outcome", "admitted");
-  } else {
-    // Queue-with-ETA: predicted drain time of everything ahead, spread
-    // over the slots.
-    double pending_pred = 0.0;
-    for (const common::AppId id : ready_) {
-      pending_pred += records_.at(id)->admission.predicted_makespan_s;
-    }
-    for (const auto& [_, other] : records_) {
-      if (other->state == SubmissionState::kRunning) {
-        pending_pred += other->admission.predicted_makespan_s;
-      }
-    }
-    rec->queue_eta_s = pending_pred / static_cast<double>(config_.slots);
-    rec->counted_queued = true;
-    ++stats_.queued;
-    bump("submission.queued");
-    if (span.active()) {
-      span.arg("outcome", "queued");
-      span.arg("eta_s", rec->queue_eta_s);
-    }
-  }
-  ready_.push_back(rec->app);
-  common::log_info("submission", "app ", rec->app.value(), " '",
-                   rec->request.graph.name(), "' user ",
-                   rec->request.user, ": ",
-                   immediate ? "admitted" : "queued", ", slack ",
-                   rec->admission.slack_s, "s");
-  cv_.notify_all();
-  return rec->app;
+  std::vector<SubmissionRequest> one;
+  one.push_back(std::move(request));
+  return submit_batch(std::move(one)).front();
 }
 
-std::shared_ptr<AppSubmissionService::AppRecord>
-AppSubmissionService::pick_next_locked() {
-  // Stride scheduling: grant the queued submission whose user has the
-  // lowest pass value; ties break on global submission order.  Each
-  // grant advances the user's pass by 1/weight, so users receive
-  // grants proportionally to their weights under contention.
-  std::size_t best = 0;
-  double best_pass = std::numeric_limits<double>::infinity();
-  std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
-  for (std::size_t i = 0; i < ready_.size(); ++i) {
-    const AppRecord& rec = *records_.at(ready_[i]);
-    const double pass = shares_.at(rec.request.user).pass;
-    if (pass < best_pass ||
-        (pass == best_pass && rec.seq < best_seq)) {
-      best = i;
-      best_pass = pass;
-      best_seq = rec.seq;
+std::vector<common::AppId> AppSubmissionService::submit_batch(
+    std::vector<SubmissionRequest> requests) {
+  // Phase A (no lock): an invalid graph throws before any submission is
+  // recorded -- exactly the single-submit contract, batch-wide.
+  for (const SubmissionRequest& request : requests) {
+    request.graph.validate();
+  }
+
+  std::vector<Prepared> prepared;
+  prepared.reserve(requests.size());
+  std::vector<common::AppId> tickets;
+  tickets.reserve(requests.size());
+
+  // Phase B (brief lock): tickets, records and the early-shed fast
+  // path.  Everything per-submission that must be ordered (seq, ids)
+  // happens here; the heavy placement work does not.
+  bool any_early_shed = false;
+  {
+    std::lock_guard lk(mu_);
+    if (shutdown_) {
+      throw common::StateError("submission service is shut down");
+    }
+    for (SubmissionRequest& request : requests) {
+      auto rec = std::make_shared<AppRecord>();
+      rec->request = std::move(request);
+      rec->app = common::AppId{next_ticket_++};
+      rec->seq = next_seq_++;
+      ++stats_.submitted;
+      bump("submission.submitted");
+      records_.emplace(rec->app, rec);
+      tickets.push_back(rec->app);
+
+      // Shedding tier 0 (opt-in): a full queue that the arrival's
+      // priority cannot relieve rejects before any scheduling or QoS
+      // work is spent on it.
+      bool early = false;
+      if (config_.early_shed && queued_count_ >= config_.max_queue) {
+        const std::optional<int> lowest = queue_.lowest_priority();
+        early = !lowest || *lowest >= rec->request.priority;
+      }
+      if (early) {
+        rec->state = SubmissionState::kRejected;
+        rec->error = "ready queue full (early shed)";
+        ++stats_.rejected;
+        ++stats_.early_shed;
+        bump("submission.rejected");
+        bump("submission.early_shed");
+        note_terminal_locked(rec);
+        any_early_shed = true;
+      }
+      prepared.push_back(Prepared{std::move(rec), false});
     }
   }
-  auto rec = records_.at(ready_[best]);
-  ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(best));
+  if (any_early_shed) cv_.notify_all();
 
-  UserShare& share = shares_.at(rec->request.user);
-  grant_pass_ = share.pass;
-  share.pass += 1.0 / std::max(rec->request.weight, 1e-9);
-
-  rec->state = SubmissionState::kRunning;
-  rec->grant_index = next_grant_++;
-  ++running_;
-  if (rec->counted_queued) {
-    ++stats_.queued_then_admitted;
-    bump("submission.queued_then_admitted");
+  // Phase C (no lock): Figure 4 -- a per-submission Site Scheduler
+  // places each AFG against the directory's current view.  Placement is
+  // the expensive step, so it runs outside the service lock and
+  // concurrent submitters overlap their scheduling work.
+  for (Prepared& p : prepared) {
+    if (p.rec->state != SubmissionState::kQueued) continue;  // early shed
+    try {
+      sched::SiteScheduler scheduler(local_site_, *directory_,
+                                     config_.scheduler);
+      p.rec->allocation = scheduler.schedule(p.rec->request.graph);
+      p.needs_qos = true;
+    } catch (const std::exception& e) {
+      p.rec->error = std::string("scheduling failed: ") + e.what();
+    }
   }
-  common::MetricsRegistry::global()
-      .gauge("submission.running")
-      .set(static_cast<double>(running_));
-  return rec;
+
+  // Phase D (one lock hold): the whole burst's admission bookkeeping --
+  // QoS against one residual-capacity snapshot, capacity/preemption,
+  // charges and queue pushes -- runs under a single acquisition.
+  {
+    std::lock_guard lk(mu_);
+
+    // Batched QoS with sequential semantics.  check_qos_batch charges
+    // every item it admits into its internal baseline; reality only
+    // charges items that actually take a slot (a backpressure reject
+    // charges nothing, a preemption also releases its victim).  The
+    // cache therefore stays valid exactly while batch-admitted items
+    // keep getting charged for real, and is rebuilt over the live
+    // occupancy_ from the first divergence on.  While the queue is
+    // full every admitted item diverges, so the rebuild chunk drops to
+    // one item -- which is precisely the old per-submit cost, not a
+    // regression.
+    std::vector<sched::QosAdmission> qos_cache;
+    std::vector<std::size_t> qos_members;
+    std::size_t qos_consumed = 0;
+    bool qos_valid = false;
+    const auto qos_of = [&](std::size_t j) -> sched::QosAdmission {
+      if (!qos_valid || qos_consumed >= qos_members.size() ||
+          qos_members[qos_consumed] != j) {
+        qos_members.clear();
+        std::vector<sched::QosBatchItem> items;
+        const bool full = queued_count_ >= config_.max_queue;
+        for (std::size_t k = j; k < prepared.size(); ++k) {
+          if (!prepared[k].needs_qos) continue;
+          const AppRecord& r = *prepared[k].rec;
+          items.push_back(sched::QosBatchItem{&r.request.graph,
+                                              &r.allocation, r.request.qos});
+          qos_members.push_back(k);
+          if (full) break;
+        }
+        qos_cache = sched::check_qos_batch(items, *directory_, occupancy_);
+        qos_consumed = 0;
+        qos_valid = true;
+      }
+      return qos_cache[qos_consumed++];
+    };
+
+    for (std::size_t j = 0; j < prepared.size(); ++j) {
+      Prepared& p = prepared[j];
+      auto& rec = p.rec;
+      if (rec->state != SubmissionState::kQueued) continue;  // early shed
+
+      common::ScopedSpan span("submit", "submission");
+      if (span.active()) {
+        span.rename("submit:" + rec->request.graph.name());
+        span.arg("app", rec->app.value());
+        span.arg("user", rec->request.user);
+      }
+
+      if (shutdown_) {
+        // The service shut down between phases; the workers that would
+        // run this submission may already be gone.
+        rec->state = SubmissionState::kRejected;
+        rec->error = "submission service is shut down";
+        ++stats_.rejected;
+        bump("submission.rejected");
+        if (span.active()) span.arg("outcome", "rejected");
+        note_terminal_locked(rec);
+        continue;
+      }
+      if (!p.needs_qos) {
+        rec->state = SubmissionState::kRejected;
+        // rec->error already carries "scheduling failed: ...".
+        ++stats_.rejected;
+        bump("submission.rejected");
+        if (span.active()) span.arg("outcome", "rejected");
+        note_terminal_locked(rec);
+        continue;
+      }
+
+      // Residual-capacity QoS admission: charge every already-admitted,
+      // not-yet-finished application's predicted host occupancy.
+      rec->admission = qos_of(j);
+      if (!rec->admission.admitted) {
+        rec->state = SubmissionState::kRejected;
+        rec->error = "QoS deadline unmet: slack " +
+                     std::to_string(rec->admission.slack_s) + "s";
+        ++stats_.rejected;
+        bump("submission.rejected");
+        if (span.active()) span.arg("outcome", "rejected");
+        note_terminal_locked(rec);
+        continue;
+      }
+      if (queued_count_ >= config_.max_queue) {
+        // Shedding tier 2: a full queue admits a newcomer only over the
+        // body of the youngest queued submission of a strictly lower
+        // priority tier; running applications are never touched.
+        const std::optional<FairShareEntry> victim =
+            queue_.preempt_below(rec->request.priority);
+        qos_valid = false;  // either path diverges from the batch
+        if (!victim) {
+          rec->state = SubmissionState::kRejected;
+          rec->error = "ready queue full (backpressure)";
+          ++stats_.rejected;
+          bump("submission.rejected");
+          bump("submission.backpressure");
+          if (span.active()) span.arg("outcome", "backpressure");
+          note_terminal_locked(rec);
+          continue;
+        }
+        const auto vrec = records_.at(victim->app);
+        evict_queued_locked(*vrec,
+                            "preempted by higher-priority submission",
+                            &SubmissionStats::preempted,
+                            "submission.preempted");
+        note_terminal_locked(vrec);
+      }
+
+      const bool immediate =
+          !paused_ && queued_count_ == 0 && running_ < config_.slots;
+      if (!immediate) {
+        // Queue-with-ETA: predicted drain time of everything ahead
+        // (every charged submission, queued or running), spread over
+        // the slots.  pending_pred_s_ is maintained incrementally by
+        // charge/release, so the estimate no longer walks all records.
+        rec->queue_eta_s =
+            pending_pred_s_ / static_cast<double>(config_.slots);
+      }
+      charge_locked(*rec);
+      if (immediate) {
+        ++stats_.admitted;
+        bump("submission.admitted");
+        if (span.active()) span.arg("outcome", "admitted");
+      } else {
+        rec->counted_queued = true;
+        ++stats_.queued;
+        bump("submission.queued");
+        if (span.active()) {
+          span.arg("outcome", "queued");
+          span.arg("eta_s", rec->queue_eta_s);
+        }
+      }
+      FairShareEntry entry;
+      entry.app = rec->app;
+      entry.seq = rec->seq;
+      entry.priority = rec->request.priority;
+      entry.weight = rec->request.weight;
+      // Straight-into-a-free-slot admissions already count as running
+      // work, not backlog: preempting or shedding them would desync the
+      // admitted counters, so they are not eligible.
+      entry.preemptible = rec->counted_queued;
+      queue_.push(rec->request.user, entry);
+      ++queued_count_;
+      common::log_info("submission", "app ", rec->app.value(), " '",
+                       rec->request.graph.name(), "' user ",
+                       rec->request.user, ": ",
+                       immediate ? "admitted" : "queued", ", slack ",
+                       rec->admission.slack_s, "s");
+    }
+  }
+  cv_.notify_all();
+  return tickets;
 }
 
 void AppSubmissionService::charge_locked(AppRecord& record) {
@@ -361,6 +458,8 @@ void AppSubmissionService::charge_locked(AppRecord& record) {
       }
     }
   }
+  record.pred_charged = record.admission.predicted_makespan_s;
+  pending_pred_s_ += record.pred_charged;
   record.charged = true;
 }
 
@@ -380,7 +479,71 @@ void AppSubmissionService::release_locked(AppRecord& record) {
       }
     }
   }
+  pending_pred_s_ = std::max(0.0, pending_pred_s_ - record.pred_charged);
+  record.pred_charged = 0.0;
   record.charged = false;
+}
+
+void AppSubmissionService::evict_queued_locked(
+    AppRecord& record, std::string reason,
+    std::uint64_t SubmissionStats::*counter, const char* metric) {
+  record.state = SubmissionState::kRejected;
+  record.error = std::move(reason);
+  release_locked(record);
+  --queued_count_;
+  ++(stats_.*counter);
+  bump(metric);
+}
+
+void AppSubmissionService::note_terminal_locked(
+    const std::shared_ptr<AppRecord>& record) {
+  terminal_fifo_.push_back(record->app);
+  if (config_.terminal_record_cap == 0) return;
+  while (terminal_fifo_.size() > config_.terminal_record_cap) {
+    const common::AppId oldest = terminal_fifo_.front();
+    terminal_fifo_.pop_front();
+    const auto it = records_.find(oldest);
+    if (it == records_.end()) continue;
+    RetiredStub stub;
+    stub.state = it->second->state;
+    stub.grant_index =
+        static_cast<std::uint32_t>(it->second->grant_index);
+    stub.restarts = static_cast<std::uint32_t>(it->second->restarts);
+    records_.erase(it);
+    retired_.emplace(oldest, stub);
+    retired_fifo_.push_back(oldest);
+    ++stats_.retired;
+    bump("submission.retired");
+    if (config_.retired_stub_cap > 0) {
+      while (retired_fifo_.size() > config_.retired_stub_cap) {
+        retired_.erase(retired_fifo_.front());
+        retired_fifo_.pop_front();
+      }
+    }
+  }
+}
+
+std::size_t AppSubmissionService::shed_queued(int below_priority) {
+  std::size_t dropped = 0;
+  {
+    std::lock_guard lk(mu_);
+    const std::vector<FairShareEntry> victims =
+        queue_.shed_below(below_priority);
+    for (const FairShareEntry& victim : victims) {
+      const auto rec = records_.at(victim.app);
+      evict_queued_locked(*rec, "shed: priority below cutoff",
+                          &SubmissionStats::shed, "submission.shed");
+      note_terminal_locked(rec);
+    }
+    dropped = victims.size();
+    if (dropped > 0) {
+      common::log_info("submission", "shed ", dropped,
+                       " queued submissions below priority ",
+                       below_priority);
+    }
+  }
+  if (dropped > 0) cv_.notify_all();
+  return dropped;
 }
 
 FaultTolerance AppSubmissionService::wrap_hooks(FaultTolerance hooks) {
@@ -500,13 +663,29 @@ void AppSubmissionService::worker_loop() {
     {
       std::unique_lock lk(mu_);
       cv_.wait(lk, [&] {
-        return shutdown_ || (!paused_ && !ready_.empty());
+        return shutdown_ || (!paused_ && queued_count_ > 0);
       });
-      if (ready_.empty()) {
+      if (queued_count_ == 0) {
         if (shutdown_) return;
         continue;
       }
-      rec = pick_next_locked();
+      // Stride grant: the sharded queue picks the lowest (user pass,
+      // seq) in O(shards + log users); grant bookkeeping stays under
+      // mu_ so the grant index is a total order.
+      const std::optional<FairShareEntry> entry = queue_.pop();
+      if (!entry) continue;
+      --queued_count_;
+      rec = records_.at(entry->app);
+      rec->state = SubmissionState::kRunning;
+      rec->grant_index = next_grant_++;
+      ++running_;
+      if (rec->counted_queued) {
+        ++stats_.queued_then_admitted;
+        bump("submission.queued_then_admitted");
+      }
+      common::MetricsRegistry::global()
+          .gauge("submission.running")
+          .set(static_cast<double>(running_));
     }
 
     EngineConfig engine_config = config_.engine;
@@ -602,6 +781,7 @@ void AppSubmissionService::worker_loop() {
       common::MetricsRegistry::global()
           .gauge("submission.running")
           .set(static_cast<double>(running_));
+      note_terminal_locked(rec);
     }
     // Terminal either way: the frontier snapshot is no longer needed.
     checkpoints_.drop_app(rec->app);
@@ -629,7 +809,19 @@ SubmissionStatus AppSubmissionService::wait(common::AppId app) const {
   std::unique_lock lk(mu_);
   const auto it = records_.find(app);
   if (it == records_.end()) {
-    throw common::NotFoundError("unknown submission ticket");
+    // Retired submissions are terminal by construction: the stub is the
+    // final answer.
+    const auto rit = retired_.find(app);
+    if (rit == retired_.end()) {
+      throw common::NotFoundError("unknown submission ticket");
+    }
+    SubmissionStatus status;
+    status.app = app;
+    status.state = rit->second.state;
+    status.grant_index = rit->second.grant_index;
+    status.restarts = rit->second.restarts;
+    status.retired = true;
+    return status;
   }
   const auto rec = it->second;
   cv_.wait(lk, [&] { return is_terminal(rec->state); });
@@ -640,7 +832,17 @@ SubmissionStatus AppSubmissionService::status(common::AppId app) const {
   std::lock_guard lk(mu_);
   const auto it = records_.find(app);
   if (it == records_.end()) {
-    throw common::NotFoundError("unknown submission ticket");
+    const auto rit = retired_.find(app);
+    if (rit == retired_.end()) {
+      throw common::NotFoundError("unknown submission ticket");
+    }
+    SubmissionStatus status;
+    status.app = app;
+    status.state = rit->second.state;
+    status.grant_index = rit->second.grant_index;
+    status.restarts = rit->second.restarts;
+    status.retired = true;
+    return status;
   }
   return snapshot_locked(*it->second);
 }
@@ -653,16 +855,22 @@ void AppSubmissionService::resume() {
   cv_.notify_all();
 }
 
+void AppSubmissionService::pause() {
+  std::lock_guard lk(mu_);
+  paused_ = true;
+}
+
 void AppSubmissionService::drain() const {
   std::unique_lock lk(mu_);
-  cv_.wait(lk, [&] { return ready_.empty() && running_ == 0; });
+  cv_.wait(lk, [&] { return queued_count_ == 0 && running_ == 0; });
 }
 
 SubmissionStats AppSubmissionService::stats() const {
   std::lock_guard lk(mu_);
   SubmissionStats out = stats_;
   out.running = running_;
-  out.queue_depth = ready_.size();
+  out.queue_depth = queued_count_;
+  out.records_retained = records_.size();
   return out;
 }
 

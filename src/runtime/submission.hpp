@@ -7,22 +7,38 @@
 //  one AFG at a time.  This service is the multi-application front
 //  door:
 //
-//    submit(AFG, deadline, user, weight)
-//      -> schedule (Figure 4, per-submission Site Scheduler)
+//    submit(AFG, deadline, user, weight, priority)
+//      -> schedule (Figure 4, per-submission Site Scheduler; runs
+//         OUTSIDE the service lock, so concurrent submitters overlap
+//         their placement work)
 //      -> residual-capacity QoS admission: the makespan estimate
 //         charges the predicted host occupancy of every application
 //         already admitted and not yet finished, so the same
-//         host-seconds are never promised twice
-//      -> reject-with-slack (QoS miss, or bounded-queue backpressure)
-//         | run immediately | queue-with-ETA
-//      -> bounded fair-share ready queue: stride scheduling over
-//         per-user weights decides grant order when execution slots
-//         free up
+//         host-seconds are never promised twice; submit_batch admits
+//         an entire arrival burst under one lock acquisition and one
+//         occupancy snapshot
+//      -> load-shedding tiers (DESIGN.md D15):
+//           0. early shed (opt-in): a full queue rejects before any
+//              scheduling work is spent, unless the newcomer's
+//              priority could preempt;
+//           1. reject-with-slack (QoS miss) and bounded-queue
+//              backpressure;
+//           2. priority preemption: a full queue evicts the youngest
+//              QUEUED submission of the lowest priority tier strictly
+//              below the newcomer's (running apps are never touched);
+//           3. shed_queued(): bulk-drop queued work below a priority
+//              cutoff (the operator's pressure valve).
+//      -> sharded stride fair-share ready queue (rt::FairShareQueue):
+//         O(log n) grant picks keyed on pass value with FIFO seq
+//         tie-break, user-hash shard locks, pass renormalization, and
+//         idle-share eviction
 //      -> execution on a pool of engine slots; each running app gets
 //         its own ExecutionEngine keyed by its AppId ticket (per-app
 //         broker, per-app seeds, per-app FaultTolerance hooks)
 //      -> prediction feedback + submission.* metrics, spans carrying
-//         app= arguments.
+//         app= arguments; terminal records retire into compact stubs
+//         so millions of submissions do not grow the record map
+//         without bound.
 //
 // Determinism contract (the concurrency tests lean on it): admission
 // decisions and grant order are serialised under one lock, per-app
@@ -34,17 +50,21 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "predict/forecaster.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/fair_share.hpp"
 #include "scheduler/qos.hpp"
 #include "scheduler/site_scheduler.hpp"
 
@@ -123,6 +143,14 @@ struct SubmissionRequest {
   /// Fair-share weight (> 0): a user with weight 2 receives execution
   /// grants twice as often as a user with weight 1 under contention.
   double weight = 1.0;
+  /// Admission priority tier from the user-accounts repository (paper
+  /// Section 2.1's per-user records): a submission arriving at a full
+  /// queue preempts the youngest QUEUED submission of the lowest tier
+  /// strictly below its own; shed_queued() drops queued work below a
+  /// cutoff.  Priority never reorders grants among queued work -- the
+  /// stride race stays weight-driven -- it only decides who survives
+  /// load shedding.
+  int priority = 0;
   /// Engine seed for this application; together with the assigned app
   /// id it fixes every task's RNG stream, so a completed app's outputs
   /// can be reproduced by replaying (graph, seed, app id) alone.
@@ -134,7 +162,7 @@ enum class SubmissionState : std::uint8_t {
   kQueued,     // admitted, waiting for an execution slot
   kRunning,    // granted a slot, executing
   kCompleted,  // finished successfully
-  kRejected,   // refused at admission (QoS slack < 0, or backpressure)
+  kRejected,   // refused at admission, preempted, or shed
   kFailed,     // admitted but execution ultimately failed
 };
 
@@ -164,18 +192,22 @@ struct SubmissionStatus {
   RunResult result;
   /// kRejected / kFailed reason.
   std::string error;
+  /// True when the full record has been retired into a compact stub
+  /// (allocation/result/error no longer held; see terminal_record_cap).
+  bool retired = false;
 };
 
 /// Service-local counters (mirrored into the global MetricsRegistry as
 /// submission.*).  Reconciliation invariants after drain():
 ///   submitted == admitted + rejected + queued
-///   queued    == queued_then_admitted
+///   queued    == queued_then_admitted + preempted + shed
 ///   admitted + queued_then_admitted == completed + failed
 struct SubmissionStats {
   std::uint64_t submitted = 0;
   /// Admitted with a free slot: ran without queueing.
   std::uint64_t admitted = 0;
-  /// Refused: QoS slack < 0, backpressure, or scheduling failure.
+  /// Refused at admission: QoS slack < 0, backpressure (early or
+  /// post-QoS), or scheduling failure.
   std::uint64_t rejected = 0;
   /// Admitted but queued behind busy slots.
   std::uint64_t queued = 0;
@@ -183,12 +215,25 @@ struct SubmissionStats {
   std::uint64_t queued_then_admitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+  /// Queued submissions evicted by a higher-priority arrival (shedding
+  /// tier 2).
+  std::uint64_t preempted = 0;
+  /// Queued submissions dropped by shed_queued() (shedding tier 3).
+  std::uint64_t shed = 0;
+  /// Rejections taken by the early-shed fast path before any
+  /// scheduling work (shedding tier 0; a subset of `rejected`).
+  std::uint64_t early_shed = 0;
+  /// Terminal records compacted into stubs (memory reclamation).
+  std::uint64_t retired = 0;
   /// Site-level failover restarts across all submissions.
   std::uint64_t restarts = 0;
   /// Circuit-breaker open transitions.
   std::uint64_t breaker_trips = 0;
   std::size_t running = 0;
   std::size_t queue_depth = 0;
+  /// Full records currently held (bounded by terminal_record_cap plus
+  /// live submissions).
+  std::size_t records_retained = 0;
 };
 
 /// Tunables of the submission service.
@@ -196,11 +241,28 @@ struct AppSubmissionConfig {
   /// Concurrent execution slots (worker threads running engines).
   std::size_t slots = 4;
   /// Bounded ready queue: an admitted submission arriving when this
-  /// many are already waiting is rejected (backpressure).
+  /// many are already waiting is rejected (backpressure) unless its
+  /// priority preempts a queued lower tier.
   std::size_t max_queue = 16;
   /// Start with grants paused: admitted submissions queue until
   /// resume() -- the deterministic-test hook.
   bool start_paused = false;
+  /// Shedding tier 0: when the queue is full and the arrival's
+  /// priority cannot preempt anything queued, reject before spending
+  /// any scheduling work.  Off by default: the early rejection carries
+  /// no QoS estimate, which changes the (pinned) rejection shape of
+  /// the seed behaviour.
+  bool early_shed = false;
+  /// Terminal (completed/failed/rejected) records beyond this many are
+  /// retired: the heavy record (graph, allocation, outputs) is dropped
+  /// and a compact stub keeps state/grant_index/restarts for status().
+  /// 0 = retain everything (the pre-D15 behaviour).
+  std::size_t terminal_record_cap = 65536;
+  /// Retired stubs beyond this many are forgotten entirely (status()
+  /// then throws NotFoundError).  0 = retain all stubs.
+  std::size_t retired_stub_cap = 1 << 20;
+  /// Sharded stride queue tunables (DESIGN.md D15).
+  FairShareConfig fair_share;
   /// Predicted load each allocated task adds to its primary host's
   /// forecaster while its application is admitted-but-unfinished
   /// (registered on every forecaster added with add_forecaster); 0
@@ -273,10 +335,20 @@ class AppSubmissionService {
     health_probe_ = std::move(probe);
   }
 
-  /// Schedules + admits one application; thread-safe, non-blocking
-  /// (never waits for execution).  Returns the submission's AppId
+  /// Schedules + admits one application; thread-safe.  Placement runs
+  /// outside the service lock, admission bookkeeping inside it; the
+  /// call never waits for execution.  Returns the submission's AppId
   /// ticket; poll status() or block in wait() for the outcome.
   common::AppId submit(SubmissionRequest request);
+
+  /// Batched admission for an arrival burst: every graph is validated
+  /// up front (an invalid graph throws before any submission is
+  /// recorded), every placement runs outside the lock, and the whole
+  /// burst is admitted under ONE lock acquisition against one
+  /// residual-capacity snapshot -- semantically identical to calling
+  /// submit() in a loop, minus per-submission lock and snapshot churn.
+  std::vector<common::AppId> submit_batch(
+      std::vector<SubmissionRequest> requests);
 
   /// Blocks until the submission reaches a terminal state and returns
   /// that snapshot.  Throws NotFoundError for an unknown ticket.
@@ -289,6 +361,17 @@ class AppSubmissionService {
   /// Releases grants on a paused service.
   void resume();
 
+  /// Pauses grants: queued submissions hold until resume().  Running
+  /// applications are unaffected.
+  void pause();
+
+  /// Shedding tier 3: drops every queued submission with priority
+  /// strictly below `below_priority` (their state becomes kRejected
+  /// with a "shed" error; charges and ETAs are released).  Running
+  /// applications are never touched.  Returns how many were dropped.
+  std::size_t shed_queued(
+      int below_priority = std::numeric_limits<int>::max());
+
   /// Blocks until no submission is queued or running.
   void drain() const;
 
@@ -299,12 +382,19 @@ class AppSubmissionService {
   [[nodiscard]] CheckpointStore& checkpoints() { return checkpoints_; }
   /// The flapping-host circuit breaker (tests pin its clock).
   [[nodiscard]] HostCircuitBreaker& breaker() { return breaker_; }
+  /// The sharded stride queue (tests inspect user/renorm counters).
+  [[nodiscard]] FairShareQueue& fair_share() { return queue_; }
 
  private:
   struct AppRecord;
-  struct UserShare {
-    double pass = 0.0;  // stride-scheduling virtual time
+  /// Compact remnant of a retired terminal record.
+  struct RetiredStub {
+    SubmissionState state = SubmissionState::kCompleted;
+    std::uint32_t grant_index = 0;
+    std::uint32_t restarts = 0;
   };
+  /// One submission mid-flight through submit_batch's phases.
+  struct Prepared;
 
   void worker_loop();
   /// Site-level failover: quarantine dead/quarantined hosts, re-place
@@ -316,12 +406,18 @@ class AppSubmissionService {
   /// Wraps factory-produced hooks with circuit-breaker feeding
   /// (on_failure) and quarantine-aware liveness (host_alive).
   [[nodiscard]] FaultTolerance wrap_hooks(FaultTolerance hooks);
-  /// Picks the next grant by stride fair-share; mu_ must be held.
-  [[nodiscard]] std::shared_ptr<AppRecord> pick_next_locked();
-  /// Registers/releases an app's occupancy + forecaster commitments;
-  /// mu_ must be held.
+  /// Registers/releases an app's occupancy, forecaster commitments and
+  /// pending-prediction (ETA) charge; mu_ must be held.
   void charge_locked(AppRecord& record);
   void release_locked(AppRecord& record);
+  /// Marks a queued victim rejected (preempted or shed) and releases
+  /// its charges; mu_ must be held.
+  void evict_queued_locked(AppRecord& record, std::string reason,
+                           std::uint64_t SubmissionStats::*counter,
+                           const char* metric);
+  /// Retires the oldest terminal records beyond terminal_record_cap
+  /// into compact stubs; mu_ must be held.
+  void note_terminal_locked(const std::shared_ptr<AppRecord>& record);
   [[nodiscard]] SubmissionStatus snapshot_locked(const AppRecord& rec) const;
 
   SiteId local_site_;
@@ -334,6 +430,10 @@ class AppSubmissionService {
   std::function<bool(common::HostId)> health_probe_;
   CheckpointStore checkpoints_;
   HostCircuitBreaker breaker_;
+  /// Sharded stride ready queue; all mutations happen under mu_ (its
+  /// internal shard locks nest beneath), reads like grant_pass() are
+  /// lock-free.
+  FairShareQueue queue_;
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
@@ -343,13 +443,19 @@ class AppSubmissionService {
   std::uint64_t next_seq_ = 1;
   std::size_t next_grant_ = 1;
   std::size_t running_ = 0;
-  /// Virtual time of the latest grant: new users join the fair-share
-  /// race here, not at zero.
-  double grant_pass_ = 0.0;
+  /// Queued submissions (queue_.size() mirrors it; this one is the
+  /// authority because it only changes under mu_).
+  std::size_t queued_count_ = 0;
+  /// Sum of predicted makespans over queued + running submissions:
+  /// the queue-with-ETA estimate reads this instead of walking every
+  /// record (the pre-D15 O(all-records) loop).
+  double pending_pred_s_ = 0.0;
   std::map<common::AppId, std::shared_ptr<AppRecord>> records_;
-  std::vector<common::AppId> ready_;
+  /// Terminal records in retirement order, plus the compacted stubs.
+  std::deque<common::AppId> terminal_fifo_;
+  std::unordered_map<common::AppId, RetiredStub> retired_;
+  std::deque<common::AppId> retired_fifo_;
   sched::HostOccupancy occupancy_;
-  std::map<std::string, UserShare> shares_;
   SubmissionStats stats_;
   std::vector<std::jthread> workers_;
 };
