@@ -141,10 +141,68 @@ std::shared_ptr<Channel> ChannelBroker::open_send(const LinkKey& key,
   return tcp_connect(port);
 }
 
+std::shared_ptr<RingChannel> ChannelBroker::open_stream_receive(
+    const LinkKey& key, std::size_t capacity) {
+  std::lock_guard lk(mu_);
+  if (registrations_.contains(key)) {
+    throw common::StateError("link already registered with the broker");
+  }
+  Registration reg;
+  reg.ring = std::make_shared<RingChannel>(capacity);
+  auto ring = reg.ring;
+  registrations_.emplace(key, std::move(reg));
+  cv_.notify_all();
+  return ring;
+}
+
+std::shared_ptr<RingChannel> ChannelBroker::open_stream_send(
+    const LinkKey& key, common::Duration timeout_s) {
+  std::unique_lock lk(mu_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  const std::uint64_t entry_generation = [&] {
+    const auto it = clear_generation_.find(key.app);
+    return it == clear_generation_.end() ? 0 : it->second;
+  }();
+  bool cleared = false;
+  if (!cv_.wait_until(lk, deadline, [&] {
+        const auto it = clear_generation_.find(key.app);
+        cleared =
+            it != clear_generation_.end() && it->second != entry_generation;
+        return cleared || registrations_.contains(key);
+      })) {
+    throw common::TransportError(
+        "stream setup timed out waiting for the consumer");
+  }
+  if (cleared) {
+    throw common::TransportError(
+        "stream setup aborted: application cleared from the broker");
+  }
+  Registration& reg = registrations_.at(key);
+  if (!reg.ring) {
+    throw common::StateError("link is registered as a batch channel");
+  }
+  if (reg.ring_claimed) {
+    reg.ring->add_producer();
+  } else {
+    reg.ring_claimed = true;  // the ring's initial producer slot
+  }
+  return reg.ring;
+}
+
 void ChannelBroker::clear_app(AppId app) {
   std::lock_guard lk(mu_);
   for (auto it = registrations_.begin(); it != registrations_.end();) {
     if (it->first.app == app) {
+      // Streaming links need more than erasure: a producer parked on a
+      // full ring (or a consumer on an empty one) holds a shared_ptr to
+      // the ring itself and would sleep forever if we only dropped the
+      // registration.  abort() drops the queued frames and wakes every
+      // parked thread with TransportError — the streaming extension of
+      // the clear-generation bump below.
+      if (it->second.ring) it->second.ring->abort();
       it = registrations_.erase(it);
     } else {
       ++it;

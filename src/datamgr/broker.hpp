@@ -19,6 +19,7 @@
 #include "common/clock.hpp"
 #include "common/ids.hpp"
 #include "datamgr/channel.hpp"
+#include "datamgr/ring_channel.hpp"
 
 namespace vdce::dm {
 
@@ -62,12 +63,34 @@ class ChannelBroker {
                                                    common::Duration timeout_s =
                                                        10.0);
 
+  /// Registers the consuming end of a STREAMING link: a bounded
+  /// RingChannel of `capacity` slots (D16).  Same rendezvous contract
+  /// as open_receive — register first, then producers find it — but
+  /// both ends share the one ring, so streaming links are in-process
+  /// regardless of the broker's transport kind.  Throws StateError if
+  /// the link is already registered.
+  [[nodiscard]] std::shared_ptr<RingChannel> open_stream_receive(
+      const LinkKey& key, std::size_t capacity);
+
+  /// Connects a producing end of a streaming link; blocks up to
+  /// `timeout_s` for the consumer's open_stream_receive, with the same
+  /// clear_app abort as open_send.  Unlike open_send, MANY producers
+  /// may open the same link (fan-in): each successful call attaches one
+  /// producer, and the ring reaches end-of-stream when each has called
+  /// close_send().  Throws StateError if the key was registered as a
+  /// batch (non-streaming) link.
+  [[nodiscard]] std::shared_ptr<RingChannel> open_stream_send(
+      const LinkKey& key, common::Duration timeout_s = 10.0);
+
   /// Drops all registrations of one application (run finished or being
   /// recovered).  Idempotent, and safe to call concurrently with feeder
   /// threads still draining: any open_send blocked on one of the
   /// dropped links aborts promptly with TransportError instead of
   /// sleeping out its full timeout (and possibly pairing with the NEXT
-  /// recovery round's registration for the same key).
+  /// recovery round's registration for the same key).  Streaming links
+  /// are aborted: queued frames drop and every producer parked on a
+  /// full ring — and every consumer parked on an empty one — wakes
+  /// with TransportError.
   void clear_app(AppId app);
 
  private:
@@ -76,6 +99,11 @@ class ChannelBroker {
     std::shared_ptr<Channel> inproc_sender;
     // TCP: the advertised port.
     std::uint16_t port = 0;
+    // Streaming: the shared bounded ring (null for batch links).
+    std::shared_ptr<RingChannel> ring;
+    // The ring is created with one attached producer; the first
+    // open_stream_send claims that slot, later ones add_producer().
+    bool ring_claimed = false;
   };
 
   TransportKind kind_;

@@ -1,0 +1,211 @@
+#include "datamgr/ring_channel.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+
+namespace vdce::dm {
+
+RingChannel::RingChannel(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(std::make_unique<FrameView[]>(capacity == 0 ? 1 : capacity)) {}
+
+RingChannel::~RingChannel() = default;
+
+void RingChannel::push_locked(FrameView&& frame) {
+  bytes_sent_ += frame.size();
+  slots_[(head_ + count_) % capacity_] = std::move(frame);
+  ++count_;
+  ++stats_.frames_pushed;
+  if (count_ > stats_.high_water) stats_.high_water = count_;
+}
+
+FrameView RingChannel::take_locked() {
+  FrameView out = std::move(slots_[head_]);
+  slots_[head_].reset();
+  head_ = (head_ + 1) % capacity_;
+  --count_;
+  ++stats_.frames_popped;
+  return out;
+}
+
+void RingChannel::push(FrameView frame) {
+  std::unique_lock lk(mu_);
+  if (count_ == capacity_ && !aborted_) {
+    ++stats_.producer_parks;
+    not_full_.wait(lk, [&] { return count_ < capacity_ || aborted_; });
+  }
+  if (aborted_) {
+    throw common::TransportError("push on an aborted ring channel");
+  }
+  if (eos_) {
+    throw common::TransportError("push after ring channel end-of-stream");
+  }
+  push_locked(std::move(frame));
+  lk.unlock();
+  not_empty_.notify_one();
+}
+
+bool RingChannel::try_push(FrameView frame) {
+  {
+    std::lock_guard lk(mu_);
+    if (aborted_) {
+      throw common::TransportError("push on an aborted ring channel");
+    }
+    if (eos_) {
+      throw common::TransportError("push after ring channel end-of-stream");
+    }
+    if (count_ == capacity_) return false;
+    push_locked(std::move(frame));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<FrameView> RingChannel::pop() {
+  std::optional<FrameView> out;
+  {
+    std::unique_lock lk(mu_);
+    if (count_ == 0 && !eos_ && !aborted_) {
+      ++stats_.consumer_parks;
+      not_empty_.wait(lk, [&] { return count_ > 0 || eos_ || aborted_; });
+    }
+    if (aborted_) {
+      throw common::TransportError("pop on an aborted ring channel");
+    }
+    if (count_ == 0) return std::nullopt;  // clean EOS, drained
+    out = take_locked();
+  }
+  not_full_.notify_one();
+  return out;
+}
+
+std::optional<FrameView> RingChannel::pop_for(double timeout_s) {
+  if (timeout_s <= 0.0) return pop();
+  std::optional<FrameView> out;
+  {
+    std::unique_lock lk(mu_);
+    if (count_ == 0 && !eos_ && !aborted_) {
+      ++stats_.consumer_parks;
+      if (!not_empty_.wait_for(
+              lk, std::chrono::duration<double>(timeout_s),
+              [&] { return count_ > 0 || eos_ || aborted_; })) {
+        common::MetricsRegistry::global()
+            .counter("datamgr.deadline_expiries")
+            .add(1);
+        throw common::TransportError("ring channel pop timed out after " +
+                                     std::to_string(timeout_s) + "s");
+      }
+    }
+    if (aborted_) {
+      throw common::TransportError("pop on an aborted ring channel");
+    }
+    if (count_ == 0) return std::nullopt;
+    out = take_locked();
+  }
+  not_full_.notify_one();
+  return out;
+}
+
+void RingChannel::add_producer() {
+  std::lock_guard lk(mu_);
+  if (eos_ || aborted_) {
+    throw common::StateError("add_producer after ring channel end-of-stream");
+  }
+  ++producers_;
+}
+
+void RingChannel::close_send() {
+  {
+    std::lock_guard lk(mu_);
+    if (producers_ > 0) --producers_;
+    if (producers_ > 0) return;
+    eos_ = true;
+  }
+  // Consumers parked on an empty ring must observe EOS; producers of
+  // sibling fan-in links never park once the stream is over, but a
+  // blocked push racing the close resolves through the eos_ check.
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+void RingChannel::abort() {
+  {
+    std::lock_guard lk(mu_);
+    if (aborted_) return;
+    aborted_ = true;
+    stats_.frames_dropped += count_;
+    // Release the queued slabs now: an aborted stream's frames must not
+    // pin pool memory until the ring object itself dies.
+    for (std::size_t i = 0; i < count_; ++i) {
+      slots_[(head_ + i) % capacity_].reset();
+    }
+    head_ = 0;
+    count_ = 0;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t RingChannel::size() const {
+  std::lock_guard lk(mu_);
+  return count_;
+}
+
+bool RingChannel::eos() const {
+  std::lock_guard lk(mu_);
+  return eos_;
+}
+
+bool RingChannel::aborted() const {
+  std::lock_guard lk(mu_);
+  return aborted_;
+}
+
+RingChannelStats RingChannel::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+// -- Channel interface ----------------------------------------------------
+
+void RingChannel::send(std::span<const std::byte> message) {
+  Frame frame = FramePool::global().allocate(message.size());
+  if (!message.empty()) {
+    std::memcpy(frame.data(), message.data(), message.size());
+  }
+  push(frame.view());
+}
+
+void RingChannel::send_frame(const FrameView& frame) { push(frame); }
+
+std::optional<std::vector<std::byte>> RingChannel::receive() {
+  auto view = pop();
+  if (!view) return std::nullopt;
+  return view->to_vector();
+}
+
+std::optional<std::vector<std::byte>> RingChannel::receive_for(
+    double timeout_s) {
+  auto view = pop_for(timeout_s);
+  if (!view) return std::nullopt;
+  return view->to_vector();
+}
+
+std::optional<FrameView> RingChannel::receive_frame() { return pop(); }
+
+std::optional<FrameView> RingChannel::receive_frame_for(double timeout_s) {
+  return pop_for(timeout_s);
+}
+
+void RingChannel::close() { close_send(); }
+
+std::size_t RingChannel::bytes_sent() const {
+  std::lock_guard lk(mu_);
+  return bytes_sent_;
+}
+
+}  // namespace vdce::dm

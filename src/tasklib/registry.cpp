@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "tasklib/streaming.hpp"
 
 namespace vdce::tasklib {
 
@@ -470,6 +471,7 @@ void register_builtin_tasks(TaskRegistry& registry) {
   register_fourier_menu(registry);
   register_c3i_menu(registry);
   register_synthetic_menu(registry);
+  register_streaming_menu(registry);
 }
 
 const TaskRegistry& builtin_registry() {

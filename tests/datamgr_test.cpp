@@ -364,6 +364,240 @@ INSTANTIATE_TEST_SUITE_P(Transports, BrokerKinds,
                          ::testing::Values(TransportKind::kInProcess,
                                            TransportKind::kTcp));
 
+// ------------------------------------------------- ring channel (D16)
+
+TEST(RingChannel, FifoOrderAndDrainToEos) {
+  RingChannel ring(4);
+  for (int i = 0; i < 4; ++i) {
+    ring.push(FramePool::global().copy_of(bytes_of("f" + std::to_string(i))));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  ring.close_send();
+  EXPECT_TRUE(ring.eos());
+  for (int i = 0; i < 4; ++i) {
+    auto fv = ring.pop();
+    ASSERT_TRUE(fv.has_value());
+    EXPECT_EQ(string_of(fv->to_vector()), "f" + std::to_string(i));
+  }
+  EXPECT_FALSE(ring.pop().has_value());  // clean EOS
+  EXPECT_FALSE(ring.pop().has_value());  // and it stays that way
+}
+
+TEST(RingChannel, TryPushReportsFullWithoutBlocking) {
+  RingChannel ring(2);
+  EXPECT_TRUE(ring.try_push(FramePool::global().copy_of(bytes_of("a"))));
+  EXPECT_TRUE(ring.try_push(FramePool::global().copy_of(bytes_of("b"))));
+  EXPECT_FALSE(ring.try_push(FramePool::global().copy_of(bytes_of("c"))));
+  EXPECT_EQ(ring.stats().frames_pushed, 2u);
+  (void)ring.pop();
+  EXPECT_TRUE(ring.try_push(FramePool::global().copy_of(bytes_of("c"))));
+}
+
+TEST(RingChannel, ProducerParksOnFullUntilConsumerMakesRoom) {
+  RingChannel ring(1);
+  ring.push(FramePool::global().copy_of(bytes_of("first")));
+  std::atomic<bool> delivered{false};
+  std::jthread producer([&] {
+    ring.push(FramePool::global().copy_of(bytes_of("second")));
+    delivered.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(delivered.load());  // parked on the full ring
+  EXPECT_EQ(string_of(ring.pop()->to_vector()), "first");
+  producer.join();
+  EXPECT_TRUE(delivered.load());
+  EXPECT_EQ(string_of(ring.pop()->to_vector()), "second");
+  EXPECT_GE(ring.stats().producer_parks, 1u);
+}
+
+TEST(RingChannel, PopForTimesOutWithTransportError) {
+  RingChannel ring(2);
+  const auto before =
+      common::MetricsRegistry::global().counter("datamgr.deadline_expiries")
+          .value();
+  EXPECT_THROW((void)ring.pop_for(0.05), TransportError);
+  EXPECT_GT(common::MetricsRegistry::global()
+                .counter("datamgr.deadline_expiries")
+                .value(),
+            before);
+}
+
+TEST(RingChannel, MultiProducerEosNeedsEveryRetirement) {
+  RingChannel ring(8);
+  ring.add_producer();  // two producers now
+  ring.push(FramePool::global().copy_of(bytes_of("x")));
+  ring.close_send();
+  EXPECT_FALSE(ring.eos());  // one producer still attached
+  ring.close_send();
+  EXPECT_TRUE(ring.eos());
+  EXPECT_TRUE(ring.pop().has_value());
+  EXPECT_FALSE(ring.pop().has_value());
+  EXPECT_THROW(ring.add_producer(), StateError);
+  EXPECT_THROW(ring.push(FramePool::global().copy_of(bytes_of("y"))),
+               TransportError);
+}
+
+TEST(RingChannel, AbortDropsFramesAndWakesParkedProducer) {
+  RingChannel ring(1);
+  ring.push(FramePool::global().copy_of(bytes_of("stuck")));
+  std::atomic<bool> threw{false};
+  std::jthread producer([&] {
+    try {
+      ring.push(FramePool::global().copy_of(bytes_of("parked")));
+    } catch (const TransportError&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ring.abort();
+  ring.abort();  // idempotent
+  producer.join();
+  EXPECT_TRUE(threw.load());
+  EXPECT_TRUE(ring.aborted());
+  EXPECT_EQ(ring.size(), 0u);  // the queued frame was dropped
+  EXPECT_EQ(ring.stats().frames_dropped, 1u);
+  EXPECT_THROW((void)ring.pop(), TransportError);
+  EXPECT_THROW(ring.push(FramePool::global().copy_of(bytes_of("late"))),
+               TransportError);
+}
+
+TEST(RingChannel, AbortWakesParkedConsumer) {
+  RingChannel ring(2);
+  std::atomic<bool> threw{false};
+  std::jthread consumer([&] {
+    try {
+      (void)ring.pop();  // parks: empty, no EOS
+    } catch (const TransportError&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ring.abort();
+  consumer.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(RingChannel, ChannelInterfaceRoundTrip) {
+  RingChannel ring(4);
+  Channel& ch = ring;
+  ch.send(bytes_of("via channel"));
+  EXPECT_EQ(ch.bytes_sent(), bytes_of("via channel").size());
+  EXPECT_EQ(string_of(*ch.receive()), "via channel");
+  ch.close();
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+// -------------------------------------- broker streaming links (D16)
+
+TEST(ChannelBrokerStream, RendezvousSharesOneRing) {
+  ChannelBroker broker(TransportKind::kInProcess);
+  const LinkKey key{AppId(1), TaskId(0), TaskId(1)};
+  auto receiver = broker.open_stream_receive(key, 4);
+  auto sender = broker.open_stream_send(key);
+  EXPECT_EQ(receiver.get(), sender.get());  // one bounded ring, two ends
+  sender->push(FramePool::global().copy_of(bytes_of("hello")));
+  sender->close_send();
+  EXPECT_EQ(string_of(receiver->pop()->to_vector()), "hello");
+  EXPECT_FALSE(receiver->pop().has_value());
+}
+
+TEST(ChannelBrokerStream, FanInAttachesOneProducerPerOpen) {
+  ChannelBroker broker(TransportKind::kInProcess);
+  const LinkKey key{AppId(1), TaskId(0), TaskId(1)};
+  auto receiver = broker.open_stream_receive(key, 4);
+  auto a = broker.open_stream_send(key);
+  auto b = broker.open_stream_send(key);
+  a->push(FramePool::global().copy_of(bytes_of("from a")));
+  a->close_send();
+  EXPECT_FALSE(receiver->eos());  // b is still attached
+  b->close_send();
+  EXPECT_TRUE(receiver->eos());
+  EXPECT_TRUE(receiver->pop().has_value());
+  EXPECT_FALSE(receiver->pop().has_value());
+}
+
+TEST(ChannelBrokerStream, BatchAndStreamRegistrationsDoNotMix) {
+  ChannelBroker broker(TransportKind::kInProcess);
+  const LinkKey batch_key{AppId(1), TaskId(0), TaskId(1)};
+  const LinkKey stream_key{AppId(1), TaskId(1), TaskId(2)};
+  (void)broker.open_receive(batch_key);
+  (void)broker.open_stream_receive(stream_key, 2);
+  EXPECT_THROW((void)broker.open_stream_send(batch_key, 0.2), StateError);
+  EXPECT_THROW((void)broker.open_stream_receive(stream_key, 2), StateError);
+}
+
+TEST(ChannelBrokerStream, ClearAppWakesProducerParkedOnFullRing) {
+  // Satellite regression: PR 5's clear-generation bump frees feeders
+  // blocked in open_send, but a STREAMING producer can be parked deeper
+  // -- inside push() on a full ring it already holds.  clear_app must
+  // abort the ring so that producer wakes with TransportError instead
+  // of sleeping until its consumer (torn down with the app) drains.
+  ChannelBroker broker(TransportKind::kInProcess);
+  const LinkKey key{AppId(7), TaskId(0), TaskId(1)};
+  auto receiver = broker.open_stream_receive(key, 2);
+  auto sender = broker.open_stream_send(key);
+  sender->push(FramePool::global().copy_of(bytes_of("a")));
+  sender->push(FramePool::global().copy_of(bytes_of("b")));  // ring full
+
+  std::atomic<bool> threw{false};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::jthread producer([&] {
+    try {
+      sender->push(FramePool::global().copy_of(bytes_of("c")));  // parks
+    } catch (const TransportError&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  broker.clear_app(AppId(7));
+  producer.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_TRUE(threw.load());
+  EXPECT_LT(elapsed, 5.0) << "parked producer slept through clear_app";
+  EXPECT_TRUE(receiver->aborted());
+  EXPECT_THROW((void)receiver->pop(), TransportError);
+}
+
+TEST(ChannelBrokerStream, ClearAppWakesConsumerParkedOnEmptyRing) {
+  ChannelBroker broker(TransportKind::kInProcess);
+  const LinkKey key{AppId(8), TaskId(0), TaskId(1)};
+  auto receiver = broker.open_stream_receive(key, 2);
+  std::atomic<bool> threw{false};
+  std::jthread consumer([&] {
+    try {
+      (void)receiver->pop();  // parks: nothing queued, no EOS
+    } catch (const TransportError&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  broker.clear_app(AppId(8));
+  consumer.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(ChannelBrokerStream, ClearAppAbortsPendingOpenStreamSend) {
+  // The clear-generation bump covers streaming rendezvous too: a
+  // producer waiting for a consumer that will never register aborts
+  // promptly.
+  ChannelBroker broker(TransportKind::kInProcess);
+  std::atomic<bool> threw{false};
+  std::jthread feeder([&] {
+    try {
+      (void)broker.open_stream_send(LinkKey{AppId(9), TaskId(0), TaskId(1)},
+                                    /*timeout_s=*/30.0);
+    } catch (const TransportError&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  broker.clear_app(AppId(9));
+  feeder.join();
+  EXPECT_TRUE(threw.load());
+}
+
 // --------------------------------------------------------------- mplib
 
 class MpLibSweep : public ::testing::TestWithParam<MpLibrary> {};

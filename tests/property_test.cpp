@@ -2,12 +2,19 @@
 // that hold for arbitrary (seeded) inputs.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+#include <cstring>
 #include <filesystem>
+#include <map>
+#include <thread>
 
 #include "afg/levels.hpp"
 #include "afg/serialize.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "datamgr/frame.hpp"
+#include "datamgr/ring_channel.hpp"
 #include "repository/repository.hpp"
 #include "scheduler/qos.hpp"
 #include "scheduler/site_scheduler.hpp"
@@ -380,6 +387,158 @@ TEST_P(QosMathProperty, SlackSignMatchesAdmission) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QosMathProperty, ::testing::Range(0, 8));
+
+// --------------------------------------------- ring channel laws (D16)
+
+/// Encodes (producer, seq) into a pooled 16-byte frame.
+dm::FrameView tagged_frame(std::uint64_t producer, std::uint64_t seq) {
+  std::array<std::byte, 16> raw;
+  std::memcpy(raw.data(), &producer, 8);
+  std::memcpy(raw.data() + 8, &seq, 8);
+  return dm::FramePool::global().copy_of(raw);
+}
+
+std::pair<std::uint64_t, std::uint64_t> decode_tag(const dm::FrameView& fv) {
+  std::uint64_t producer = 0, seq = 0;
+  std::memcpy(&producer, fv.data(), 8);
+  std::memcpy(&seq, fv.data() + 8, 8);
+  return {producer, seq};
+}
+
+/// The RingChannel contract under N racing producers and M racing
+/// consumers: every pushed frame pops exactly once (zero loss, no
+/// duplication), each consumer observes every producer's frames in push
+/// order (FIFO), occupancy never exceeds capacity, and once every
+/// producer retires all consumers see a clean EOS.
+class RingChannelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingChannelProperty, FifoZeroLossCleanEosUnderRace) {
+  Rng rng(9100 + GetParam());
+  const std::size_t capacity = 1 + rng.uniform_int(7);
+  const std::size_t producers = 1 + rng.uniform_int(3);
+  const std::size_t consumers = 1 + rng.uniform_int(3);
+  const std::uint64_t per_producer = 100 + rng.uniform_int(200);
+
+  dm::RingChannel ring(capacity);
+  for (std::size_t p = 1; p < producers; ++p) ring.add_producer();
+
+  std::vector<std::jthread> threads;
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&ring, p, per_producer] {
+      for (std::uint64_t seq = 0; seq < per_producer; ++seq) {
+        ring.push(tagged_frame(p, seq));
+      }
+      ring.close_send();
+    });
+  }
+
+  std::mutex mu;
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> seen(
+      consumers);
+  std::atomic<std::size_t> clean_eos{0};
+  for (std::size_t c = 0; c < consumers; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> local;
+      while (auto fv = ring.pop()) local.push_back(decode_tag(*fv));
+      clean_eos.fetch_add(1);  // nullopt, not TransportError
+      std::lock_guard lk(mu);
+      seen[c] = std::move(local);
+    });
+  }
+  threads.clear();  // join everyone
+
+  // Clean EOS for every consumer, with the ring fully drained.
+  EXPECT_EQ(clean_eos.load(), consumers);
+  EXPECT_TRUE(ring.eos());
+  EXPECT_EQ(ring.size(), 0u);
+
+  // Zero loss, zero duplication: every (producer, seq) exactly once.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, int> counts;
+  for (const auto& v : seen) {
+    for (const auto& tag : v) ++counts[tag];
+  }
+  EXPECT_EQ(counts.size(), producers * per_producer);
+  for (const auto& [tag, n] : counts) {
+    EXPECT_EQ(n, 1) << "frame (" << tag.first << ", " << tag.second
+                    << ") seen " << n << " times";
+  }
+
+  // FIFO: within one consumer, each producer's frames arrive in push
+  // order (global pop order respects commit order, so any subsequence
+  // is ordered too).
+  for (const auto& v : seen) {
+    std::map<std::uint64_t, std::uint64_t> next_seq;
+    for (const auto& [p, seq] : v) {
+      auto it = next_seq.find(p);
+      if (it != next_seq.end()) {
+        EXPECT_GT(seq, it->second) << "producer " << p << " reordered";
+      }
+      next_seq[p] = seq;
+    }
+  }
+
+  // Capacity is a hard bound and the counters balance.
+  const dm::RingChannelStats stats = ring.stats();
+  EXPECT_LE(stats.high_water, capacity);
+  EXPECT_EQ(stats.frames_pushed, producers * per_producer);
+  EXPECT_EQ(stats.frames_popped, producers * per_producer);
+  EXPECT_EQ(stats.frames_dropped, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingChannelProperty, ::testing::Range(0, 6));
+
+/// Churn case for the TSan job: producers and consumers race a
+/// mid-stream abort().  Whatever the interleaving, nothing is counted
+/// twice (popped + dropped never exceeds pushed), FIFO holds for what
+/// did pop, and every thread returns promptly via TransportError.
+TEST(RingChannelChurn, AbortRacingProducersAndConsumers) {
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng rng(4400 + trial);
+    dm::RingChannel ring(1 + rng.uniform_int(4));
+    constexpr std::size_t kProducers = 2;
+    constexpr std::size_t kConsumers = 2;
+    for (std::size_t p = 1; p < kProducers; ++p) ring.add_producer();
+
+    std::mutex mu;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> popped;
+    {
+      std::vector<std::jthread> threads;
+      for (std::size_t p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&ring, p] {
+          try {
+            for (std::uint64_t seq = 0;; ++seq) {
+              ring.push(tagged_frame(p, seq));
+            }
+          } catch (const common::TransportError&) {
+          }
+        });
+      }
+      for (std::size_t c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+          std::vector<std::pair<std::uint64_t, std::uint64_t>> local;
+          try {
+            while (auto fv = ring.pop()) local.push_back(decode_tag(*fv));
+          } catch (const common::TransportError&) {
+          }
+          std::lock_guard lk(mu);
+          popped.insert(popped.end(), local.begin(), local.end());
+        });
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng.uniform_int(2000)));
+      ring.abort();
+    }
+
+    const dm::RingChannelStats stats = ring.stats();
+    EXPECT_TRUE(ring.aborted());
+    EXPECT_LE(popped.size(), stats.frames_pushed);
+    EXPECT_LE(stats.frames_popped + stats.frames_dropped,
+              stats.frames_pushed);
+    std::map<std::pair<std::uint64_t, std::uint64_t>, int> counts;
+    for (const auto& tag : popped) ++counts[tag];
+    for (const auto& [tag, n] : counts) EXPECT_EQ(n, 1);
+  }
+}
 
 // --------------------------------------------------------- trace export
 
