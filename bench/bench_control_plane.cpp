@@ -14,7 +14,20 @@
 // plus Host Selection latency (the paper's inter-site AFG multicast
 // unit) in-process vs. over the daemon RPC socket.  Rows are CSV;
 // --json additionally writes a BENCH_control_plane.json summary.
+//
+// --liveness switches to the E23 question instead -- what does quorum
+// liveness (D17) buy over a lone heartbeat timer?  Two variants run
+// the same chaos script (a coordinator<->site-1 partition, then a
+// SIGKILL of site 0's daemon): `timer` (gossip off, quorum 1: the
+// watchdog's own missed-heartbeat vote is a verdict) vs `quorum`
+// (gossip on, quorum 2: death needs an independent witness).  Reported
+// per variant: false-positive deaths of the partitioned-but-healthy
+// site, spurious restarts, refutations, and the SIGKILL detection
+// latency.  --json then writes BENCH_liveness.json.
+#include <signal.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstddef>
@@ -23,16 +36,19 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "daemon/client.hpp"
 #include "datamgr/channel.hpp"
+#include "netsim/chaos.hpp"
 #include "netsim/testbed.hpp"
 #include "predict/forecaster.hpp"
 #include "repository/repository.hpp"
 #include "runtime/control_manager.hpp"
 #include "runtime/control_transport.hpp"
+#include "runtime/liveness.hpp"
 #include "runtime/site_manager.hpp"
 #include "runtime/watchdog.hpp"
 #include "runtime/wire.hpp"
@@ -118,12 +134,179 @@ std::string json_entry(const std::string& op, const std::string& path,
          ", \"p99_us\": " + std::to_string(l.p99_us) + "}";
 }
 
+// ------------------------------------------------------ E23: liveness
+
+double steady_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One E23 variant outcome.
+struct LivenessOutcome {
+  std::string name;
+  /// Down declarations against the partitioned-but-healthy site
+  /// (anything > 0 is a false positive -- no process ever died).
+  int false_positive_deaths = 0;
+  /// Restarts churned by those false positives.
+  std::uint64_t spurious_restarts = 0;
+  bool partitioned_site_recovered = false;
+  std::uint64_t suspects = 0;
+  std::uint64_t refutations = 0;
+  std::uint64_t false_alarm_recoveries = 0;
+  std::uint64_t deaths_quorum = 0;
+  std::uint64_t deaths_timeout = 0;
+  /// Kill -> on_site_down latency for the real SIGKILL (ms).
+  double sigkill_detect_ms = -1.0;
+};
+
+LivenessOutcome run_liveness_variant(const std::string& name, bool gossip,
+                                     int quorum) {
+  LivenessOutcome out;
+  out.name = name;
+
+  vdce::rt::WatchdogConfig config;
+  config.daemon_path = VDCE_SITE_DAEMON_PATH;
+  config.seed = 13;
+  config.heartbeat_period_s = 0.02;
+  config.heartbeat_timeout_s = 0.25;
+  config.max_restarts = 5;
+  config.restart_backoff_s = 0.02;
+  config.gossip = gossip;
+  config.gossip_period_s = 0.02;
+  config.probe_timeout_s = 0.2;
+  // Every death verdict must travel through the liveness directory so
+  // the two variants differ ONLY in their witness pools.
+  config.trust_process_exit = false;
+  config.liveness.quorum = quorum;
+  config.liveness.suspicion_timeout_s = 0.6;
+
+  // The chaos script: partition the coordinator from site 1 for 1.2s
+  // (site 1 stays perfectly healthy), heal, then SIGKILL site 0.
+  vdce::netsim::ChaosSchedule schedule;
+  vdce::netsim::ChaosEvent ev;
+  ev.kind = vdce::netsim::ChaosEventKind::kPartition;
+  ev.start = 0.4;
+  ev.length = 1.2;
+  ev.site = vdce::rt::LivenessDirectory::watchdog_witness();
+  ev.other_site = SiteId(1);
+  schedule.add(ev);
+  const double epoch = steady_s();
+  config.partition_spec = schedule.partition_spec(epoch);
+
+  vdce::rt::Watchdog watchdog(config);
+  std::atomic<int> site0_downs{0};
+  std::atomic<int> site1_downs{0};
+  watchdog.set_on_site_down([&](SiteId site) {
+    (site.value() == 0 ? site0_downs : site1_downs).fetch_add(1);
+  });
+  watchdog.spawn(SiteId(0));
+  watchdog.spawn(SiteId(1));
+  const double up_deadline = steady_s() + 15.0;
+  while (steady_s() < up_deadline && !(watchdog.status(SiteId(0)).up &&
+                                       watchdog.status(SiteId(1)).up)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Ride out the partition plus a recovery margin.
+  const double heal_end = epoch + 0.4 + 1.2 + 0.8;
+  while (steady_s() < heal_end) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  out.false_positive_deaths = site1_downs.load();
+  out.spurious_restarts = watchdog.status(SiteId(1)).restarts;
+  out.partitioned_site_recovered =
+      watchdog.status(SiteId(1)).up &&
+      watchdog.site_liveness(SiteId(1)) == vdce::rt::SiteLiveness::kAlive;
+
+  // The real death: SIGKILL site 0 and time the verdict.
+  const double killed_at = steady_s();
+  watchdog.kill_daemon(SiteId(0), SIGKILL);
+  const double kill_deadline = killed_at + 10.0;
+  while (steady_s() < kill_deadline && site0_downs.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (site0_downs.load() > 0) {
+    out.sigkill_detect_ms = (steady_s() - killed_at) * 1e3;
+  }
+
+  const auto stats = watchdog.liveness().stats();
+  out.suspects = stats.suspects;
+  out.refutations = stats.refutations;
+  out.false_alarm_recoveries = stats.false_alarm_recoveries;
+  out.deaths_quorum = stats.deaths_quorum;
+  out.deaths_timeout = stats.deaths_timeout;
+  return out;
+}
+
+void print_liveness_row(const LivenessOutcome& o) {
+  std::cout << o.name << "," << o.false_positive_deaths << ","
+            << o.spurious_restarts << ","
+            << (o.partitioned_site_recovered ? 1 : 0) << "," << o.suspects
+            << "," << o.refutations << "," << o.false_alarm_recoveries << ","
+            << o.deaths_quorum << "," << o.deaths_timeout << ","
+            << o.sigkill_detect_ms << "\n";
+}
+
+std::string liveness_json_entry(const LivenessOutcome& o) {
+  return "    {\"variant\": \"" + o.name +
+         "\", \"false_positive_deaths\": " +
+         std::to_string(o.false_positive_deaths) +
+         ", \"spurious_restarts\": " + std::to_string(o.spurious_restarts) +
+         ", \"partitioned_site_recovered\": " +
+         (o.partitioned_site_recovered ? "true" : "false") +
+         ", \"suspects\": " + std::to_string(o.suspects) +
+         ", \"refutations\": " + std::to_string(o.refutations) +
+         ", \"false_alarm_recoveries\": " +
+         std::to_string(o.false_alarm_recoveries) +
+         ", \"deaths_quorum\": " + std::to_string(o.deaths_quorum) +
+         ", \"deaths_timeout\": " + std::to_string(o.deaths_timeout) +
+         ", \"sigkill_detect_ms\": " + std::to_string(o.sigkill_detect_ms) +
+         "}";
+}
+
+int run_liveness_bench(bool json, const std::string& out_path) {
+  std::cout << "variant,false_positive_deaths,spurious_restarts,"
+               "partitioned_site_recovered,suspects,refutations,"
+               "false_alarm_recoveries,deaths_quorum,deaths_timeout,"
+               "sigkill_detect_ms\n";
+  const auto timer = run_liveness_variant("timer", /*gossip=*/false,
+                                          /*quorum=*/1);
+  print_liveness_row(timer);
+  const auto quorum = run_liveness_variant("quorum", /*gossip=*/true,
+                                           /*quorum=*/2);
+  print_liveness_row(quorum);
+
+  if (json) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << "{\n  \"experiment\": \"E23\",\n  \"rows\": [\n"
+        << liveness_json_entry(timer) << ",\n"
+        << liveness_json_entry(quorum) << "\n  ],\n"
+        << "  \"quorum_false_positives\": " << quorum.false_positive_deaths
+        << ",\n  \"timer_false_positives\": " << timer.false_positive_deaths
+        << "\n}\n";
+    std::cout << "wrote " << out_path << "\n";
+  }
+  // The acceptance bar E23 exists to demonstrate: the quorum variant
+  // must produce ZERO false positives yet still detect the real death.
+  if (quorum.false_positive_deaths != 0 || quorum.sigkill_detect_ms < 0) {
+    std::cerr << "E23 acceptance violated\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
   bool quick = false;
-  std::string out_path = "BENCH_control_plane.json";
+  bool liveness = false;
+  std::string out_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -131,8 +314,14 @@ int main(int argc, char** argv) {
       if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--liveness") {
+      liveness = true;
     }
   }
+  if (out_path.empty()) {
+    out_path = liveness ? "BENCH_liveness.json" : "BENCH_control_plane.json";
+  }
+  if (liveness) return run_liveness_bench(json, out_path);
   const std::size_t msg_iters = quick ? 2000 : 20000;
   const std::size_t rpc_iters = quick ? 500 : 5000;
   const std::size_t sel_iters = quick ? 20 : 100;

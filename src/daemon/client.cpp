@@ -1,6 +1,8 @@
 #include "daemon/client.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "afg/serialize.hpp"
 #include "common/error.hpp"
@@ -14,13 +16,43 @@ using common::StateError;
 using common::TransportError;
 
 DaemonClient::DaemonClient(std::uint16_t port, double rpc_timeout_s)
-    : channel_(dm::tcp_connect(port)), timeout_(rpc_timeout_s) {}
+    : DaemonClient(port, DaemonRpcConfig{rpc_timeout_s, 1, 0.05}) {}
+
+DaemonClient::DaemonClient(std::uint16_t port, DaemonRpcConfig rpc)
+    : port_(port), rpc_(rpc), channel_(dm::tcp_connect(port)) {}
 
 std::vector<std::byte> DaemonClient::call(std::span<const std::byte> request,
                                           wire::MsgType expect) {
   const std::lock_guard lock(mu_);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return call_once(request, expect);
+    } catch (const TransportError& e) {
+      if (attempt >= rpc_.rpc_retries) throw;
+      common::MetricsRegistry::global().counter("daemon.rpc_retries").add(1);
+      const double backoff_s =
+          rpc_.rpc_backoff_s * static_cast<double>(1 << attempt);
+      common::log_warn("daemon_client", "RPC attempt ", attempt + 1,
+                       " failed (", e.what(), "); retrying in ", backoff_s,
+                       "s");
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+      // Reconnect: the old connection is half-dead at best.  A refused
+      // connection here is tolerated -- call_once reconnects on the
+      // next attempt and a still-dead daemon fails from there.
+      channel_.reset();
+      try {
+        channel_ = dm::tcp_connect(port_);
+      } catch (const TransportError&) {
+      }
+    }
+  }
+}
+
+std::vector<std::byte> DaemonClient::call_once(
+    std::span<const std::byte> request, wire::MsgType expect) {
+  if (!channel_) channel_ = dm::tcp_connect(port_);
   channel_->send(request);
-  const auto reply = channel_->receive_for(timeout_);
+  const auto reply = channel_->receive_for(rpc_.timeout_s);
   if (!reply) {
     throw TransportError("daemon closed the connection mid-RPC");
   }
@@ -79,10 +111,17 @@ RemoteSiteDirectory::RemoteSiteDirectory(sched::SiteDirectory& replica,
                                          rt::Watchdog& watchdog,
                                          std::vector<common::SiteId> sites,
                                          double rpc_timeout_s)
+    : RemoteSiteDirectory(replica, watchdog, std::move(sites),
+                          DaemonRpcConfig{rpc_timeout_s, 1, 0.05}) {}
+
+RemoteSiteDirectory::RemoteSiteDirectory(sched::SiteDirectory& replica,
+                                         rt::Watchdog& watchdog,
+                                         std::vector<common::SiteId> sites,
+                                         DaemonRpcConfig rpc)
     : replica_(&replica),
       watchdog_(&watchdog),
       remote_sites_(std::move(sites)),
-      timeout_(rpc_timeout_s) {}
+      rpc_(rpc) {}
 
 std::vector<common::SiteId> RemoteSiteDirectory::sites() const {
   return replica_->sites();
@@ -112,16 +151,27 @@ common::Duration RemoteSiteDirectory::host_transfer_time(common::HostId from,
 
 std::shared_ptr<DaemonClient> RemoteSiteDirectory::client(
     common::SiteId site) {
+  // D17 fencing: a cached client pinned to an older incarnation is
+  // talking to a daemon that no longer exists (or, worse, a stale one
+  // still draining) -- drop it and reconnect to the reincarnation.
+  const std::uint32_t current = watchdog_->incarnation(site);
   {
     const std::lock_guard lock(mu_);
     const auto it = clients_.find(site);
-    if (it != clients_.end()) return it->second;
+    if (it != clients_.end()) {
+      if (current == 0 || it->second->incarnation() == current) {
+        return it->second;
+      }
+      clients_.erase(it);
+    }
   }
-  // Connect outside the lock: rpc_port blocks up to its timeout.
+  // Connect outside the lock: rpc_endpoint blocks up to its timeout.
   std::shared_ptr<DaemonClient> fresh;
   try {
-    const std::uint16_t port = watchdog_->rpc_port(site, timeout_);
-    fresh = std::make_shared<DaemonClient>(port, timeout_);
+    const rt::RpcEndpoint endpoint =
+        watchdog_->rpc_endpoint(site, rpc_.timeout_s);
+    fresh = std::make_shared<DaemonClient>(endpoint.port, rpc_);
+    fresh->set_incarnation(endpoint.incarnation);
   } catch (const TransportError& e) {
     common::log_warn("remote_directory", "site ", site.value(),
                      " unreachable: ", e.what());

@@ -13,9 +13,14 @@
 // Failure semantics: an unreachable daemon yields an EMPTY (infeasible)
 // selection, never an exception -- the Site Scheduler then simply
 // places nothing on that site, which is exactly how the in-process
-// stack treats a site with no eligible hosts.  The client reconnects
-// through the Watchdog on the next request, so a daemon restart (new
-// kernel-assigned port, new incarnation) reattaches transparently.
+// stack treats a site with no eligible hosts.  A transient
+// TransportError inside one RPC is retried a bounded number of times
+// with deterministic exponential backoff (reconnecting to the same
+// port, counted in `daemon.rpc_retries`) before it surfaces.  The
+// directory reconnects through the Watchdog on the next request and
+// pins each cached client to the daemon incarnation it connected to,
+// so a connection into a stale (pre-restart) daemon is fenced off and
+// dropped rather than silently answering with dead state (D17).
 #pragma once
 
 #include <cstdint>
@@ -33,12 +38,31 @@
 
 namespace vdce::daemon {
 
+/// RPC budget for one DaemonClient.
+struct DaemonRpcConfig {
+  double timeout_s = 10.0;
+  /// Extra attempts after the first on a transient TransportError
+  /// (reconnect + resend); 0 = fail fast.
+  int rpc_retries = 1;
+  /// Backoff before retry k is rpc_backoff_s * 2^k -- deterministic,
+  /// no jitter needed (one caller, one connection).
+  double rpc_backoff_s = 0.05;
+};
+
 /// Blocking request/reply client over one daemon connection.
 /// Thread-safe: one RPC is in flight at a time.
 class DaemonClient {
  public:
   /// Connects to a daemon's RPC port.
   explicit DaemonClient(std::uint16_t port, double rpc_timeout_s = 10.0);
+  DaemonClient(std::uint16_t port, DaemonRpcConfig rpc);
+
+  /// The daemon incarnation this client is pinned to (0 = unknown);
+  /// RemoteSiteDirectory drops clients whose incarnation went stale.
+  [[nodiscard]] std::uint32_t incarnation() const { return incarnation_; }
+  void set_incarnation(std::uint32_t incarnation) {
+    incarnation_ = incarnation;
+  }
 
   /// Advances the daemon's Control Manager to `now`.
   void tick(common::TimePoint now);
@@ -56,12 +80,19 @@ class DaemonClient {
  private:
   /// Sends `request`, waits for the reply, checks it is `expect` (an
   /// ErrorReply re-throws as StateError; anything else is a protocol
-  /// violation).  Throws TransportError on deadline/disconnect.
+  /// violation).  Retries a TransportError up to rpc_retries times
+  /// with exponential backoff, reconnecting each time; throws the
+  /// last TransportError once the budget is spent.
   [[nodiscard]] std::vector<std::byte> call(
       std::span<const std::byte> request, rt::wire::MsgType expect);
+  /// One attempt (lock held by call).
+  [[nodiscard]] std::vector<std::byte> call_once(
+      std::span<const std::byte> request, rt::wire::MsgType expect);
 
+  std::uint16_t port_;
+  DaemonRpcConfig rpc_;
+  std::uint32_t incarnation_ = 0;
   std::unique_ptr<dm::TcpChannel> channel_;
-  double timeout_;
   std::mutex mu_;
 };
 
@@ -83,6 +114,9 @@ class RemoteSiteDirectory final : public sched::SiteDirectory {
   RemoteSiteDirectory(sched::SiteDirectory& replica, rt::Watchdog& watchdog,
                       std::vector<common::SiteId> remote_sites,
                       double rpc_timeout_s = 10.0);
+  RemoteSiteDirectory(sched::SiteDirectory& replica, rt::Watchdog& watchdog,
+                      std::vector<common::SiteId> remote_sites,
+                      DaemonRpcConfig rpc);
 
   [[nodiscard]] std::vector<common::SiteId> sites() const override;
   [[nodiscard]] common::Duration site_distance(
@@ -123,7 +157,7 @@ class RemoteSiteDirectory final : public sched::SiteDirectory {
   sched::SiteDirectory* replica_;
   rt::Watchdog* watchdog_;
   std::vector<common::SiteId> remote_sites_;
-  double timeout_;
+  DaemonRpcConfig rpc_;
   mutable std::mutex mu_;
   std::map<common::SiteId, std::shared_ptr<DaemonClient>> clients_;
   RemoteDirectoryStats stats_;

@@ -3,9 +3,11 @@
 // Launched by rt::Watchdog (or by hand):
 //   vdce_site_daemon --site 1 --seed 13
 //       --heartbeat-port 40123 --heartbeat-period 0.05 --incarnation 1
+//       [--gossip 1] [--gossip-period 0.05] [--coordinator-site N]
+//       [--partition-spec "a,b,start,end;..."]
 //
 // Without --heartbeat-port the daemon runs unsupervised and prints its
-// RPC port on stdout (manual experimentation).
+// RPC (and gossip) port on stdout (manual experimentation).
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -21,7 +23,9 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --site N [--seed S] [--heartbeat-port P]\n"
-               "          [--heartbeat-period SECONDS] [--incarnation K]\n",
+               "          [--heartbeat-period SECONDS] [--incarnation K]\n"
+               "          [--gossip 0|1] [--gossip-period SECONDS]\n"
+               "          [--coordinator-site N] [--partition-spec SPEC]\n",
                argv0);
   std::exit(2);
 }
@@ -48,6 +52,16 @@ int main(int argc, char** argv) {
       config.heartbeat_period_s = std::atof(next());
     } else if (arg == "--incarnation") {
       config.incarnation = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--gossip") {
+      config.gossip = std::atoi(next()) != 0;
+    } else if (arg == "--gossip-period") {
+      config.gossip_period_s = std::atof(next());
+    } else if (arg == "--coordinator-site") {
+      config.coordinator_site =
+          vdce::common::SiteId(static_cast<std::uint32_t>(
+              std::strtoul(next(), nullptr, 10)));
+    } else if (arg == "--partition-spec") {
+      config.partition_spec = next();
     } else {
       usage(argv[0]);
     }
@@ -58,6 +72,9 @@ int main(int argc, char** argv) {
     vdce::daemon::SiteDaemon daemon(config);
     if (config.heartbeat_port == 0) {
       std::printf("rpc_port=%u\n", daemon.rpc_port());
+      if (config.gossip) {
+        std::printf("gossip_port=%u\n", daemon.gossip_port());
+      }
       std::fflush(stdout);
     }
     return daemon.serve();

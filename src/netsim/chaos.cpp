@@ -1,8 +1,10 @@
 #include "netsim/chaos.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 
 namespace vdce::netsim {
@@ -185,6 +187,49 @@ std::function<bool(HostId)> ChaosSchedule::liveness_probe(
   return [this, &bed, observer](HostId host) {
     return reachable(bed, observer, host, bed.live_time());
   };
+}
+
+std::string ChaosSchedule::partition_spec(double base_s) const {
+  std::ostringstream out;
+  bool first = true;
+  for (const ChaosEvent& event : events_) {
+    if (event.kind != ChaosEventKind::kPartition) continue;
+    if (!first) out << ';';
+    first = false;
+    out.precision(17);
+    out << event.site.value() << ',' << event.other_site.value() << ','
+        << base_s + event.start << ',' << base_s + event.start + event.length;
+  }
+  return out.str();
+}
+
+ChaosSchedule ChaosSchedule::from_partition_spec(const std::string& spec) {
+  ChaosSchedule schedule;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    unsigned a = 0;
+    unsigned b = 0;
+    double start = 0.0;
+    double stop = 0.0;
+    if (std::sscanf(item.c_str(), "%u,%u,%lf,%lf", &a, &b, &start, &stop) !=
+            4 ||
+        stop < start) {
+      throw common::ParseError("malformed partition spec item: " + item);
+    }
+    ChaosEvent event;
+    event.kind = ChaosEventKind::kPartition;
+    event.site = SiteId(static_cast<std::uint32_t>(a));
+    event.other_site = SiteId(static_cast<std::uint32_t>(b));
+    event.start = start;
+    event.length = stop - start;
+    schedule.add(event);
+  }
+  return schedule;
 }
 
 std::string ChaosSchedule::summary() const {

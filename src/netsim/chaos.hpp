@@ -141,6 +141,19 @@ class ChaosSchedule {
   /// True when a partition separates sites `a` and `b` at time `t`.
   [[nodiscard]] bool partitioned(SiteId a, SiteId b, TimePoint t) const;
 
+  /// Serializes the kPartition events as "a,b,start,end;..." with
+  /// windows shifted by `base_s` -- pass the CLOCK_MONOTONIC seconds of
+  /// the schedule's epoch and every process on the machine can evaluate
+  /// partitioned() against its own steady clock (D17: daemons drop
+  /// heartbeats and gossip along partitioned edges).  Empty when the
+  /// schedule holds no partitions.
+  [[nodiscard]] std::string partition_spec(double base_s) const;
+
+  /// Parses a partition_spec back into a partition-only schedule (times
+  /// stay absolute).  Throws ParseError on malformed input.
+  [[nodiscard]] static ChaosSchedule from_partition_spec(
+      const std::string& spec);
+
   /// One line per event, for logs and the bench summary.
   [[nodiscard]] std::string summary() const;
 

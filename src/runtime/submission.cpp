@@ -211,6 +211,20 @@ void AppSubmissionService::add_forecaster(
   forecasters_.push_back(forecaster);
 }
 
+void AppSubmissionService::note_site_liveness(common::SiteId site, bool dead) {
+  std::lock_guard lk(mu_);
+  if (dead) {
+    dead_sites_.insert(site);
+  } else {
+    dead_sites_.erase(site);
+  }
+}
+
+std::vector<common::SiteId> AppSubmissionService::dead_sites() const {
+  std::lock_guard lk(mu_);
+  return {dead_sites_.begin(), dead_sites_.end()};
+}
+
 common::AppId AppSubmissionService::submit(SubmissionRequest request) {
   std::vector<SubmissionRequest> one;
   one.push_back(std::move(request));
@@ -579,12 +593,14 @@ bool AppSubmissionService::replan_for_restart(AppRecord& rec,
   }
 
   std::lock_guard lk(mu_);
-  // Quarantine: hosts the health probe reports dead plus everything the
-  // circuit breaker holds open.
+  // Quarantine: hosts the health probe reports dead, hosts on sites
+  // the quorum declared dead (D17), plus everything the circuit
+  // breaker holds open.
   std::vector<common::HostId> excluded = breaker_.quarantined_hosts();
   for (const auto& row : rec.allocation.rows()) {
     const common::HostId host = row.primary_host();
-    const bool dead = health_probe_ && !health_probe_(host);
+    const bool dead = (health_probe_ && !health_probe_(host)) ||
+                      dead_sites_.count(row.site) > 0;
     if (dead && std::find(excluded.begin(), excluded.end(), host) ==
                     excluded.end()) {
       excluded.push_back(host);
@@ -615,8 +631,9 @@ bool AppSubmissionService::replan_for_restart(AppRecord& rec,
     // probe each candidate and widen the quarantine until one is alive.
     auto replacement = scheduler.reschedule(rec.request.graph,
                                             rec.allocation, task, excluded);
-    while (replacement && health_probe_ &&
-           !health_probe_(replacement->primary_host())) {
+    while (replacement &&
+           ((health_probe_ && !health_probe_(replacement->primary_host())) ||
+            dead_sites_.count(replacement->site) > 0)) {
       excluded.push_back(replacement->primary_host());
       replacement = scheduler.reschedule(rec.request.graph, rec.allocation,
                                          task, excluded);

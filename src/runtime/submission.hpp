@@ -54,6 +54,7 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <set>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -334,6 +335,14 @@ class AppSubmissionService {
     std::lock_guard lk(mu_);
     health_probe_ = std::move(probe);
   }
+  /// D17 quorum verdict feed: the watchdog's on_site_down/on_site_up
+  /// hooks mark a whole site dead (its hosts are excluded from
+  /// failover replacement placements) or alive again.  Only the
+  /// quorum-confirmed verdict should be fed here -- a merely SUSPECT
+  /// site keeps its placements.
+  void note_site_liveness(common::SiteId site, bool dead);
+  /// Sites currently marked dead via note_site_liveness (sorted).
+  [[nodiscard]] std::vector<common::SiteId> dead_sites() const;
 
   /// Schedules + admits one application; thread-safe.  Placement runs
   /// outside the service lock, admission bookkeeping inside it; the
@@ -428,6 +437,8 @@ class AppSubmissionService {
   std::vector<predict::LoadForecaster*> forecasters_;
   FaultHookFactory fault_hooks_;
   std::function<bool(common::HostId)> health_probe_;
+  /// Sites quorum-declared dead (note_site_liveness); guarded by mu_.
+  std::set<common::SiteId> dead_sites_;
   CheckpointStore checkpoints_;
   HostCircuitBreaker breaker_;
   /// Sharded stride ready queue; all mutations happen under mu_ (its

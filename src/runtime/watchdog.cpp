@@ -14,6 +14,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/rng.hpp"
 #include "runtime/wire.hpp"
 
 namespace vdce::rt {
@@ -26,11 +27,28 @@ double Watchdog::now_s() {
       .count();
 }
 
-Watchdog::Watchdog(WatchdogConfig config) : config_(std::move(config)) {
+double Watchdog::restart_backoff(const WatchdogConfig& config, SiteId site,
+                                 std::size_t restart_index) {
+  const double base =
+      config.restart_backoff_s *
+      std::pow(config.restart_backoff_multiplier,
+               static_cast<double>(restart_index));
+  if (config.restart_backoff_jitter <= 0.0) return base;
+  // One deterministic draw per (seed, site, restart): decorrelates the
+  // restart storms of a multi-site outage without losing replayability.
+  common::Rng rng(config.seed ^
+                  (0x9E3779B97F4A7C15ull * (site.value() + 1ull)) ^
+                  (0xBF58476D1CE4E5B9ull * (restart_index + 1ull)));
+  return base * (1.0 + config.restart_backoff_jitter * rng.uniform());
+}
+
+Watchdog::Watchdog(WatchdogConfig config)
+    : config_(std::move(config)), liveness_(config_.liveness) {
   common::expects(!config_.daemon_path.empty(),
                   "watchdog needs the site daemon binary path");
   acceptor_ = std::thread([this] { accept_loop(); });
   monitor_ = std::thread([this] { monitor_loop(); });
+  if (config_.gossip) prober_ = std::thread([this] { prober_loop(); });
 }
 
 Watchdog::~Watchdog() { stop(); }
@@ -54,28 +72,45 @@ void Watchdog::launch_locked(Daemon& d) {
     common::MetricsRegistry::global().counter("watchdog.restarts").add(1);
   }
   d.rpc_port = 0;
+  d.gossip_port = 0;
   d.up = false;
   d.last_beat_s = now_s();  // grace: the timeout clock starts at launch
+  liveness_.track(d.site, d.incarnation);
 
   const std::string site_arg = std::to_string(d.site.value());
   const std::string seed_arg = std::to_string(config_.seed);
   const std::string port_arg = std::to_string(listener_.port());
   const std::string period_arg = std::to_string(config_.heartbeat_period_s);
   const std::string incarnation_arg = std::to_string(d.incarnation);
-  const char* argv[] = {config_.daemon_path.c_str(),
-                        "--site", site_arg.c_str(),
-                        "--seed", seed_arg.c_str(),
-                        "--heartbeat-port", port_arg.c_str(),
-                        "--heartbeat-period", period_arg.c_str(),
-                        "--incarnation", incarnation_arg.c_str(),
-                        nullptr};
+  const std::string gossip_arg = config_.gossip ? "1" : "0";
+  const std::string gossip_period_arg =
+      std::to_string(config_.gossip_period_s);
+  const std::string coordinator_arg =
+      std::to_string(config_.coordinator_site.value());
+  std::vector<const char*> argv = {config_.daemon_path.c_str(),
+                                   "--site", site_arg.c_str(),
+                                   "--seed", seed_arg.c_str(),
+                                   "--heartbeat-port", port_arg.c_str(),
+                                   "--heartbeat-period", period_arg.c_str(),
+                                   "--incarnation", incarnation_arg.c_str(),
+                                   "--gossip", gossip_arg.c_str(),
+                                   "--gossip-period",
+                                   gossip_period_arg.c_str(),
+                                   "--coordinator-site",
+                                   coordinator_arg.c_str()};
+  if (!config_.partition_spec.empty()) {
+    argv.push_back("--partition-spec");
+    argv.push_back(config_.partition_spec.c_str());
+  }
+  argv.push_back(nullptr);
   const pid_t pid = ::fork();
   if (pid < 0) {
     throw TransportError(std::string("fork: ") + std::strerror(errno));
   }
   if (pid == 0) {
     // Child: only async-signal-safe calls between fork and exec.
-    ::execv(config_.daemon_path.c_str(), const_cast<char* const*>(argv));
+    ::execv(config_.daemon_path.c_str(),
+            const_cast<char* const*>(argv.data()));
     ::_exit(127);
   }
   d.pid = pid;
@@ -105,6 +140,32 @@ void Watchdog::accept_loop() {
   }
 }
 
+void Watchdog::apply_digest(const wire::PeerDigest& digest) {
+  // Fencing: a digest from a stale incarnation of the origin must not
+  // vote or refute on behalf of its successor.
+  {
+    const std::lock_guard lock(mu_);
+    const auto it = daemons_.find(digest.origin_site);
+    if (it == daemons_.end() ||
+        it->second.incarnation != digest.origin_incarnation) {
+      return;
+    }
+  }
+  for (const wire::PeerHealth& peer : digest.peers) {
+    if (peer.site == digest.origin_site) continue;
+    if (peer.reachable &&
+        peer.age_s <= liveness_.config().freshness_s) {
+      (void)liveness_.refute(peer.site, peer.incarnation,
+                             digest.origin_site);
+    } else if (!peer.reachable) {
+      (void)liveness_.suspect(peer.site, peer.incarnation,
+                              digest.origin_site,
+                              "peer digest: unreachable from site " +
+                                  std::to_string(digest.origin_site.value()));
+    }
+  }
+}
+
 void Watchdog::beat_loop(std::shared_ptr<dm::TcpChannel> channel) {
   // The (site, incarnation) this connection authenticated as via its
   // first accepted beat; EOF of an authenticated current-incarnation
@@ -119,6 +180,39 @@ void Watchdog::beat_loop(std::shared_ptr<dm::TcpChannel> channel) {
       frame.reset();  // mid-frame EOF: same as an orderly close here
     }
     if (!frame) break;
+    wire::MsgType type;
+    try {
+      type = wire::peek_type(*frame);
+    } catch (const common::ParseError& e) {
+      common::log_warn("watchdog", "dropping bad heartbeat frame: ",
+                       e.what());
+      continue;
+    }
+    // The heartbeat channel carries three message kinds: the beat
+    // itself, piggybacked peer-health digests, and refutations.
+    if (type == wire::MsgType::kPeerDigest) {
+      try {
+        apply_digest(wire::decode_peer_digest(*frame));
+      } catch (const common::ParseError& e) {
+        common::log_warn("watchdog", "dropping bad digest frame: ", e.what());
+      }
+      continue;
+    }
+    if (type == wire::MsgType::kRefute) {
+      try {
+        const wire::Refute refute = wire::decode_refute(*frame);
+        (void)liveness_.refute(refute.site, refute.incarnation,
+                               refute.witness_site);
+      } catch (const common::ParseError& e) {
+        common::log_warn("watchdog", "dropping bad refute frame: ", e.what());
+      }
+      continue;
+    }
+    if (type != wire::MsgType::kHeartbeat) {
+      common::log_warn("watchdog", "unexpected frame on heartbeat channel: ",
+                       wire::to_string(type));
+      continue;
+    }
     wire::Heartbeat beat;
     try {
       beat = wire::decode_heartbeat(*frame);
@@ -139,6 +233,7 @@ void Watchdog::beat_loop(std::shared_ptr<dm::TcpChannel> channel) {
       bound_incarnation = beat.incarnation;
       d.last_beat_s = now_s();
       d.rpc_port = beat.rpc_port;
+      d.gossip_port = beat.gossip_port;
       ++d.heartbeats;
       if (!d.up) {
         d.up = true;
@@ -146,12 +241,14 @@ void Watchdog::beat_loop(std::shared_ptr<dm::TcpChannel> channel) {
         up_cb = on_site_up_;
       }
     }
+    liveness_.direct_alive(beat.site, beat.incarnation);
     cv_.notify_all();
     if (fire_up && up_cb) up_cb(bound_site);
   }
   // Connection gone.  If it belonged to the current incarnation and the
   // daemon was considered up, that is a crash notice faster than the
-  // heartbeat deadline.
+  // heartbeat deadline -- first-hand when trust_process_exit, otherwise
+  // just the watchdog's suspicion vote (quorum decides).
   if (bound_incarnation == 0) return;
   bool fire_down = false;
   std::function<void(SiteId)> down_cb;
@@ -162,6 +259,12 @@ void Watchdog::beat_loop(std::shared_ptr<dm::TcpChannel> channel) {
     if (it == daemons_.end()) return;
     Daemon& d = it->second;
     if (d.incarnation != bound_incarnation || !d.up) return;
+    if (!config_.trust_process_exit) {
+      (void)liveness_.suspect(bound_site, bound_incarnation,
+                              LivenessDirectory::watchdog_witness(),
+                              "heartbeat connection lost");
+      return;
+    }
     declare_down(d, "heartbeat connection lost");
     fire_down = true;
     down_cb = on_site_down_;
@@ -176,8 +279,10 @@ void Watchdog::declare_down(Daemon& d, const std::string& why) {
   common::log_warn("watchdog", "site ", d.site.value(), " down (", why,
                    "), pid ", d.pid);
   common::MetricsRegistry::global().counter("watchdog.site_down").add(1);
+  (void)liveness_.conclusive_dead(d.site, d.incarnation, why);
   d.up = false;
   d.rpc_port = 0;
+  d.gossip_port = 0;
   if (d.pid > 0) {
     ::kill(static_cast<pid_t>(d.pid), SIGKILL);
     int status = 0;
@@ -188,10 +293,7 @@ void Watchdog::declare_down(Daemon& d, const std::string& why) {
     d.abandoned = true;
     return;
   }
-  const double backoff =
-      config_.restart_backoff_s *
-      std::pow(config_.restart_backoff_multiplier,
-               static_cast<double>(d.restarts));
+  const double backoff = restart_backoff(config_, d.site, d.restarts);
   restart_queue_.emplace_back(now_s() + backoff, d.site);
 }
 
@@ -205,28 +307,49 @@ void Watchdog::monitor_loop() {
     const double now = now_s();
     std::vector<SiteId> downs;
     for (auto& [site, d] : daemons_) {
-      if (d.pid <= 0) continue;
-      // A reaped child is the fastest SIGKILL detector...
-      int status = 0;
-      const pid_t reaped =
-          ::waitpid(static_cast<pid_t>(d.pid), &status, WNOHANG);
-      if (reaped == static_cast<pid_t>(d.pid)) {
-        d.pid = -1;
-        declare_down(d, "process exited");
-        downs.push_back(site);
-        continue;
+      if (d.pid > 0) {
+        // A reaped child is the fastest SIGKILL detector...
+        int status = 0;
+        const pid_t reaped =
+            ::waitpid(static_cast<pid_t>(d.pid), &status, WNOHANG);
+        if (reaped == static_cast<pid_t>(d.pid)) {
+          d.pid = -1;
+          if (config_.trust_process_exit) {
+            declare_down(d, "process exited");
+            downs.push_back(site);
+            continue;
+          }
+          // Quorum mode: even first-hand process exit is only this
+          // watchdog's vote (tests force the full gossip/quorum path).
+          (void)liveness_.suspect(site, d.incarnation,
+                                  LivenessDirectory::watchdog_witness(),
+                                  "process exited");
+        }
       }
-      // ...and the heartbeat deadline catches hangs and partitions.
+      // ...and the heartbeat deadline catches hangs and partitions --
+      // but it is a witness vote now, not a verdict.
       if (d.up && now - d.last_beat_s > config_.heartbeat_timeout_s) {
-        declare_down(d, "missed heartbeat deadline");
-        downs.push_back(site);
-      } else if (!d.up && !d.abandoned &&
+        (void)liveness_.suspect(site, d.incarnation,
+                                LivenessDirectory::watchdog_witness(),
+                                "missed heartbeat deadline");
+      } else if (!d.up && !d.abandoned && d.pid > 0 &&
                  now - d.last_beat_s > config_.heartbeat_timeout_s +
                                            config_.restart_backoff_s) {
-        // Launched but never beat (crashed before the first beat).
+        // Launched but never beat (crashed before the first beat); no
+        // peer ever heard this incarnation, so no quorum can form --
+        // first-hand judgment stays.
         declare_down(d, "no heartbeat after launch");
         downs.push_back(site);
       }
+    }
+    // The directory's verdict: suspicions that ran out of time...
+    (void)liveness_.poll();
+    // ...and quorum/timeout deaths become the site-down declaration.
+    for (auto& [site, d] : daemons_) {
+      if (!d.up && d.pid <= 0) continue;  // already declared (or idle)
+      if (liveness_.state(site) != SiteLiveness::kDead) continue;
+      declare_down(d, "liveness verdict: " + liveness_.status(site).reason);
+      downs.push_back(site);
     }
     // Due restarts.
     std::vector<std::pair<double, SiteId>> later;
@@ -252,7 +375,112 @@ void Watchdog::monitor_loop() {
   }
 }
 
+void Watchdog::prober_loop() {
+  struct Snap {
+    SiteId site;
+    std::uint16_t gossip_port = 0;
+    std::uint32_t incarnation = 0;
+    bool up = false;
+  };
+  const auto poll = std::chrono::duration<double>(
+      std::max(0.01, config_.gossip_period_s));
+  std::uint64_t seq = 0;
+  std::vector<std::byte> last_roster;
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, poll, [this] { return stopping_; });
+    if (stopping_) return;
+    std::vector<Snap> snaps;
+    snaps.reserve(daemons_.size());
+    for (const auto& [site, d] : daemons_) {
+      snaps.push_back({site, d.gossip_port, d.incarnation, d.up});
+    }
+    lock.unlock();
+
+    // Membership push: every up daemon learns its peers' gossip ports
+    // and which sites stand suspected (so a peer that still hears a
+    // suspect refutes immediately).
+    wire::PeerRoster roster;
+    for (const Snap& s : snaps) {
+      if (!s.up || s.gossip_port == 0) continue;
+      wire::PeerEndpoint e;
+      e.site = s.site;
+      e.gossip_port = s.gossip_port;
+      e.incarnation = s.incarnation;
+      e.suspected = liveness_.state(s.site) == SiteLiveness::kSuspect;
+      roster.peers.push_back(e);
+    }
+    const std::vector<std::byte> encoded = wire::encode(roster);
+    if (encoded != last_roster && !roster.peers.empty()) {
+      bool delivered = true;
+      for (const wire::PeerEndpoint& e : roster.peers) {
+        try {
+          auto channel = dm::tcp_connect(e.gossip_port);
+          channel->send(encoded);
+        } catch (const TransportError&) {
+          delivered = false;  // retry next round
+        }
+      }
+      if (delivered) last_roster = encoded;
+    }
+
+    // Indirect probes: ask up to probe_fanout peers to ping each
+    // suspect over their own network path (the SWIM ping-req).
+    for (const Snap& suspect : snaps) {
+      if (liveness_.state(suspect.site) != SiteLiveness::kSuspect ||
+          suspect.gossip_port == 0) {
+        continue;
+      }
+      int asked = 0;
+      for (const Snap& helper : snaps) {
+        if (helper.site == suspect.site || !helper.up ||
+            helper.gossip_port == 0) {
+          continue;
+        }
+        if (asked >= config_.probe_fanout) break;
+        ++asked;
+        wire::PingReq req;
+        req.origin_site = config_.coordinator_site;
+        req.target_site = suspect.site;
+        req.target_gossip_port = suspect.gossip_port;
+        req.seq = ++seq;
+        try {
+          auto channel = dm::tcp_connect(helper.gossip_port);
+          channel->send(wire::encode(req));
+          const auto reply = channel->receive_for(config_.probe_timeout_s);
+          if (!reply ||
+              wire::peek_type(*reply) != wire::MsgType::kPingReqReply) {
+            continue;
+          }
+          const wire::PingReqReply verdict = wire::decode_ping_req_reply(
+              *reply);
+          if (verdict.target_site != suspect.site ||
+              verdict.seq != req.seq) {
+            continue;
+          }
+          if (verdict.reachable) {
+            (void)liveness_.refute(suspect.site, verdict.target_incarnation,
+                                   helper.site);
+          } else {
+            (void)liveness_.suspect(
+                suspect.site, suspect.incarnation, helper.site,
+                "indirect probe failed via site " +
+                    std::to_string(helper.site.value()));
+          }
+        } catch (const common::VdceError&) {
+          // Helper unreachable or garbled: it simply casts no vote.
+        }
+      }
+    }
+    lock.lock();
+  }
+}
+
 std::uint16_t Watchdog::rpc_port(SiteId site, double timeout_s) {
+  return rpc_endpoint(site, timeout_s).port;
+}
+
+RpcEndpoint Watchdog::rpc_endpoint(SiteId site, double timeout_s) {
   std::unique_lock lock(mu_);
   const bool ok = cv_.wait_for(
       lock, std::chrono::duration<double>(timeout_s), [&] {
@@ -269,7 +497,13 @@ std::uint16_t Watchdog::rpc_port(SiteId site, double timeout_s) {
                          std::to_string(site.value()) + " within " +
                          std::to_string(timeout_s) + "s");
   }
-  return it->second.rpc_port;
+  return RpcEndpoint{it->second.rpc_port, it->second.incarnation};
+}
+
+std::uint32_t Watchdog::incarnation(SiteId site) const {
+  const std::lock_guard lock(mu_);
+  const auto it = daemons_.find(site);
+  return it == daemons_.end() ? 0 : it->second.incarnation;
 }
 
 DaemonStatus Watchdog::status(SiteId site) const {
@@ -281,6 +515,7 @@ DaemonStatus Watchdog::status(SiteId site) const {
   s.site = d.site;
   s.pid = d.pid;
   s.rpc_port = d.rpc_port;
+  s.gossip_port = d.gossip_port;
   s.incarnation = d.incarnation;
   s.heartbeats = d.heartbeats;
   s.up = d.up;
@@ -343,6 +578,7 @@ void Watchdog::stop() {
   for (auto& channel : channels) channel->close();
   if (acceptor_.joinable()) acceptor_.join();
   if (monitor_.joinable()) monitor_.join();
+  if (prober_.joinable()) prober_.join();
   for (std::thread& t : readers_) {
     if (t.joinable()) t.join();
   }

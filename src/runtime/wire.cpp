@@ -28,6 +28,13 @@ const char* to_string(MsgType type) {
     case MsgType::kShutdownRequest: return "shutdown_request";
     case MsgType::kAck: return "ack";
     case MsgType::kErrorReply: return "error_reply";
+    case MsgType::kPeerDigest: return "peer_digest";
+    case MsgType::kGossipPing: return "gossip_ping";
+    case MsgType::kGossipAck: return "gossip_ack";
+    case MsgType::kPingReq: return "ping_req";
+    case MsgType::kPingReqReply: return "ping_req_reply";
+    case MsgType::kPeerRoster: return "peer_roster";
+    case MsgType::kRefute: return "refute";
   }
   return "unknown";
 }
@@ -98,7 +105,7 @@ MsgType peek_type(std::span<const std::byte> frame) {
   }
   const auto raw = static_cast<std::uint8_t>(frame[2]);
   if (raw < static_cast<std::uint8_t>(MsgType::kMonitorReport) ||
-      raw > static_cast<std::uint8_t>(MsgType::kErrorReply)) {
+      raw > static_cast<std::uint8_t>(MsgType::kRefute)) {
     throw ParseError("unknown control message type " + std::to_string(raw));
   }
   return static_cast<MsgType>(raw);
@@ -223,6 +230,7 @@ std::vector<std::byte> encode(const Heartbeat& m) {
   w.write_u64(m.seq);
   w.write_u16(m.rpc_port);
   w.write_u32(m.incarnation);
+  w.write_u16(m.gossip_port);
   return w.take();
 }
 
@@ -233,6 +241,156 @@ Heartbeat decode_heartbeat(std::span<const std::byte> frame) {
   m.pid = r.read_i64();
   m.seq = r.read_u64();
   m.rpc_port = r.read_u16();
+  m.incarnation = r.read_u32();
+  m.gossip_port = r.read_u16();
+  return m;
+}
+
+// -- quorum liveness (D17) -----------------------------------------------
+
+std::vector<std::byte> encode(const PeerDigest& m) {
+  WireWriter w = header(MsgType::kPeerDigest);
+  w.write_u32(m.origin_site.value());
+  w.write_u32(m.origin_incarnation);
+  w.write_u32(static_cast<std::uint32_t>(m.peers.size()));
+  for (const PeerHealth& p : m.peers) {
+    w.write_u32(p.site.value());
+    w.write_u32(p.incarnation);
+    w.write_f64(p.age_s);
+    w.write_u8(p.reachable ? 1 : 0);
+  }
+  return w.take();
+}
+
+PeerDigest decode_peer_digest(std::span<const std::byte> frame) {
+  WireReader r = payload_reader(frame, MsgType::kPeerDigest);
+  PeerDigest m;
+  m.origin_site = common::SiteId(r.read_u32());
+  m.origin_incarnation = r.read_u32();
+  const std::uint32_t peers = r.read_u32();
+  m.peers.reserve(peers);
+  for (std::uint32_t i = 0; i < peers; ++i) {
+    PeerHealth p;
+    p.site = common::SiteId(r.read_u32());
+    p.incarnation = r.read_u32();
+    p.age_s = r.read_f64();
+    p.reachable = r.read_u8() != 0;
+    m.peers.push_back(p);
+  }
+  return m;
+}
+
+std::vector<std::byte> encode(const GossipPing& m) {
+  WireWriter w = header(MsgType::kGossipPing);
+  w.write_u32(m.origin_site.value());
+  w.write_u64(m.seq);
+  return w.take();
+}
+
+GossipPing decode_gossip_ping(std::span<const std::byte> frame) {
+  WireReader r = payload_reader(frame, MsgType::kGossipPing);
+  GossipPing m;
+  m.origin_site = common::SiteId(r.read_u32());
+  m.seq = r.read_u64();
+  return m;
+}
+
+std::vector<std::byte> encode(const GossipAck& m) {
+  WireWriter w = header(MsgType::kGossipAck);
+  w.write_u32(m.site.value());
+  w.write_u32(m.incarnation);
+  w.write_u64(m.seq);
+  return w.take();
+}
+
+GossipAck decode_gossip_ack(std::span<const std::byte> frame) {
+  WireReader r = payload_reader(frame, MsgType::kGossipAck);
+  GossipAck m;
+  m.site = common::SiteId(r.read_u32());
+  m.incarnation = r.read_u32();
+  m.seq = r.read_u64();
+  return m;
+}
+
+std::vector<std::byte> encode(const PingReq& m) {
+  WireWriter w = header(MsgType::kPingReq);
+  w.write_u32(m.origin_site.value());
+  w.write_u32(m.target_site.value());
+  w.write_u16(m.target_gossip_port);
+  w.write_u64(m.seq);
+  return w.take();
+}
+
+PingReq decode_ping_req(std::span<const std::byte> frame) {
+  WireReader r = payload_reader(frame, MsgType::kPingReq);
+  PingReq m;
+  m.origin_site = common::SiteId(r.read_u32());
+  m.target_site = common::SiteId(r.read_u32());
+  m.target_gossip_port = r.read_u16();
+  m.seq = r.read_u64();
+  return m;
+}
+
+std::vector<std::byte> encode(const PingReqReply& m) {
+  WireWriter w = header(MsgType::kPingReqReply);
+  w.write_u32(m.target_site.value());
+  w.write_u8(m.reachable ? 1 : 0);
+  w.write_u32(m.target_incarnation);
+  w.write_u64(m.seq);
+  return w.take();
+}
+
+PingReqReply decode_ping_req_reply(std::span<const std::byte> frame) {
+  WireReader r = payload_reader(frame, MsgType::kPingReqReply);
+  PingReqReply m;
+  m.target_site = common::SiteId(r.read_u32());
+  m.reachable = r.read_u8() != 0;
+  m.target_incarnation = r.read_u32();
+  m.seq = r.read_u64();
+  return m;
+}
+
+std::vector<std::byte> encode(const PeerRoster& m) {
+  WireWriter w = header(MsgType::kPeerRoster);
+  w.write_u32(static_cast<std::uint32_t>(m.peers.size()));
+  for (const PeerEndpoint& p : m.peers) {
+    w.write_u32(p.site.value());
+    w.write_u16(p.gossip_port);
+    w.write_u32(p.incarnation);
+    w.write_u8(p.suspected ? 1 : 0);
+  }
+  return w.take();
+}
+
+PeerRoster decode_peer_roster(std::span<const std::byte> frame) {
+  WireReader r = payload_reader(frame, MsgType::kPeerRoster);
+  PeerRoster m;
+  const std::uint32_t peers = r.read_u32();
+  m.peers.reserve(peers);
+  for (std::uint32_t i = 0; i < peers; ++i) {
+    PeerEndpoint p;
+    p.site = common::SiteId(r.read_u32());
+    p.gossip_port = r.read_u16();
+    p.incarnation = r.read_u32();
+    p.suspected = r.read_u8() != 0;
+    m.peers.push_back(p);
+  }
+  return m;
+}
+
+std::vector<std::byte> encode(const Refute& m) {
+  WireWriter w = header(MsgType::kRefute);
+  w.write_u32(m.witness_site.value());
+  w.write_u32(m.site.value());
+  w.write_u32(m.incarnation);
+  return w.take();
+}
+
+Refute decode_refute(std::span<const std::byte> frame) {
+  WireReader r = payload_reader(frame, MsgType::kRefute);
+  Refute m;
+  m.witness_site = common::SiteId(r.read_u32());
+  m.site = common::SiteId(r.read_u32());
   m.incarnation = r.read_u32();
   return m;
 }

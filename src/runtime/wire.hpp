@@ -59,6 +59,14 @@ enum class MsgType : std::uint8_t {
   kShutdownRequest = 13,
   kAck = 14,
   kErrorReply = 15,
+  // -- quorum liveness (D17) ---------------------------------------------
+  kPeerDigest = 16,
+  kGossipPing = 17,
+  kGossipAck = 18,
+  kPingReq = 19,
+  kPingReqReply = 20,
+  kPeerRoster = 21,
+  kRefute = 22,
 };
 
 [[nodiscard]] const char* to_string(MsgType type);
@@ -74,6 +82,86 @@ struct Heartbeat {
   /// watchdog on every respawn so a stale pre-kill beacon can never be
   /// mistaken for the reincarnation's.
   std::uint32_t incarnation = 1;
+  /// Gossip listener port (0 = gossip disabled); peers ping here.
+  std::uint16_t gossip_port = 0;
+};
+
+// -- quorum liveness (D17) -----------------------------------------------
+
+/// One peer's health as seen by a digest's origin site.
+struct PeerHealth {
+  common::SiteId site;
+  /// The incarnation the origin last heard from.
+  std::uint32_t incarnation = 0;
+  /// Seconds since the origin last heard from the peer.
+  double age_s = 0.0;
+  /// Whether the origin's latest probe of the peer succeeded.
+  bool reachable = false;
+};
+
+/// Daemon -> watchdog (piggybacked on the heartbeat channel): who the
+/// origin site last heard from, with incarnation numbers.  The
+/// watchdog turns fresh reachable entries into refutations and
+/// unreachable ones into suspicion votes, fenced by the origin's own
+/// incarnation.
+struct PeerDigest {
+  common::SiteId origin_site;
+  std::uint32_t origin_incarnation = 0;
+  std::vector<PeerHealth> peers;
+};
+
+/// Peer -> peer direct probe ("are you there?").
+struct GossipPing {
+  common::SiteId origin_site;
+  std::uint64_t seq = 0;
+};
+
+/// Probe answer: the target names itself and its incarnation.
+struct GossipAck {
+  common::SiteId site;
+  std::uint32_t incarnation = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Watchdog -> third site: "probe `target_site` for me" (the SWIM
+/// ping-req -- an independent network path to a suspect).
+struct PingReq {
+  common::SiteId origin_site;
+  common::SiteId target_site;
+  std::uint16_t target_gossip_port = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Third site -> watchdog: the indirect probe's verdict.
+struct PingReqReply {
+  common::SiteId target_site;
+  bool reachable = false;
+  /// Incarnation the target answered with (0 when unreachable).
+  std::uint32_t target_incarnation = 0;
+  std::uint64_t seq = 0;
+};
+
+/// One row of a PeerRoster.
+struct PeerEndpoint {
+  common::SiteId site;
+  std::uint16_t gossip_port = 0;
+  std::uint32_t incarnation = 0;
+  /// The watchdog currently suspects this site (peers that reach it
+  /// should refute immediately rather than wait for the next digest).
+  bool suspected = false;
+};
+
+/// Watchdog -> daemon (gossip port): current peer membership.
+struct PeerRoster {
+  std::vector<PeerEndpoint> peers;
+};
+
+/// Daemon -> watchdog (heartbeat channel): "I just heard site `site`
+/// at `incarnation` -- withdraw my suspicion vote."
+struct Refute {
+  common::SiteId witness_site;
+  common::SiteId site;
+  std::uint32_t incarnation = 0;
 };
 
 /// Coordinator -> daemon: advance the site's Control Manager to `now`.
@@ -138,6 +226,13 @@ struct ErrorReply {
 [[nodiscard]] std::vector<std::byte> encode(const RecordTaskTime& m);
 [[nodiscard]] std::vector<std::byte> encode(const Ack&);
 [[nodiscard]] std::vector<std::byte> encode(const ErrorReply& m);
+[[nodiscard]] std::vector<std::byte> encode(const PeerDigest& m);
+[[nodiscard]] std::vector<std::byte> encode(const GossipPing& m);
+[[nodiscard]] std::vector<std::byte> encode(const GossipAck& m);
+[[nodiscard]] std::vector<std::byte> encode(const PingReq& m);
+[[nodiscard]] std::vector<std::byte> encode(const PingReqReply& m);
+[[nodiscard]] std::vector<std::byte> encode(const PeerRoster& m);
+[[nodiscard]] std::vector<std::byte> encode(const Refute& m);
 /// ShutdownRequest carries no payload; encoded directly.
 [[nodiscard]] std::vector<std::byte> encode_shutdown();
 
@@ -176,5 +271,13 @@ struct ErrorReply {
 [[nodiscard]] RecordTaskTime decode_record_task_time(
     std::span<const std::byte> frame);
 [[nodiscard]] ErrorReply decode_error_reply(std::span<const std::byte> frame);
+[[nodiscard]] PeerDigest decode_peer_digest(std::span<const std::byte> frame);
+[[nodiscard]] GossipPing decode_gossip_ping(std::span<const std::byte> frame);
+[[nodiscard]] GossipAck decode_gossip_ack(std::span<const std::byte> frame);
+[[nodiscard]] PingReq decode_ping_req(std::span<const std::byte> frame);
+[[nodiscard]] PingReqReply decode_ping_req_reply(
+    std::span<const std::byte> frame);
+[[nodiscard]] PeerRoster decode_peer_roster(std::span<const std::byte> frame);
+[[nodiscard]] Refute decode_refute(std::span<const std::byte> frame);
 
 }  // namespace vdce::rt::wire

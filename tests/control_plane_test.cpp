@@ -232,6 +232,7 @@ TEST(WireFormat, HeartbeatRoundTripsBitIdentically) {
     h.seq = rng.uniform_int(1 << 30);
     h.rpc_port = static_cast<std::uint16_t>(rng.uniform_int(65536));
     h.incarnation = static_cast<std::uint32_t>(1 + rng.uniform_int(5));
+    h.gossip_port = static_cast<std::uint16_t>(rng.uniform_int(65536));
     const auto bytes = wire::encode(h);
     const auto d = wire::decode_heartbeat(bytes);
     EXPECT_EQ(d.site, h.site);
@@ -239,8 +240,199 @@ TEST(WireFormat, HeartbeatRoundTripsBitIdentically) {
     EXPECT_EQ(d.seq, h.seq);
     EXPECT_EQ(d.rpc_port, h.rpc_port);
     EXPECT_EQ(d.incarnation, h.incarnation);
+    EXPECT_EQ(d.gossip_port, h.gossip_port);
     EXPECT_EQ(wire::encode(d), bytes);
   }
+}
+
+// D17 gossip messages (types 16-22).
+
+wire::PeerDigest random_peer_digest(common::Rng& rng) {
+  wire::PeerDigest d;
+  d.origin_site = SiteId(static_cast<std::uint32_t>(rng.uniform_int(8)));
+  d.origin_incarnation = static_cast<std::uint32_t>(1 + rng.uniform_int(5));
+  const std::size_t n = rng.uniform_int(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    wire::PeerHealth p;
+    p.site = SiteId(static_cast<std::uint32_t>(rng.uniform_int(8)));
+    p.incarnation = static_cast<std::uint32_t>(rng.uniform_int(5));
+    p.age_s = rng.uniform(0.0, 10.0);
+    p.reachable = rng.bernoulli(0.5);
+    d.peers.push_back(p);
+  }
+  return d;
+}
+
+wire::PeerRoster random_peer_roster(common::Rng& rng) {
+  wire::PeerRoster r;
+  const std::size_t n = rng.uniform_int(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    wire::PeerEndpoint e;
+    e.site = SiteId(static_cast<std::uint32_t>(rng.uniform_int(8)));
+    e.gossip_port = static_cast<std::uint16_t>(rng.uniform_int(65536));
+    e.incarnation = static_cast<std::uint32_t>(1 + rng.uniform_int(5));
+    e.suspected = rng.bernoulli(0.3);
+    r.peers.push_back(e);
+  }
+  return r;
+}
+
+TEST(WireFormat, GossipMessagesRoundTripBitIdentically) {
+  common::Rng rng(51);
+  for (int i = 0; i < 30; ++i) {
+    const auto digest = random_peer_digest(rng);
+    const auto digest_bytes = wire::encode(digest);
+    EXPECT_EQ(wire::peek_type(digest_bytes), wire::MsgType::kPeerDigest);
+    const auto digest_d = wire::decode_peer_digest(digest_bytes);
+    EXPECT_EQ(digest_d.origin_site, digest.origin_site);
+    EXPECT_EQ(digest_d.origin_incarnation, digest.origin_incarnation);
+    ASSERT_EQ(digest_d.peers.size(), digest.peers.size());
+    for (std::size_t p = 0; p < digest.peers.size(); ++p) {
+      EXPECT_EQ(digest_d.peers[p].site, digest.peers[p].site);
+      EXPECT_EQ(digest_d.peers[p].incarnation, digest.peers[p].incarnation);
+      EXPECT_EQ(digest_d.peers[p].age_s, digest.peers[p].age_s);
+      EXPECT_EQ(digest_d.peers[p].reachable, digest.peers[p].reachable);
+    }
+    EXPECT_EQ(wire::encode(digest_d), digest_bytes);
+
+    wire::GossipPing ping;
+    ping.origin_site = SiteId(static_cast<std::uint32_t>(rng.uniform_int(8)));
+    ping.seq = rng.uniform_int(1 << 30);
+    const auto ping_bytes = wire::encode(ping);
+    const auto ping_d = wire::decode_gossip_ping(ping_bytes);
+    EXPECT_EQ(ping_d.origin_site, ping.origin_site);
+    EXPECT_EQ(ping_d.seq, ping.seq);
+    EXPECT_EQ(wire::encode(ping_d), ping_bytes);
+
+    wire::GossipAck ack;
+    ack.site = SiteId(static_cast<std::uint32_t>(rng.uniform_int(8)));
+    ack.incarnation = static_cast<std::uint32_t>(1 + rng.uniform_int(5));
+    ack.seq = rng.uniform_int(1 << 30);
+    const auto ack_bytes = wire::encode(ack);
+    const auto ack_d = wire::decode_gossip_ack(ack_bytes);
+    EXPECT_EQ(ack_d.site, ack.site);
+    EXPECT_EQ(ack_d.incarnation, ack.incarnation);
+    EXPECT_EQ(ack_d.seq, ack.seq);
+    EXPECT_EQ(wire::encode(ack_d), ack_bytes);
+
+    wire::PingReq preq;
+    preq.origin_site = SiteId(static_cast<std::uint32_t>(rng.uniform_int(8)));
+    preq.target_site = SiteId(static_cast<std::uint32_t>(rng.uniform_int(8)));
+    preq.target_gossip_port =
+        static_cast<std::uint16_t>(rng.uniform_int(65536));
+    preq.seq = rng.uniform_int(1 << 30);
+    const auto preq_bytes = wire::encode(preq);
+    const auto preq_d = wire::decode_ping_req(preq_bytes);
+    EXPECT_EQ(preq_d.origin_site, preq.origin_site);
+    EXPECT_EQ(preq_d.target_site, preq.target_site);
+    EXPECT_EQ(preq_d.target_gossip_port, preq.target_gossip_port);
+    EXPECT_EQ(preq_d.seq, preq.seq);
+    EXPECT_EQ(wire::encode(preq_d), preq_bytes);
+
+    wire::PingReqReply prep;
+    prep.target_site = SiteId(static_cast<std::uint32_t>(rng.uniform_int(8)));
+    prep.reachable = rng.bernoulli(0.5);
+    prep.target_incarnation = static_cast<std::uint32_t>(rng.uniform_int(5));
+    prep.seq = rng.uniform_int(1 << 30);
+    const auto prep_bytes = wire::encode(prep);
+    const auto prep_d = wire::decode_ping_req_reply(prep_bytes);
+    EXPECT_EQ(prep_d.target_site, prep.target_site);
+    EXPECT_EQ(prep_d.reachable, prep.reachable);
+    EXPECT_EQ(prep_d.target_incarnation, prep.target_incarnation);
+    EXPECT_EQ(prep_d.seq, prep.seq);
+    EXPECT_EQ(wire::encode(prep_d), prep_bytes);
+
+    const auto roster = random_peer_roster(rng);
+    const auto roster_bytes = wire::encode(roster);
+    const auto roster_d = wire::decode_peer_roster(roster_bytes);
+    ASSERT_EQ(roster_d.peers.size(), roster.peers.size());
+    for (std::size_t p = 0; p < roster.peers.size(); ++p) {
+      EXPECT_EQ(roster_d.peers[p].site, roster.peers[p].site);
+      EXPECT_EQ(roster_d.peers[p].gossip_port, roster.peers[p].gossip_port);
+      EXPECT_EQ(roster_d.peers[p].incarnation, roster.peers[p].incarnation);
+      EXPECT_EQ(roster_d.peers[p].suspected, roster.peers[p].suspected);
+    }
+    EXPECT_EQ(wire::encode(roster_d), roster_bytes);
+
+    wire::Refute refute;
+    refute.witness_site =
+        SiteId(static_cast<std::uint32_t>(rng.uniform_int(8)));
+    refute.site = SiteId(static_cast<std::uint32_t>(rng.uniform_int(8)));
+    refute.incarnation = static_cast<std::uint32_t>(1 + rng.uniform_int(5));
+    const auto refute_bytes = wire::encode(refute);
+    const auto refute_d = wire::decode_refute(refute_bytes);
+    EXPECT_EQ(refute_d.witness_site, refute.witness_site);
+    EXPECT_EQ(refute_d.site, refute.site);
+    EXPECT_EQ(refute_d.incarnation, refute.incarnation);
+    EXPECT_EQ(wire::encode(refute_d), refute_bytes);
+  }
+}
+
+TEST(WireFormat, GossipMessagesRejectTruncationAtEveryPrefix) {
+  common::Rng rng(52);
+  // Variable-length messages.
+  auto digest = random_peer_digest(rng);
+  while (digest.peers.empty()) digest = random_peer_digest(rng);
+  const auto digest_bytes = wire::encode(digest);
+  for (std::size_t len = 3; len < digest_bytes.size(); ++len) {
+    const std::span<const std::byte> prefix(digest_bytes.data(), len);
+    EXPECT_THROW((void)wire::decode_peer_digest(prefix), ParseError)
+        << "digest prefix of " << len << " bytes accepted";
+  }
+  auto roster = random_peer_roster(rng);
+  while (roster.peers.empty()) roster = random_peer_roster(rng);
+  const auto roster_bytes = wire::encode(roster);
+  for (std::size_t len = 3; len < roster_bytes.size(); ++len) {
+    const std::span<const std::byte> prefix(roster_bytes.data(), len);
+    EXPECT_THROW((void)wire::decode_peer_roster(prefix), ParseError)
+        << "roster prefix of " << len << " bytes accepted";
+  }
+  // Fixed-length messages.
+  const auto ping_bytes = wire::encode(wire::GossipPing{SiteId(1), 7});
+  for (std::size_t len = 3; len < ping_bytes.size(); ++len) {
+    EXPECT_THROW((void)wire::decode_gossip_ping(
+                     std::span<const std::byte>(ping_bytes.data(), len)),
+                 ParseError);
+  }
+  const auto ack_bytes = wire::encode(wire::GossipAck{SiteId(1), 2, 7});
+  for (std::size_t len = 3; len < ack_bytes.size(); ++len) {
+    EXPECT_THROW((void)wire::decode_gossip_ack(
+                     std::span<const std::byte>(ack_bytes.data(), len)),
+                 ParseError);
+  }
+  const auto preq_bytes =
+      wire::encode(wire::PingReq{SiteId(1), SiteId(2), 4242, 7});
+  for (std::size_t len = 3; len < preq_bytes.size(); ++len) {
+    EXPECT_THROW((void)wire::decode_ping_req(
+                     std::span<const std::byte>(preq_bytes.data(), len)),
+                 ParseError);
+  }
+  const auto prep_bytes =
+      wire::encode(wire::PingReqReply{SiteId(2), true, 3, 7});
+  for (std::size_t len = 3; len < prep_bytes.size(); ++len) {
+    EXPECT_THROW((void)wire::decode_ping_req_reply(
+                     std::span<const std::byte>(prep_bytes.data(), len)),
+                 ParseError);
+  }
+  const auto refute_bytes =
+      wire::encode(wire::Refute{SiteId(1), SiteId(2), 3});
+  for (std::size_t len = 3; len < refute_bytes.size(); ++len) {
+    EXPECT_THROW((void)wire::decode_refute(
+                     std::span<const std::byte>(refute_bytes.data(), len)),
+                 ParseError);
+  }
+}
+
+TEST(WireFormat, GossipMessagesRejectTypeMismatchedDecode) {
+  const auto bytes = wire::encode(wire::GossipPing{SiteId(1), 7});
+  EXPECT_THROW((void)wire::decode_peer_digest(bytes), ParseError);
+  EXPECT_THROW((void)wire::decode_gossip_ack(bytes), ParseError);
+  EXPECT_THROW((void)wire::decode_ping_req(bytes), ParseError);
+  EXPECT_THROW((void)wire::decode_ping_req_reply(bytes), ParseError);
+  EXPECT_THROW((void)wire::decode_peer_roster(bytes), ParseError);
+  EXPECT_THROW((void)wire::decode_refute(bytes), ParseError);
+  const auto ping = wire::encode(wire::PeerDigest{});
+  EXPECT_THROW((void)wire::decode_gossip_ping(ping), ParseError);
 }
 
 TEST(WireFormat, RpcMessagesRoundTripBitIdentically) {
@@ -354,7 +546,7 @@ TEST(WireFormat, RejectsUnknownVersion) {
 
 TEST(WireFormat, RejectsUnknownMessageType) {
   auto bytes = wire::encode(WorkloadUpdate{});
-  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{16},
+  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{23},
                                   std::uint8_t{200}, std::uint8_t{255}}) {
     bytes[2] = std::byte{type};
     EXPECT_THROW((void)wire::peek_type(bytes), ParseError)
@@ -419,7 +611,7 @@ TEST(WireFormat, GarbagePayloadsNeverEscapeParseError) {
   for (int i = 0; i < 300; ++i) {
     std::vector<std::byte> bytes = {std::byte{wire::kMagic},
                                     std::byte{wire::kVersion}};
-    const auto type = static_cast<std::uint8_t>(1 + rng.uniform_int(15));
+    const auto type = static_cast<std::uint8_t>(1 + rng.uniform_int(22));
     bytes.push_back(std::byte{type});
     const std::size_t len = rng.uniform_int(64);
     for (std::size_t b = 0; b < len; ++b) {
@@ -466,6 +658,27 @@ TEST(WireFormat, GarbagePayloadsNeverEscapeParseError) {
           break;
         case wire::MsgType::kErrorReply:
           (void)wire::decode_error_reply(bytes);
+          break;
+        case wire::MsgType::kPeerDigest:
+          (void)wire::decode_peer_digest(bytes);
+          break;
+        case wire::MsgType::kGossipPing:
+          (void)wire::decode_gossip_ping(bytes);
+          break;
+        case wire::MsgType::kGossipAck:
+          (void)wire::decode_gossip_ack(bytes);
+          break;
+        case wire::MsgType::kPingReq:
+          (void)wire::decode_ping_req(bytes);
+          break;
+        case wire::MsgType::kPingReqReply:
+          (void)wire::decode_ping_req_reply(bytes);
+          break;
+        case wire::MsgType::kPeerRoster:
+          (void)wire::decode_peer_roster(bytes);
+          break;
+        case wire::MsgType::kRefute:
+          (void)wire::decode_refute(bytes);
           break;
         case wire::MsgType::kShutdownRequest:
         case wire::MsgType::kAck:
